@@ -1,0 +1,72 @@
+"""Scaling microbenchmarks: how analyzer cost grows with problem size.
+
+The paper's complexity argument: the Extended GCD transform keeps the
+cascade's inputs small (one variable eliminated per independent
+equation, equality constraints folded away), so the common tests stay
+effectively linear.  These benchmarks chart analyze() cost against
+nest depth and coefficient magnitude, and Fourier-Motzkin's growth on
+its worst-case dense systems.
+"""
+
+import pytest
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.deptests.fourier_motzkin import FourierMotzkinTest
+from repro.ir import builder as B
+from repro.system.constraints import ConstraintSystem
+
+
+def _deep_query(depth: int):
+    loops = [(f"i{k}", 1, 10) for k in range(depth)]
+    nest = B.nest(*loops)
+    subs = [B.v(f"i{k}") + (1 if k == 0 else 0) for k in range(depth)]
+    subs2 = [B.v(f"i{k}") for k in range(depth)]
+    return B.ref("a", subs, write=True), B.ref("a", subs2), nest
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4, 6])
+def test_bench_analyze_vs_depth(benchmark, depth):
+    write, read, nest = _deep_query(depth)
+    analyzer = DependenceAnalyzer(want_witness=False)
+
+    def run():
+        return analyzer.analyze(write, nest, read, nest)
+
+    result = benchmark(run)
+    assert result.dependent
+
+
+@pytest.mark.parametrize("magnitude", [1, 100, 10**6, 10**12])
+def test_bench_analyze_vs_coefficients(benchmark, magnitude):
+    """Exact bignum arithmetic: cost must stay flat-ish in magnitude."""
+    nest = B.nest(("i", 1, magnitude * 10))
+    write = B.ref("a", [B.v("i") * magnitude], write=True)
+    read = B.ref("a", [B.v("i") * magnitude + magnitude // 2 + 1])
+    analyzer = DependenceAnalyzer(want_witness=False)
+
+    def run():
+        return analyzer.analyze(write, nest, read, nest)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n_vars", [3, 5, 7])
+def test_bench_fm_dense(benchmark, n_vars):
+    """Fourier-Motzkin on dense systems — the cost the cascade avoids."""
+    system = ConstraintSystem(tuple(f"t{k}" for k in range(n_vars)))
+    for k in range(n_vars):
+        row = [1 if j <= k else -1 for j in range(n_vars)]
+        system.add(row, 10 + k)
+        system.add([-c for c in row], 5)
+    for k in range(n_vars):
+        box = [0] * n_vars
+        box[k] = 1
+        system.add(box, 50)
+        system.add([-c for c in box], 50)
+    fm = FourierMotzkinTest()
+
+    def run():
+        return fm.decide(system)
+
+    result = benchmark(run)
+    assert result.verdict is not None

@@ -1,0 +1,23 @@
+"""Benchmark: Table 1 — plain dependence queries, no memoization.
+
+Regenerates the paper's Table 1 (which test decides each case, per
+program).  The benchmark time is the cost of pushing the full
+unmemoized PERFECT-shaped workload (17,922 queries) through the
+cascade; the printed table is the experiment output.
+"""
+
+from repro.harness.experiments import run_table1
+
+PAPER_TOTALS = [11_859, 384, 5_176, 323, 6, 174]
+
+
+def test_bench_table1(benchmark, capsys):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.text)
+    totals = [0] * 6
+    for row in result.rows:
+        for k in range(6):
+            totals[k] += row[k + 2]
+    assert totals == PAPER_TOTALS

@@ -1,0 +1,21 @@
+"""Benchmark: Table 3 — tests run on unique cases only (memoized).
+
+The paper's headline memoization result: 5,679 test cases collapse to
+332 actual test executions.  The benchmark time shows the memoized
+workload cost (compare with the Table 1 benchmark for the speedup).
+"""
+
+from repro.harness.experiments import run_table3
+
+
+def test_bench_table3(benchmark, capsys):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.text)
+        print(
+            f"memoization: {result.extra['total_cases']:,} cases -> "
+            f"{result.extra['unique_tests']:,} tests"
+        )
+    assert result.extra["total_cases"] == 5_679
+    assert result.extra["unique_tests"] == 332  # paper: 5,679 -> 332

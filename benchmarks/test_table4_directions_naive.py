@@ -1,0 +1,19 @@
+"""Benchmark: Table 4 — direction vectors via naive hierarchical refinement.
+
+Counting every direction tested, the unoptimized Burke-Cytron hierarchy
+multiplies test counts enormously (paper: 332 plain tests become
+~12,500 direction tests).  The companion Table 5 benchmark shows the
+pruned version.
+"""
+
+from repro.harness.experiments import run_table4
+
+
+def test_bench_table4(benchmark, capsys):
+    result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.text)
+    # Shape check: naive refinement costs far more than the 332 plain
+    # unique tests (paper: ~12,500).
+    assert result.extra["total_tests"] > 2_000

@@ -1,0 +1,34 @@
+"""Benchmark: Table 5 — direction vectors with both prunings.
+
+Unused-variable elimination plus distance-vector pruning bring the
+direction-vector cost back down (paper: ~12,500 -> ~900 tests).  Also
+prints the section-7 per-test outcome splits collected from this run.
+"""
+
+from repro.core.stats import TEST_ORDER
+from repro.harness.experiments import run_table4, run_table5
+
+
+def test_bench_table5(benchmark, capsys):
+    result = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.text)
+    assert result.extra["total_tests"] < 1_500
+
+
+def test_bench_pruning_ratio(benchmark, capsys):
+    """The headline Table 4 vs Table 5 reduction, in one number."""
+
+    def both():
+        return run_table4(scale=0.25), run_table5(scale=0.25)
+
+    naive, pruned = benchmark.pedantic(both, rounds=1, iterations=1)
+    ratio = naive.extra["total_tests"] / max(1, pruned.extra["total_tests"])
+    with capsys.disabled():
+        print()
+        print(
+            f"direction-test reduction: {naive.extra['total_tests']:,} -> "
+            f"{pruned.extra['total_tests']:,}  ({ratio:.1f}x; paper ~14x)"
+        )
+    assert ratio > 3.0

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Figure 1 of the paper: the Loop Residue constraint graph.
+
+Constraints (after GCD preprocessing and the exact division step)::
+
+    t1 >= 1        (arc  n0 -> t1, value -1)
+    t3 <= 4        (arc  t3 -> n0, value  4)
+    t1 <= t3 - 4   (arc  t1 -> t3, value -4)
+
+The cycle t1 -> t3 -> n0 -> t1 has value -4 + 4 - 1 = -1 < 0, so the
+system is infeasible: the references are independent.  This script
+prints the graph and the decision, then shows the same system made
+feasible by relaxing the last constraint.
+
+Run:  python examples/loop_residue_figure1.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.deptests.base import Verdict
+from repro.deptests.loop_residue import LoopResidueTest, build_residue_graph
+from repro.system.constraints import ConstraintSystem
+
+
+def show(title, bound_for_t1_t3):
+    system = ConstraintSystem(("t1", "t3"))
+    system.add([-1, 0], -1)  # t1 >= 1
+    system.add([0, 1], 4)  # t3 <= 4
+    system.add([1, -1], bound_for_t1_t3)  # t1 - t3 <= bound
+
+    graph = build_residue_graph(system)
+    print(f"== {title}")
+    for constraint in system.constraints:
+        print(f"   {constraint}")
+    print("   residue graph arcs (src -> dst, value):")
+    for src, dst, value in graph.arcs:
+        print(
+            f"     {graph.node_name(src, system.names)} -> "
+            f"{graph.node_name(dst, system.names)}   {value:+d}"
+        )
+    result = LoopResidueTest().decide(system)
+    if result.verdict is Verdict.INDEPENDENT:
+        print("   negative cycle -> INDEPENDENT\n")
+    else:
+        print(f"   no negative cycle -> DEPENDENT, witness {result.witness}\n")
+
+
+def main():
+    show("Figure 1: t1 <= t3 - 4 (cycle value -1)", -4)
+    show("relaxed: t1 <= t3 - 3 (cycle value 0)", -3)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A miniature parallelizing-compiler front end.
+
+Parses a mini-Fortran program, runs the prepass optimizer (constant
+propagation, induction-variable and forward substitution, loop
+normalization), performs exact dependence analysis with direction
+vectors, and reports which loops can run their iterations in parallel
+— the end-to-end pipeline the paper's analysis was built for.
+
+Run:  python examples/parallelizer.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.memo import Memoizer
+from repro.core.parallel import analyze_parallelism
+from repro.opt import compile_source
+
+SOURCE = """
+# A small numerical kernel collection.
+read(n)
+
+# (1) independent updates: every iteration writes its own element
+for i = 1 to n do
+  x[i] = x[i] + 1
+end for
+
+# (2) a recurrence: iteration i needs iteration i-1's result
+for i = 2 to n do
+  y[i] = y[i - 1] + 1
+end for
+
+# (3) 2-D relaxation: the row loop carries, the column loop is parallel
+for i = 2 to 100 do
+  for j = 1 to 100 do
+    u[i][j] = u[i - 1][j]
+  end for
+end for
+
+# (4) induction variable masking a parallel loop
+k = 0
+for i = 1 to 50 do
+  k = k + 2
+  z[k] = z[k] + 3
+end for
+"""
+
+
+def main():
+    compiled = compile_source(SOURCE, name="kernels")
+    program = compiled.program
+    print(f"compiled {len(program.statements)} array statements; "
+          f"symbolic terms: {sorted(compiled.symbols) or 'none'}\n")
+
+    analyzer = DependenceAnalyzer(memoizer=Memoizer())
+    reports = analyze_parallelism(program, analyzer)
+
+    print("loop parallelism report:")
+    for report in reports:
+        status = "PARALLEL" if report.parallel else "serial  "
+        print(f"  [{status}] {report.loop}")
+        for site1, site2 in report.carriers[:3]:
+            print(f"             carried by {site1.ref} <-> {site2.ref}")
+    print()
+    hits = analyzer.memoizer.with_bounds.stats.hits
+    print(f"(memoization served {hits} repeated queries)")
+
+
+if __name__ == "__main__":
+    main()

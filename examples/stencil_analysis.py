@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Stencil dependence analysis: Jacobi vs Gauss-Seidel.
+
+The classic motivating workloads for distance/direction vectors:
+
+* **Jacobi** reads only the *previous* grid ``b`` and writes ``a`` — no
+  dependences between iterations at all; both loops parallelize.
+* **Gauss-Seidel** updates in place, reading west and north neighbours
+  it just wrote — dependences with distance (1,0) and (0,1); neither
+  loop alone parallelizes, but the distances prove a wavefront
+  (skewed) schedule is legal.
+
+Run:  python examples/stencil_analysis.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.parallel import analyze_parallelism
+from repro.ir.program import reference_pairs
+from repro.opt import compile_source
+
+JACOBI = """
+for i = 2 to 99 do
+  for j = 2 to 99 do
+    a[i][j] = b[i - 1][j] + b[i + 1][j] + b[i][j - 1] + b[i][j + 1]
+  end for
+end for
+"""
+
+GAUSS_SEIDEL = """
+for i = 2 to 99 do
+  for j = 2 to 99 do
+    a[i][j] = a[i - 1][j] + a[i][j - 1] + a[i + 1][j] + a[i][j + 1]
+  end for
+end for
+"""
+
+
+def analyze(name, source):
+    print(f"== {name}")
+    program = compile_source(source, name=name).program
+    analyzer = DependenceAnalyzer()
+
+    distances = set()
+    for site1, site2 in reference_pairs(program):
+        result = analyzer.analyze(site1.ref, site1.nest, site2.ref, site2.nest)
+        if result.dependent and result.distance is not None:
+            distances.add(result.distance)
+            dirs = analyzer.directions(
+                site1.ref, site1.nest, site2.ref, site2.nest
+            )
+            vectors = ", ".join(
+                "(" + " ".join(v) + ")" for v in sorted(dirs.vectors)
+            )
+            print(
+                f"   {site1.ref} <-> {site2.ref}: distance {result.distance}, "
+                f"directions {vectors}"
+            )
+
+    for report in analyze_parallelism(program, DependenceAnalyzer()):
+        status = "PARALLEL" if report.parallel else "serial"
+        print(f"   loop {report.loop.var}: {status}")
+
+    if distances and all(
+        d is not None and all(c is not None for c in d) for d in distances
+    ):
+        # Normalize each dependence to its lexicographically positive
+        # form (a "backward" pair order is the same dependence flipped).
+        def normalize(d):
+            for c in d:
+                if c > 0:
+                    return d
+                if c < 0:
+                    return tuple(-x for x in d)
+            return d
+
+        normalized = {normalize(d) for d in distances}
+        if all(all(c >= 0 for c in d) for d in normalized):
+            print(
+                f"   normalized distances {sorted(normalized)} are all "
+                "non-negative -> wavefront (skewed) schedule is legal"
+            )
+    print()
+
+
+def main():
+    analyze("Jacobi (out of place)", JACOBI)
+    analyze("Gauss-Seidel (in place)", GAUSS_SEIDEL)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Loop distribution and vectorization driven by exact dependences.
+
+The end of the pipeline the paper's introduction motivates: exact
+direction vectors feed an Allen-Kennedy-style code generator that
+distributes loops over dependence-graph SCCs and vectorizes everything
+that can be.  The last kernel shows what exactness buys: an inexact
+analyzer would assume a dependence between the two coupled references
+and serialize a loop that is in fact fully vectorizable.
+
+Run:  python examples/vectorizer.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.baselines import banerjee_independent, simple_gcd_independent
+from repro.core.vectorize import vectorize
+from repro.ir.program import reference_pairs
+from repro.opt import compile_source
+
+KERNELS = [
+    (
+        "distribute + vectorize (producer feeds consumer across iterations)",
+        """
+for i = 2 to 100 do
+  a[i] = b[i] + 1
+  c[i] = a[i - 1] + 2
+end
+""",
+    ),
+    (
+        "mutual recurrence stays fused and serial",
+        """
+for i = 2 to 100 do
+  a[i] = b[i - 1]
+  b[i] = a[i - 1]
+end
+""",
+    ),
+    (
+        "2-D relaxation: outer parallel, inner serial",
+        """
+for i = 1 to 50 do
+  for j = 2 to 50 do
+    u[i][j] = u[i][j - 1]
+  end
+end
+""",
+    ),
+    (
+        "exactness pays: coupled subscripts a[i][i] vs a[j][j+1]",
+        """
+for i = 1 to 50 do
+  for j = 1 to 50 do
+    a[i][i] = a[j][j + 1] + 1
+  end
+end
+""",
+    ),
+]
+
+
+def main():
+    for title, source in KERNELS:
+        print(f"== {title}")
+        program = compile_source(source).program
+        result = vectorize(program)
+        for line in result.render().splitlines():
+            print(f"   {line}")
+        print()
+
+    # Show the inexact baseline failing on the last kernel.
+    program = compile_source(KERNELS[-1][1]).program
+    (site1, site2), *_ = reference_pairs(program)
+    refuted_gcd = simple_gcd_independent(
+        site1.ref, site1.nest, site2.ref, site2.nest
+    )
+    refuted_ban = banerjee_independent(
+        site1.ref, site1.nest, site2.ref, site2.nest
+    )
+    print(
+        "traditional tests on the coupled kernel: "
+        f"simple GCD refutes? {refuted_gcd}; Banerjee refutes? {refuted_ban} "
+        "-> they would assume a dependence and serialize both loops."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — Efficient and Exact Data Dependence Analysis.
+
+A faithful, from-scratch reproduction of Maydan, Hennessy & Lam,
+"Efficient and Exact Data Dependence Analysis" (PLDI 1991): the
+cascaded exact dependence tests (Extended GCD, SVPC, Acyclic, Loop
+Residue, Fourier-Motzkin), memoization, exact direction/distance
+vectors with pruning, and symbolic-term support — plus the substrates
+needed to run it end to end (a loop-nest IR, a mini-Fortran frontend,
+prepass optimizations, inexact baselines, and a synthetic
+PERFECT-Club-shaped workload with the experiment harness that
+regenerates every table in the paper).
+
+Quickstart::
+
+    from repro import DependenceAnalyzer, builder as B
+
+    nest = B.nest(("i", 1, 10))
+    analyzer = DependenceAnalyzer()
+    write = B.ref("a", [B.v("i") + 1], write=True)
+    read = B.ref("a", [B.v("i")])
+    result = analyzer.analyze(write, nest, read, nest)
+    assert result.dependent
+    dirs = analyzer.directions(write, nest, read, nest)
+    assert ("<",) in dirs.vectors
+"""
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.memo import Memoizer, MemoTable
+from repro.core.result import DependenceResult, DirectionResult
+from repro.core.stats import AnalyzerStats
+from repro.ir import builder
+from repro.ir.affine import AffineExpr, const, var
+from repro.ir.arrays import AccessKind, ArrayRef
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.program import Program, Statement, reference_pairs
+from repro.system.depsystem import Direction, build_problem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DependenceAnalyzer",
+    "DependenceResult",
+    "DirectionResult",
+    "AnalyzerStats",
+    "Memoizer",
+    "MemoTable",
+    "AffineExpr",
+    "var",
+    "const",
+    "ArrayRef",
+    "AccessKind",
+    "Loop",
+    "LoopNest",
+    "Program",
+    "Statement",
+    "reference_pairs",
+    "Direction",
+    "build_problem",
+    "builder",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Traditional inexact dependence tests (the paper's section 7 comparison)."""
+
+from repro.baselines.banerjee import (
+    affine_extremes,
+    banerjee_independent,
+    constant_ranges,
+)
+from repro.baselines.simple_gcd import simple_gcd_independent
+from repro.baselines.wolfe_directions import (
+    BaselineAnalyzer,
+    BaselineDirectionResult,
+)
+
+__all__ = [
+    "simple_gcd_independent",
+    "banerjee_independent",
+    "constant_ranges",
+    "affine_extremes",
+    "BaselineAnalyzer",
+    "BaselineDirectionResult",
+]

@@ -1,0 +1,247 @@
+"""Banerjee's bounds (extreme-value) test — alg. 4.3.1 flavor.
+
+The classic inexact test: for each array dimension, bound the range of
+``h = f(i) - f'(i')`` over the loop region; if ``0`` falls outside
+``[min h, max h]`` the dimension — and hence the pair — is independent.
+Like all traditional tests it is one-sided: a passing dimension only
+means "maybe dependent".
+
+Dimensions are handled independently (no coupling), bounds are relaxed
+to constant ranges by interval arithmetic when trapezoidal, and
+anything symbolic widens to an unbounded range — all standard sources
+of imprecision the paper's exact cascade removes.
+
+Wolfe's direction-vector extension (his alg. 2.5.2) restricts the pair
+``(i_k, i'_k)`` of a common loop by the direction ``psi_k``; we compute
+the constrained extreme values exactly by enumerating the vertices of
+the (at most pentagonal) 2-D region — equivalent to Wolfe's closed-form
+positive/negative-part formulas but harder to get wrong.
+"""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import ArrayRef
+from repro.ir.loops import LoopNest
+from repro.system.depsystem import Direction
+
+__all__ = ["banerjee_independent", "constant_ranges", "affine_extremes"]
+
+_UNBOUNDED = (float("-inf"), float("inf"))
+
+
+def affine_extremes(
+    expr: AffineExpr, loops: list
+) -> tuple[float, float]:
+    """Exact real extremes of an affine expression over a trapezoid.
+
+    Banerjee's alg. 4.3.1 propagation: walk the loops innermost first;
+    substituting the maximizing (resp. minimizing) bound of each
+    variable — itself affine in outer variables — keeps the expression
+    affine, so the extreme over the whole trapezoidal region falls out
+    after the outermost substitution.  Symbols left at the end make the
+    range unbounded unless their coefficients cancelled.
+    """
+    lo_expr = expr
+    hi_expr = expr
+    for loop in reversed(loops):
+        a_lo = lo_expr.coeff(loop.var)
+        if a_lo:
+            lo_expr = lo_expr.substitute(
+                loop.var, loop.lower if a_lo > 0 else loop.upper
+            )
+        a_hi = hi_expr.coeff(loop.var)
+        if a_hi:
+            hi_expr = hi_expr.substitute(
+                loop.var, loop.upper if a_hi > 0 else loop.lower
+            )
+    lo: float = float("-inf") if lo_expr.variables() else lo_expr.constant
+    hi: float = float("inf") if hi_expr.variables() else hi_expr.constant
+    return lo, hi
+
+
+def constant_ranges(nest: LoopNest) -> dict[str, tuple[float, float]]:
+    """Constant range of each loop variable via interval arithmetic.
+
+    Trapezoidal bounds are widened: a bound referencing an outer loop
+    variable takes that variable's extreme values; anything symbolic
+    widens to infinity.
+    """
+    ranges: dict[str, tuple[float, float]] = {}
+    for loop in nest:
+        lo = _eval_min(loop.lower, ranges)
+        hi = _eval_max(loop.upper, ranges)
+        ranges[loop.var] = (lo, hi)
+    return ranges
+
+
+def _eval_min(expr: AffineExpr, ranges: dict[str, tuple[float, float]]) -> float:
+    total: float = expr.constant
+    for name, coeff in expr.terms.items():
+        lo, hi = ranges.get(name, _UNBOUNDED)
+        total += coeff * (lo if coeff > 0 else hi)
+    return total
+
+
+def _eval_max(expr: AffineExpr, ranges: dict[str, tuple[float, float]]) -> float:
+    total: float = expr.constant
+    for name, coeff in expr.terms.items():
+        lo, hi = ranges.get(name, _UNBOUNDED)
+        total += coeff * (hi if coeff > 0 else lo)
+    return total
+
+
+def _pair_extremes(
+    a: int,
+    b: int,
+    lo: float,
+    hi: float,
+    lo2: float,
+    hi2: float,
+    psi: str,
+) -> tuple[float, float]:
+    """Extreme values of ``a*i - b*i'`` with ``i in [lo,hi]``,
+    ``i' in [lo2,hi2]`` and ``i psi i'`` for a *common* loop level.
+
+    Evaluated at the vertices of the constraint polygon; infinite box
+    sides fall back to sign reasoning.
+    """
+    if any(v in (float("inf"), float("-inf")) for v in (lo, hi, lo2, hi2)):
+        # Unbounded loop (symbolic bound): the term range is unbounded
+        # unless the coefficients cancel along the constrained diagonal.
+        if a == 0 and b == 0:
+            return (0.0, 0.0)
+        if a == b:
+            # a*(i - i') with the difference constrained by psi.
+            if psi == Direction.EQ:
+                return (0.0, 0.0)
+            if psi == Direction.LT:  # i - i' <= -1
+                return (float("-inf"), -a) if a > 0 else (-a, float("inf"))
+            if psi == Direction.GT:  # i - i' >= 1
+                return (a, float("inf")) if a > 0 else (float("-inf"), a)
+        return _UNBOUNDED
+
+    if psi == Direction.ANY:
+        candidates = [(i, j) for i in (lo, hi) for j in (lo2, hi2)]
+    elif psi == Direction.EQ:
+        left = max(lo, lo2)
+        right = min(hi, hi2)
+        if left > right:
+            return (float("inf"), float("-inf"))  # empty region
+        candidates = [(left, left), (right, right)]
+    elif psi == Direction.LT:
+        # i <= i' - 1 within the box.
+        if lo > hi2 - 1:
+            return (float("inf"), float("-inf"))
+        candidates = []
+        for i in (lo, min(hi, hi2 - 1)):
+            for j in (max(lo2, i + 1), hi2):
+                if lo <= i <= hi and lo2 <= j <= hi2 and i <= j - 1:
+                    candidates.append((i, j))
+    elif psi == Direction.GT:
+        mn, mx = _pair_extremes(b, a, lo2, hi2, lo, hi, Direction.LT)
+        # a*i - b*i' with i > i'  ==  -(b*i' - a*i) with i' < i.
+        return (-mx, -mn)
+    else:
+        raise ValueError(f"bad direction {psi!r}")
+
+    values = [a * i - b * j for i, j in candidates]
+    if not values:
+        return (float("inf"), float("-inf"))
+    return (min(values), max(values))
+
+
+def _trapezoidal_independent(
+    ref1: ArrayRef,
+    nest1: LoopNest,
+    ref2: ArrayRef,
+    nest2: LoopNest,
+) -> bool:
+    """Per-dimension trapezoidal bounds test (no direction constraints).
+
+    Tests ``h = f(i) - f'(i')`` over the joint region; the two
+    iteration vectors use disjoint variables (nest2's are renamed), so
+    one propagation over both loop lists is exact over the reals.
+    Shared loop-invariant symbols cancel where their coefficients
+    match; surviving symbols widen the range to infinity.
+    """
+    prime = {name: name + "'" for name in nest2.variables}
+    loops = list(nest1) + [loop.rename(prime) for loop in nest2]
+    for sub1, sub2 in zip(ref1.subscripts, ref2.subscripts):
+        h = sub1 - sub2.rename(prime)
+        lo, hi = affine_extremes(h, loops)
+        if not (lo <= 0 <= hi):
+            return True
+    return False
+
+
+def banerjee_independent(
+    ref1: ArrayRef,
+    nest1: LoopNest,
+    ref2: ArrayRef,
+    nest2: LoopNest,
+    direction: tuple[str, ...] | None = None,
+) -> bool:
+    """True iff the bounds test *proves* independence (maybe-dependent
+    otherwise).  ``direction`` optionally constrains the common loops
+    per Wolfe's extension; None means all-``*``.
+    """
+    if ref1.array != ref2.array or ref1.rank != ref2.rank:
+        return True
+    n_common = nest1.common_prefix_depth(nest2)
+    if direction is None:
+        direction = (Direction.ANY,) * n_common
+    if len(direction) != n_common:
+        raise ValueError("direction arity != common loop depth")
+
+    if all(psi == Direction.ANY for psi in direction):
+        # Unconstrained directions: the two iteration vectors are
+        # independent unknowns, so the exact trapezoidal propagation
+        # (alg. 4.3.1) applies dimension by dimension.
+        return _trapezoidal_independent(ref1, nest1, ref2, nest2)
+
+    ranges1 = constant_ranges(nest1)
+    ranges2 = constant_ranges(nest2)
+    common_vars = nest1.variables[:n_common]
+
+    for sub1, sub2 in zip(ref1.subscripts, ref2.subscripts):
+        lo_total: float = sub1.constant - sub2.constant
+        hi_total: float = lo_total
+        names = set(sub1.variables() | sub2.variables())
+        empty_region = False
+        for level, var in enumerate(common_vars):
+            a = sub1.coeff(var)
+            b = sub2.coeff(var)
+            names.discard(var)
+            lo, hi = ranges1[var]
+            lo2, hi2 = ranges2[var]
+            mn, mx = _pair_extremes(a, b, lo, hi, lo2, hi2, direction[level])
+            if mn > mx:
+                empty_region = True
+                break
+            lo_total += mn
+            hi_total += mx
+        if empty_region:
+            return True
+        for name in names:
+            in1 = name in ranges1 and name not in common_vars
+            in2 = name in ranges2 and name not in common_vars
+            if in1:
+                a = sub1.coeff(name)
+                if a:
+                    lo, hi = ranges1[name]
+                    lo_total += min(a * lo, a * hi)
+                    hi_total += max(a * lo, a * hi)
+            if in2:
+                b = sub2.coeff(name)
+                if b:
+                    lo, hi = ranges2[name]
+                    lo_total += min(-b * lo, -b * hi)
+                    hi_total += max(-b * lo, -b * hi)
+            if not in1 and not in2:
+                delta = sub1.coeff(name) - sub2.coeff(name)
+                if delta:
+                    return False  # unbounded symbol: cannot disprove
+        if not (lo_total <= 0 <= hi_total):
+            return True
+    return False

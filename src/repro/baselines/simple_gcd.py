@@ -1,0 +1,50 @@
+"""The simple (single-equation) GCD test — Banerjee alg. 5.4.1.
+
+The traditional inexact scheme tests each array dimension separately:
+``a1*i1 + ... - a1'*i1' - ... = c' - c`` has an integer solution iff
+the gcd of the coefficients divides the right-hand side.  Bounds are
+ignored entirely and dimensions are never combined, so coupled
+subscripts (``a[i][j]`` vs ``a[j][i]``) and bounds-limited shifts are
+missed: the test can only ever prove independence, never dependence.
+
+Used by the paper's section 7 comparison.
+"""
+
+from __future__ import annotations
+
+from repro.ir.arrays import ArrayRef
+from repro.ir.loops import LoopNest
+from repro.linalg.gcdext import divides, gcd_all
+
+__all__ = ["simple_gcd_independent"]
+
+
+def simple_gcd_independent(
+    ref1: ArrayRef, nest1: LoopNest, ref2: ArrayRef, nest2: LoopNest
+) -> bool:
+    """True iff the per-dimension GCD test *proves* independence."""
+    if ref1.array != ref2.array or ref1.rank != ref2.rank:
+        return True
+    vars1 = set(nest1.variables)
+    vars2 = set(nest2.variables)
+    for sub1, sub2 in zip(ref1.subscripts, ref2.subscripts):
+        coeffs: list[int] = []
+        # Loop variables of each nest are independent unknowns; shared
+        # symbols contribute their coefficient *difference*.
+        names = sub1.variables() | sub2.variables()
+        for name in names:
+            in1 = name in vars1
+            in2 = name in vars2
+            if in1:
+                coeffs.append(sub1.coeff(name))
+            if in2:
+                coeffs.append(-sub2.coeff(name))
+            if not in1 and not in2:
+                delta = sub1.coeff(name) - sub2.coeff(name)
+                if delta:
+                    coeffs.append(delta)
+        rhs = sub2.constant - sub1.constant
+        g = gcd_all(coeffs)
+        if not divides(g, rhs):
+            return True
+    return False

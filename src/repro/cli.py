@@ -1,0 +1,179 @@
+"""The ``python -m repro`` command-line tool.
+
+Subcommands:
+
+* ``analyze FILE``  — parse + optimize a mini-Fortran source file,
+  run exact dependence analysis on every reference pair and print each
+  pair's verdict, deciding test, distances and direction vectors.
+* ``parallelize FILE`` — the same pipeline, summarized as a per-loop
+  PARALLEL / serial report with the carrying dependences.
+* ``deps FILE`` — classified dependence edges (flow / anti / output).
+* ``tables ...`` — forwarded to :mod:`repro.harness` (regenerate the
+  paper's tables).
+
+Reads from stdin when ``FILE`` is ``-``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.kinds import classify_pair
+from repro.core.memo import Memoizer
+from repro.core.parallel import analyze_parallelism
+from repro.ir.program import Program, reference_pairs
+from repro.lang.errors import LangError
+from repro.opt import compile_source
+
+__all__ = ["main"]
+
+
+def _load_program(path: str) -> Program:
+    if path == "-":
+        text = sys.stdin.read()
+        name = "<stdin>"
+    else:
+        text = Path(path).read_text()
+        name = path
+    result = compile_source(text, name=name, strict=False)
+    for message in result.skipped:
+        print(f"warning: skipped {message}", file=sys.stderr)
+    return result.program
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    analyzer = DependenceAnalyzer(memoizer=Memoizer())
+    pairs = reference_pairs(program)
+    if not pairs:
+        print("no testable reference pairs")
+        return 0
+    for site1, site2 in pairs:
+        result = analyzer.analyze_sites(site1, site2)
+        verdict = "DEPENDENT" if result.dependent else "independent"
+        line = f"{site1.ref} vs {site2.ref}: {verdict} [{result.decided_by}]"
+        if result.dependent:
+            directions = analyzer.directions(
+                site1.ref, site1.nest, site2.ref, site2.nest
+            )
+            vectors = " ".join(
+                "(" + " ".join(v) + ")" for v in sorted(directions.vectors)
+            )
+            line += f"  directions {vectors}"
+            if result.distance and any(d is not None for d in result.distance):
+                line += f"  distance {result.distance}"
+        print(line)
+    return 0
+
+
+def _cmd_parallelize(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    analyzer = DependenceAnalyzer(memoizer=Memoizer())
+    for report in analyze_parallelism(program, analyzer):
+        status = "PARALLEL" if report.parallel else "serial  "
+        print(f"[{status}] {report.loop}")
+        if args.verbose:
+            for site1, site2 in report.carriers:
+                print(f"           carried by {site1.ref} <-> {site2.ref}")
+    return 0
+
+
+def _cmd_vectorize(args: argparse.Namespace) -> int:
+    from repro.core.vectorize import vectorize
+
+    program = _load_program(args.file)
+    if not program.statements:
+        print("nothing to vectorize")
+        return 0
+    nests = {stmt.nest for stmt in program.statements}
+    for nest in nests:
+        sub = type(program)(
+            program.name,
+            [s for s in program.statements if s.nest == nest],
+        )
+        result = vectorize(sub, DependenceAnalyzer(memoizer=Memoizer()))
+        print(result.render())
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.core.graph import build_graph
+
+    program = _load_program(args.file)
+    graph = build_graph(program, DependenceAnalyzer(memoizer=Memoizer()))
+    print(graph.to_dot())
+    return 0
+
+
+def _cmd_deps(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    analyzer = DependenceAnalyzer(memoizer=Memoizer())
+    count = 0
+    for site1, site2 in reference_pairs(program):
+        for edge in classify_pair(site1, site2, analyzer):
+            vector = "(" + " ".join(edge.vector) + ")"
+            carried = "carried" if edge.loop_carried else "loop-independent"
+            print(
+                f"{edge.kind:6s} {edge.source.ref} -> {edge.sink.ref} "
+                f"{vector} [{carried}]"
+            )
+            count += 1
+    if count == 0:
+        print("no dependences")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Exact data dependence analysis (Maydan/Hennessy/Lam, PLDI 1991)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="per-pair dependence report")
+    p_analyze.add_argument("file", help="mini-Fortran source file, or -")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_par = sub.add_parser("parallelize", help="per-loop parallelism report")
+    p_par.add_argument("file", help="mini-Fortran source file, or -")
+    p_par.add_argument("-v", "--verbose", action="store_true")
+    p_par.set_defaults(func=_cmd_parallelize)
+
+    p_deps = sub.add_parser("deps", help="classified dependence edges")
+    p_deps.add_argument("file", help="mini-Fortran source file, or -")
+    p_deps.set_defaults(func=_cmd_deps)
+
+    p_vec = sub.add_parser(
+        "vectorize", help="distribute + vectorize loops (Allen-Kennedy)"
+    )
+    p_vec.add_argument("file", help="mini-Fortran source file, or -")
+    p_vec.set_defaults(func=_cmd_vectorize)
+
+    p_dot = sub.add_parser(
+        "dot", help="dependence graph as Graphviz DOT"
+    )
+    p_dot.add_argument("file", help="mini-Fortran source file, or -")
+    p_dot.set_defaults(func=_cmd_dot)
+
+    p_tables = sub.add_parser(
+        "tables", help="regenerate the paper's tables (see repro.harness)"
+    )
+    p_tables.add_argument("rest", nargs=argparse.REMAINDER)
+    p_tables.set_defaults(func=None)
+
+    args = parser.parse_args(argv)
+    if args.command == "tables":
+        from repro.harness.cli import main as harness_main
+
+        return harness_main(args.rest)
+    try:
+        return args.func(args)
+    except LangError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1

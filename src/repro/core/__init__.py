@@ -1,0 +1,63 @@
+"""The cascaded exact dependence analyzer — the paper's contribution."""
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.directions import DirectionOptions, refine_directions
+from repro.core.distances import constant_distances, forced_directions
+from repro.core.graph import DependenceGraph, build_graph
+from repro.core.kinds import DependenceEdge, DependenceKind, classify_pair
+from repro.core.memo import Memoizer, MemoStats, MemoTable, paper_hash
+from repro.core.parallel import LoopReport, analyze_parallelism, carried_levels
+from repro.core.persist import load_memoizer, save_memoizer
+from repro.core.result import DECIDED_CONSTANT, DependenceResult, DirectionResult
+from repro.core.separable import is_separable, separable_directions
+from repro.core.stats import TEST_ORDER, AnalyzerStats
+from repro.core.symbolic import (
+    has_symbolic_terms,
+    problem_is_symbolic,
+    symbolic_terms,
+)
+from repro.core.transforms import (
+    gather_dependences,
+    interchange_legal,
+    permutation_legal,
+    reversal_legal,
+)
+from repro.core.vectorize import VectorizationResult, vectorize
+
+__all__ = [
+    "DependenceAnalyzer",
+    "DependenceResult",
+    "DirectionResult",
+    "DECIDED_CONSTANT",
+    "DirectionOptions",
+    "refine_directions",
+    "constant_distances",
+    "forced_directions",
+    "MemoTable",
+    "MemoStats",
+    "Memoizer",
+    "paper_hash",
+    "save_memoizer",
+    "load_memoizer",
+    "AnalyzerStats",
+    "TEST_ORDER",
+    "has_symbolic_terms",
+    "symbolic_terms",
+    "problem_is_symbolic",
+    "DependenceKind",
+    "DependenceEdge",
+    "classify_pair",
+    "LoopReport",
+    "analyze_parallelism",
+    "carried_levels",
+    "is_separable",
+    "separable_directions",
+    "gather_dependences",
+    "permutation_legal",
+    "interchange_legal",
+    "reversal_legal",
+    "DependenceGraph",
+    "build_graph",
+    "vectorize",
+    "VectorizationResult",
+]

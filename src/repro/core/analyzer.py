@@ -1,0 +1,619 @@
+"""The cascaded exact dependence analyzer (the paper's contribution).
+
+:class:`DependenceAnalyzer` wires together everything below it:
+
+1. an **array-constant fast path** (``a[3]`` vs ``a[4]``) decided with
+   no dependence test at all — Table 1's first column;
+2. **memoization** (section 5): a no-bounds table reusing Extended GCD
+   factorizations and a with-bounds table reusing full verdicts;
+3. **Extended GCD** preprocessing (section 3.1): integer solvability of
+   the subscript equalities and the change of variables that folds the
+   equalities into the loop-bound inequalities;
+4. the **cascade of exact tests** (sections 3.2-3.5), cheapest first:
+   SVPC, then Acyclic (which also simplifies cyclic systems), then Loop
+   Residue, then Fourier-Motzkin as the backup;
+5. **distance extraction** from the GCD solution and **direction
+   vectors** via hierarchical refinement (section 6, in
+   :mod:`repro.core.directions`);
+6. **symbolic terms** handled as unbounded shared variables
+   (section 8) — no special casing needed anywhere downstream.
+
+The same analyzer instance accumulates :class:`AnalyzerStats`, from
+which the experiment harness regenerates the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.memo import Memoizer
+from repro.core.result import DECIDED_CONSTANT, DependenceResult, DirectionResult
+from repro.core.stats import AnalyzerStats
+from repro.deptests.acyclic import AcyclicTest
+from repro.deptests.base import TestResult, Verdict
+from repro.deptests.fourier_motzkin import FourierMotzkinTest
+from repro.deptests.loop_residue import LoopResidueTest
+from repro.deptests.svpc import SvpcTest
+from repro.ir.arrays import ArrayRef
+from repro.ir.loops import LoopNest
+from repro.ir.program import AccessSite
+from repro.linalg.gcdext import floor_div
+from repro.system.constraints import ConstraintSystem
+from repro.system.depsystem import DependenceProblem, build_problem
+from repro.system.transform import (
+    GcdOutcome,
+    TransformedSystem,
+    gcd_transform,
+)
+
+__all__ = ["DependenceAnalyzer", "CascadeDecision"]
+
+
+@dataclass
+class CascadeDecision:
+    """Internal: outcome of running the inequality cascade on one system."""
+
+    result: TestResult
+    witness_t: tuple[int, ...] | None
+
+
+_MISS = object()  # sentinel: no-bounds table had no entry
+
+
+@dataclass
+class _CachedVerdict:
+    """With-bounds memo value for plain queries.
+
+    Distances are stored over the *reduced canonical* problem's common
+    levels; retrievals re-orient and re-embed them per query (different
+    unused-loop wrappers share this entry under the improved scheme).
+    """
+
+    dependent: bool
+    decided_by: str
+    exact: bool
+    distance_reduced: tuple[int | None, ...] | None
+
+
+@dataclass
+class _CachedDirections:
+    """With-bounds memo value for direction queries (reduced levels)."""
+
+    vectors_reduced: frozenset[tuple[str, ...]]
+    exact: bool
+    reduced_n_common: int
+
+
+@dataclass
+class _GcdCacheEntry:
+    """No-bounds memo value: the reusable part of the GCD factorization.
+
+    ``x_offset``/``x_basis`` encode the general solution of the
+    subscript equalities; re-applying them to a new problem's bounds
+    skips the echelon factorization entirely (the paper: a match
+    ignoring bounds means "we are not required to repeat the GCD test").
+    """
+
+    independent: bool
+    x_offset: tuple[int, ...] | None = None
+    x_basis: tuple[tuple[int, ...], ...] | None = None
+
+
+class DependenceAnalyzer:
+    """Exact dependence testing via cascaded special-case tests."""
+
+    def __init__(
+        self,
+        memoizer: Memoizer | None = None,
+        stats: AnalyzerStats | None = None,
+        fm_budget: int = 256,
+        eliminate_unused: bool = True,
+        want_witness: bool = True,
+    ):
+        self.memoizer = memoizer
+        self.stats = stats if stats is not None else AnalyzerStats()
+        self.eliminate_unused = eliminate_unused
+        self.want_witness = want_witness
+        self._svpc = SvpcTest()
+        self._acyclic = AcyclicTest()
+        self._residue = LoopResidueTest()
+        self._fm = FourierMotzkinTest(max_branch_nodes=fm_budget)
+
+    # -- public entry points ------------------------------------------------
+
+    def analyze(
+        self,
+        ref1: ArrayRef,
+        nest1: LoopNest,
+        ref2: ArrayRef,
+        nest2: LoopNest,
+    ) -> DependenceResult:
+        """Can the two references touch the same element? (section 2)"""
+        self.stats.total_queries += 1
+        constant = self._constant_fast_path(ref1, ref2)
+        if constant is not None:
+            self.stats.constant_cases += 1
+            return constant
+        problem = build_problem(ref1, nest1, ref2, nest2)
+        return self._analyze_problem(problem)
+
+    def analyze_sites(self, site1: AccessSite, site2: AccessSite) -> DependenceResult:
+        return self.analyze(site1.ref, site1.nest, site2.ref, site2.nest)
+
+    def directions(
+        self,
+        ref1: ArrayRef,
+        nest1: LoopNest,
+        ref2: ArrayRef,
+        nest2: LoopNest,
+        prune_unused: bool | None = None,
+        prune_distance: bool = True,
+        dimension_by_dimension: bool = False,
+    ) -> DirectionResult:
+        """All direction vectors under which the references are dependent.
+
+        ``prune_unused`` defaults to the analyzer's
+        ``eliminate_unused`` setting; set both pruning flags False to
+        reproduce the unoptimized hierarchical numbers (Table 4).
+        ``dimension_by_dimension`` turns on the separable-nest
+        optimization where applicable (section 6).
+        """
+        from repro.core.directions import DirectionOptions
+
+        if prune_unused is None:
+            prune_unused = self.eliminate_unused
+        options = DirectionOptions(
+            prune_unused=prune_unused,
+            prune_distance=prune_distance,
+            dimension_by_dimension=dimension_by_dimension,
+        )
+        self.stats.total_queries += 1
+        n_common_full = nest1.common_prefix_depth(nest2)
+
+        constant = self._constant_fast_path(ref1, ref2)
+        if constant is not None and constant.independent:
+            # Unequal constants: no dependence under any direction.
+            self.stats.constant_cases += 1
+            return DirectionResult(
+                vectors=frozenset(), n_common=n_common_full
+            )
+        if constant is not None:
+            # Equal-constant subscripts collide at *every* iteration
+            # pair; which directions exist still depends on the bounds
+            # (a single-iteration loop only has '='), so fall through to
+            # refinement for an exact answer.  The plain analyzer still
+            # reports these as constant cases without testing.
+            self.stats.constant_cases += 1
+
+        problem = build_problem(ref1, nest1, ref2, nest2)
+        work = problem
+        surviving = list(range(problem.n_common))
+        if options.prune_unused:
+            work, surviving = problem.eliminate_unused()
+
+        memo = self.memoizer
+        memo_key = None
+        key_source = None
+        nb_entry = _MISS
+        if memo is not None:
+            key_source = work if memo.improved else problem
+            nb_entry = self._nb_lookup(key_source)
+            if nb_entry is not _MISS and nb_entry.independent:
+                return DirectionResult(
+                    vectors=frozenset(),
+                    n_common=n_common_full,
+                    from_memo=True,
+                )
+
+        outcome = self._gcd_outcome(work, key_source, nb_entry)
+        if outcome.independent:
+            self.stats.gcd_independent += 1
+            return DirectionResult(
+                vectors=frozenset(), n_common=n_common_full
+            )
+
+        if memo is not None:
+            memo_key = key_source.key_vector(with_bounds=True) + (
+                -1,
+                int(options.prune_unused),
+                int(options.prune_distance),
+                int(options.dimension_by_dimension),
+            )
+            self.stats.memo_queries_bounds += 1
+            hit, cached = memo.with_bounds.lookup(memo_key)
+            if hit:
+                self.stats.memo_hits_bounds += 1
+                entry: _CachedDirections = cached
+                return DirectionResult(
+                    vectors=self._lift_vectors(
+                        entry.vectors_reduced, surviving, n_common_full
+                    ),
+                    n_common=n_common_full,
+                    exact=entry.exact,
+                    from_memo=True,
+                    tests_performed=0,
+                )
+
+        from repro.core.directions import refine_directions as _refine
+
+        transformed = outcome.transformed
+        assert transformed is not None
+        reduced_result = None
+        if options.dimension_by_dimension:
+            from repro.core.separable import is_separable, separable_directions
+
+            if is_separable(work):
+                reduced_result = separable_directions(self, work)
+        if reduced_result is None:
+            reduced_result = _refine(self, work, transformed, options)
+        result = DirectionResult(
+            vectors=self._lift_vectors(
+                reduced_result.vectors, surviving, n_common_full
+            ),
+            n_common=n_common_full,
+            exact=reduced_result.exact,
+            tests_performed=reduced_result.tests_performed,
+        )
+        self.stats.direction_vectors_found += result.count_elementary()
+        if memo is not None and memo_key is not None:
+            memo.with_bounds.insert(
+                memo_key,
+                _CachedDirections(
+                    vectors_reduced=reduced_result.vectors,
+                    exact=reduced_result.exact,
+                    reduced_n_common=reduced_result.n_common,
+                ),
+            )
+        return result
+
+    @staticmethod
+    def _lift_vectors(
+        vectors_reduced: frozenset[tuple[str, ...]],
+        surviving: list[int],
+        n_common_full: int,
+    ) -> frozenset[tuple[str, ...]]:
+        from repro.core.directions import lift_vector
+
+        return frozenset(
+            lift_vector(vector, surviving, n_common_full)
+            for vector in vectors_reduced
+        )
+
+    # -- constant fast path ------------------------------------------------------
+
+    @staticmethod
+    def _constant_fast_path(
+        ref1: ArrayRef, ref2: ArrayRef
+    ) -> DependenceResult | None:
+        """Decide constant-subscript cases without any dependence test.
+
+        If some dimension compares two unequal constants the references
+        are independent; if every dimension compares equal constants
+        they always collide.  Mixed cases fall through to the tests.
+        """
+        all_constant = True
+        for sub1, sub2 in zip(ref1.subscripts, ref2.subscripts):
+            if sub1.is_constant and sub2.is_constant:
+                if sub1.constant != sub2.constant:
+                    return DependenceResult(
+                        dependent=False, decided_by=DECIDED_CONSTANT
+                    )
+            else:
+                all_constant = False
+        if all_constant:
+            return DependenceResult(dependent=True, decided_by=DECIDED_CONSTANT)
+        return None
+
+    # -- problem-level pipeline ------------------------------------------------------
+
+    def _analyze_problem(self, problem: DependenceProblem) -> DependenceResult:
+        work = problem
+        surviving = list(range(problem.n_common))
+        if self.eliminate_unused:
+            work, surviving = problem.eliminate_unused()
+
+        # The paper's symmetry optimization (section 5): a problem and
+        # its reference-swapped twin share one memo slot.  Canonicalize
+        # on the smaller key; distances flip sign when we analyzed (or
+        # recall) the swapped orientation.
+        memo = self.memoizer
+        flipped = False
+        if memo is not None and memo.symmetry:
+            twin = work.swapped()
+            if twin.key_vector(with_bounds=True) < work.key_vector(
+                with_bounds=True
+            ):
+                work = twin
+                flipped = True
+
+        # Memo order follows the paper: the no-bounds (GCD) table first —
+        # a cached "equalities unsolvable" answers the query outright and
+        # the with-bounds table is never consulted for such cases (its
+        # totals in Table 2 exclude the GCD-independent population).
+        key_source = None
+        nb_entry = _MISS
+        if memo is not None:
+            key_source = work if memo.improved else problem
+            nb_entry = self._nb_lookup(key_source)
+            if nb_entry is not _MISS and nb_entry.independent:
+                return DependenceResult(
+                    dependent=False, decided_by="gcd", from_memo=True
+                )
+
+        # Resolve the equalities before touching the with-bounds table:
+        # GCD-independent cases never consult it (Table 2's with-bounds
+        # totals count only the cases that reach the inequality tests).
+        outcome = self._gcd_outcome(work, key_source, nb_entry)
+        if outcome.independent:
+            self.stats.gcd_independent += 1
+            return DependenceResult(dependent=False, decided_by="gcd")
+
+        key_bounds = None
+        if memo is not None:
+            key_bounds = key_source.key_vector(with_bounds=True)
+            self.stats.memo_queries_bounds += 1
+            hit, cached = memo.with_bounds.lookup(key_bounds)
+            if hit:
+                self.stats.memo_hits_bounds += 1
+                entry: _CachedVerdict = cached
+                return DependenceResult(
+                    dependent=entry.dependent,
+                    decided_by=entry.decided_by,
+                    exact=entry.exact,
+                    witness=None,
+                    from_memo=True,
+                    distance=self._present_distance(
+                        entry.distance_reduced, flipped, problem, surviving
+                    ),
+                )
+
+        transformed = outcome.transformed
+        assert transformed is not None
+        decision = self._decide_system(transformed.system, record=True)
+        verdict = decision.result.verdict
+        dependent = verdict in (Verdict.DEPENDENT, Verdict.UNKNOWN)
+        distance_reduced = None
+        if dependent:
+            from repro.core.distances import constant_distances
+
+            distance_reduced = constant_distances(transformed)
+        witness = None
+        if dependent and self.want_witness and decision.witness_t is not None:
+            witness = self._lift_witness(problem, work, transformed, decision)
+        result = DependenceResult(
+            dependent=dependent,
+            decided_by=decision.result.test_name,
+            exact=decision.result.exact,
+            witness=witness,
+            distance=self._present_distance(
+                distance_reduced, flipped, problem, surviving
+            ),
+        )
+        if memo is not None and key_bounds is not None:
+            memo.with_bounds.insert(
+                key_bounds,
+                _CachedVerdict(
+                    dependent=dependent,
+                    decided_by=decision.result.test_name,
+                    exact=decision.result.exact,
+                    distance_reduced=distance_reduced,
+                ),
+            )
+        return result
+
+    def _present_distance(
+        self,
+        distance_reduced: tuple[int | None, ...] | None,
+        flipped: bool,
+        problem: DependenceProblem,
+        surviving: list[int],
+    ) -> tuple[int | None, ...] | None:
+        """Orient and lift a reduced-space distance for this query.
+
+        Cached distances live over the *reduced canonical* problem's
+        common levels; each retrieval flips them back if it analyzed the
+        swapped orientation and re-embeds them into its own original
+        loop nest (dropped unused levels report None).
+        """
+        if distance_reduced is None:
+            return None
+        oriented = tuple(
+            None if d is None else (-d if flipped else d)
+            for d in distance_reduced
+        )
+        if len(surviving) == problem.n_common and surviving == list(
+            range(problem.n_common)
+        ):
+            return oriented
+        return self._lift_distances(problem, surviving, oriented)
+
+    def _nb_lookup(self, key_source: DependenceProblem):
+        """Consult the no-bounds table; returns the entry or _MISS."""
+        memo = self.memoizer
+        assert memo is not None
+        key = key_source.key_vector(with_bounds=False)
+        self.stats.memo_queries_no_bounds += 1
+        hit, cached = memo.no_bounds.lookup(key)
+        if hit:
+            self.stats.memo_hits_no_bounds += 1
+            return cached
+        return _MISS
+
+    def _gcd_outcome(
+        self,
+        work: DependenceProblem,
+        key_source: DependenceProblem | None,
+        nb_entry,
+    ) -> GcdOutcome:
+        """Extended GCD, reusing a cached factorization when available."""
+        if nb_entry is not _MISS:
+            entry: _GcdCacheEntry = nb_entry
+            if entry.independent:
+                return GcdOutcome(independent=True)
+            return self._rebuild_transform(work, entry)
+        outcome = gcd_transform(work)
+        memo = self.memoizer
+        if memo is not None and key_source is not None:
+            key = key_source.key_vector(with_bounds=False)
+            if outcome.independent:
+                memo.no_bounds.insert(key, _GcdCacheEntry(independent=True))
+            else:
+                transformed = outcome.transformed
+                assert transformed is not None
+                memo.no_bounds.insert(
+                    key,
+                    _GcdCacheEntry(
+                        independent=False,
+                        x_offset=transformed.x_offset,
+                        x_basis=transformed.x_basis,
+                    ),
+                )
+        return outcome
+
+    @staticmethod
+    def _rebuild_transform(
+        problem: DependenceProblem, entry: _GcdCacheEntry
+    ) -> GcdOutcome:
+        """Re-apply a cached factorization to this problem's bounds."""
+        assert entry.x_offset is not None and entry.x_basis is not None
+        t_names = tuple(f"t{k + 1}" for k in range(len(entry.x_basis)))
+        transformed = TransformedSystem(
+            t_names=t_names,
+            system=ConstraintSystem(t_names),
+            x_offset=entry.x_offset,
+            x_basis=entry.x_basis,
+            problem=problem,
+        )
+        for con in problem.bounds.constraints:
+            transformed.system.add_constraint(transformed.transform_constraint(con))
+        return GcdOutcome(independent=False, transformed=transformed)
+
+    # -- the inequality cascade ------------------------------------------------------
+
+    def _decide_system(
+        self, system: ConstraintSystem, record: bool
+    ) -> CascadeDecision:
+        """Run SVPC -> Acyclic -> Loop Residue -> Fourier-Motzkin.
+
+        Per the paper, the cascade checks applicability cheapest-first
+        and applies exactly one test (plus Acyclic's free partial
+        simplification of cyclic systems).
+        """
+        if self._svpc.applicable(system):
+            result = self._svpc.decide(system)
+            self._record(result, record)
+            return CascadeDecision(result, result.witness)
+
+        elimination = self._acyclic.eliminate(system)
+        if elimination.verdict is Verdict.INDEPENDENT:
+            result = TestResult(Verdict.INDEPENDENT, self._acyclic.name)
+            self._record(result, record)
+            return CascadeDecision(result, None)
+        if elimination.verdict is Verdict.DEPENDENT:
+            witness = elimination.complete_witness(None)
+            result = TestResult(
+                Verdict.DEPENDENT, self._acyclic.name, witness=witness
+            )
+            self._record(result, record)
+            return CascadeDecision(result, witness)
+
+        residual = elimination.residual
+        assert residual is not None
+        if self._residue.applicable(residual):
+            result = self._residue.decide(residual)
+            self._record(result, record)
+            witness = None
+            if result.verdict is Verdict.DEPENDENT:
+                witness = elimination.complete_witness(result.witness)
+                result = TestResult(result.verdict, result.test_name, witness=witness)
+            return CascadeDecision(result, witness)
+
+        result = self._fm.decide(residual)
+        self._record(result, record)
+        witness = None
+        if result.verdict is Verdict.DEPENDENT:
+            witness = elimination.complete_witness(result.witness)
+            result = TestResult(result.verdict, result.test_name, witness=witness)
+        return CascadeDecision(result, witness)
+
+    def _record(self, result: TestResult, record: bool) -> None:
+        if record:
+            independent = result.verdict is Verdict.INDEPENDENT
+            self.stats.record_decision(result.test_name, independent)
+
+    # -- witness/distance lifting ----------------------------------------------------------
+
+    def _lift_witness(
+        self,
+        problem: DependenceProblem,
+        work: DependenceProblem,
+        transformed: TransformedSystem,
+        decision: CascadeDecision,
+    ) -> tuple[int, ...] | None:
+        """Map a t-space witness back to the original x variables.
+
+        When unused-variable elimination dropped variables, extend the
+        witness by walking the dropped loop variables in nesting order
+        and pinning each to its (evaluated) lower bound; verify against
+        the original system and return None on any inconsistency rather
+        than a wrong witness.
+        """
+        x_work = transformed.x_value(decision.witness_t)
+        if work is problem:
+            return tuple(x_work)
+        values: dict[str, int] = dict(zip(work.names, x_work))
+        full = []
+        for j, name in enumerate(problem.names):
+            if name in values:
+                full.append(values[name])
+                continue
+            lower = self._lower_bound_value(problem, j, values)
+            values[name] = lower if lower is not None else 0
+            full.append(values[name])
+        witness = tuple(full)
+        if not problem.bounds.evaluate(witness):
+            return None
+        for coeffs, rhs in problem.equations:
+            if sum(c * x for c, x in zip(coeffs, witness)) != rhs:
+                return None
+        return witness
+
+    @staticmethod
+    def _lower_bound_value(
+        problem: DependenceProblem, var: int, values: dict[str, int]
+    ) -> int | None:
+        """Evaluate the variable's lower-bound constraint if possible."""
+        for con in problem.bounds.constraints:
+            if con.coeffs[var] >= 0:
+                continue
+            try:
+                rest = sum(
+                    c * values[problem.names[j]]
+                    for j, c in enumerate(con.coeffs)
+                    if c != 0 and j != var
+                )
+            except KeyError:
+                continue
+            # con: a*var + rest <= b with a < 0  ==>  var >= (b - rest)/a
+            a = con.coeffs[var]
+            from repro.linalg.gcdext import floor_div
+
+            return -floor_div(con.bound - rest, -a)
+        return None
+
+    @staticmethod
+    def _lift_distances(
+        problem: DependenceProblem,
+        surviving: list[int],
+        distance: tuple[int | None, ...],
+    ) -> tuple[int | None, ...]:
+        """Map reduced-problem distances back to original common levels.
+
+        Dropped common levels have no constant distance (any iteration
+        difference is possible), so they report None.
+        """
+        lifted: list[int | None] = [None] * problem.n_common
+        for reduced_level, original_level in enumerate(surviving):
+            if reduced_level < len(distance):
+                lifted[original_level] = distance[reduced_level]
+        return tuple(lifted)

@@ -1,0 +1,144 @@
+"""Direction vectors via hierarchical refinement (paper section 6).
+
+A direction vector assigns each common loop level one of ``<``, ``=``,
+``>`` (or the wildcard ``*``); the references are dependent *with* that
+vector iff the dependence system plus the corresponding iteration-order
+constraints is satisfiable.  Following Burke and Cytron, the refinement
+is hierarchical: test ``(*, *, ..., *)`` first; on dependence, split
+the first wildcard three ways and recurse, pruning every subtree whose
+root tests independent.
+
+Unoptimized, this multiplies test counts enormously (Table 4: ~12,500
+tests where plain queries needed 332).  Two prunings bring the cost
+back down (Table 5: ~900):
+
+* **unused-variable elimination** — a loop index appearing in no
+  subscript (nor, transitively, in the bounds of one that does) gets
+  direction ``*`` with no testing at all;
+* **distance-vector pruning** — a level whose GCD distance is a known
+  constant has its direction forced by the distance's sign.
+
+Refinement also implements the paper's *implicit branch and bound*: a
+plain query that Fourier-Motzkin could only answer "maybe" (a real but
+possibly non-integer solution) is independent if every elementary
+direction vector tests independent — this occurred four times in the
+paper's suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import DirectionResult
+from repro.deptests.base import Verdict
+from repro.system.constraints import LinearConstraint
+from repro.system.depsystem import DependenceProblem, Direction
+from repro.system.transform import TransformedSystem
+
+__all__ = ["DirectionOptions", "refine_directions", "lift_vector"]
+
+
+@dataclass(frozen=True)
+class DirectionOptions:
+    """Pruning switches; both prunings on reproduces Table 5, both off
+    Table 4.  ``dimension_by_dimension`` additionally enables Burke and
+    Cytron's separable-nest optimization (section 6's closing idea):
+    when the levels provably do not interact, per-level direction sets
+    are computed independently and combined as a product."""
+
+    prune_unused: bool = True
+    prune_distance: bool = True
+    dimension_by_dimension: bool = False
+
+
+def refine_directions(
+    analyzer,
+    problem: DependenceProblem,
+    transformed: TransformedSystem,
+    options: DirectionOptions,
+) -> DirectionResult:
+    """Hierarchical direction-vector refinement over a transformed system.
+
+    ``problem``/``transformed`` may be the unused-variable-reduced
+    system; the returned vectors are over *its* common levels — the
+    caller embeds them back into the original nest (dropped levels get
+    ``*``) via :func:`lift_vector`.
+    """
+    n_common = problem.n_common
+
+    forced: dict[int, str] = {}
+    if options.prune_distance:
+        from repro.core.distances import constant_distances, forced_directions
+
+        forced = forced_directions(constant_distances(transformed))
+
+    template: list[str] = [
+        forced.get(level, Direction.ANY) for level in range(n_common)
+    ]
+    refinable = [lvl for lvl in range(n_common) if lvl not in forced]
+
+    leaves: set[tuple[str, ...]] = set()
+    state = _RefineState(analyzer, problem, transformed)
+
+    def recurse(vector: list[str], next_refinable: int) -> None:
+        verdict, exact = state.test(tuple(vector))
+        if verdict is Verdict.INDEPENDENT:
+            return
+        if not exact:
+            state.exact = False
+        if next_refinable >= len(refinable):
+            leaves.add(tuple(vector))
+            return
+        level = refinable[next_refinable]
+        for direction in Direction.ALL:
+            vector[level] = direction
+            recurse(vector, next_refinable + 1)
+        vector[level] = Direction.ANY
+
+    recurse(template, 0)
+
+    return DirectionResult(
+        vectors=frozenset(leaves),
+        n_common=n_common,
+        exact=state.exact,
+        tests_performed=state.tests,
+    )
+
+
+def lift_vector(
+    vector: tuple[str, ...], level_map: list[int], out_n_common: int
+) -> tuple[str, ...]:
+    """Embed a reduced-level vector into the original common levels."""
+    out = [Direction.ANY] * out_n_common
+    for reduced_level, direction in enumerate(vector):
+        out[level_map[reduced_level]] = direction
+    return tuple(out)
+
+
+class _RefineState:
+    """Shared bookkeeping for one refinement run."""
+
+    def __init__(self, analyzer, problem, transformed):
+        self.analyzer = analyzer
+        self.problem = problem
+        self.transformed = transformed
+        self.tests = 0
+        self.exact = True
+        self._cache: dict[tuple[str, ...], tuple[Verdict, bool]] = {}
+
+    def test(self, vector: tuple[str, ...]) -> tuple[Verdict, bool]:
+        """Run the cascade under the vector's direction constraints."""
+        if vector in self._cache:
+            return self._cache[vector]
+        extra: list[LinearConstraint] = []
+        for level, direction in enumerate(vector):
+            extra.extend(self.problem.direction_constraints(level, direction))
+        system = self.transformed.with_extra_constraints(extra)
+        decision = self.analyzer._decide_system(system, record=False)
+        result = decision.result
+        self.tests += 1
+        independent = result.verdict is Verdict.INDEPENDENT
+        self.analyzer.stats.record_direction_test(result.test_name, independent)
+        outcome = (result.verdict, result.exact)
+        self._cache[vector] = outcome
+        return outcome

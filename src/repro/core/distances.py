@@ -1,0 +1,60 @@
+"""Distance vectors from the Extended GCD solution (paper section 6).
+
+The GCD change of variables expresses every loop variable as an affine
+function of the free ``t`` variables.  For a common loop level ``k``
+the dependence distance is ``i'_k - i_k``; re-expressed over the free
+variables it is ``coeffs . t + c``.  When ``coeffs`` is identically
+zero the distance is the *constant* ``c`` for every dependence — the
+common constant-distance case the paper exploits for direction-vector
+pruning.
+
+As the paper notes, this misses distances that are only constant
+*because of the bounds* (their example: ``a[10i+j]`` vs
+``a[10(i+2)+j]`` with ``1 <= j <= 10`` has distance ``(2, 0)`` but the
+free-variable expression is not syntactically constant).  Direction
+vectors, by contrast, are always computable exactly.
+"""
+
+from __future__ import annotations
+
+from repro.system.depsystem import Direction
+from repro.system.transform import TransformedSystem
+
+__all__ = ["constant_distances", "forced_directions"]
+
+
+def constant_distances(
+    transformed: TransformedSystem,
+) -> tuple[int | None, ...]:
+    """Per common level: the constant distance ``i'_k - i_k``, or None."""
+    problem = transformed.problem
+    out: list[int | None] = []
+    for level in range(problem.n_common):
+        coeffs_x, const = problem.distance_coeffs(level)
+        coeffs_t, c = transformed.transform_expr(coeffs_x, const)
+        out.append(c if all(v == 0 for v in coeffs_t) else None)
+    return tuple(out)
+
+
+def forced_directions(
+    distances: tuple[int | None, ...],
+) -> dict[int, str]:
+    """Directions implied by constant distances (distance-vector pruning).
+
+    Distance ``d = i' - i``: positive forces ``<``, zero forces ``=``,
+    negative forces ``>`` — no other direction needs testing at that
+    level (paper section 6: "we know from the GCD test that i' - i = 1;
+    we therefore know that i < i' and need not try out any other
+    directions").
+    """
+    forced: dict[int, str] = {}
+    for level, d in enumerate(distances):
+        if d is None:
+            continue
+        if d > 0:
+            forced[level] = Direction.LT
+        elif d == 0:
+            forced[level] = Direction.EQ
+        else:
+            forced[level] = Direction.GT
+    return forced

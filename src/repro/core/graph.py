@@ -1,0 +1,108 @@
+"""Program-level dependence graphs.
+
+Aggregates the classified dependence edges of a whole program into one
+graph object with the queries downstream transformations ask —
+statement-level edges, cycles (fusion clusters), per-loop carried
+summaries — plus Graphviz DOT export for inspection.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.kinds import DependenceEdge, classify_pair
+from repro.ir.program import Program, reference_pairs
+from repro.system.depsystem import Direction
+
+__all__ = ["DependenceGraph", "build_graph"]
+
+
+@dataclass
+class DependenceGraph:
+    """Statement-level dependence graph of one program."""
+
+    program: Program
+    edges: list[DependenceEdge] = field(default_factory=list)
+
+    # -- queries ---------------------------------------------------------------
+
+    def statement_edges(self) -> list[tuple[int, int, DependenceEdge]]:
+        """Edges as (source statement index, sink statement index, edge)."""
+        return [
+            (edge.source.stmt_index, edge.sink.stmt_index, edge)
+            for edge in self.edges
+        ]
+
+    def successors(self, stmt_index: int) -> set[int]:
+        return {
+            dst
+            for src, dst, _ in self.statement_edges()
+            if src == stmt_index and dst != stmt_index
+        }
+
+    def carried_by_level(self) -> dict[int, list[DependenceEdge]]:
+        """Edges grouped by the loop level that may carry them."""
+        by_level: dict[int, list[DependenceEdge]] = defaultdict(list)
+        for edge in self.edges:
+            for level, component in enumerate(edge.vector):
+                if component == Direction.EQ:
+                    continue
+                by_level[level].append(edge)
+                if component != Direction.ANY:
+                    break
+        return dict(by_level)
+
+    def loop_independent_edges(self) -> list[DependenceEdge]:
+        return [
+            edge
+            for edge in self.edges
+            if all(c == Direction.EQ for c in edge.vector)
+        ]
+
+    def kind_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = defaultdict(int)
+        for edge in self.edges:
+            counts[edge.kind] += 1
+        return dict(counts)
+
+    # -- export ------------------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Graphviz DOT text: one node per statement, labelled edges."""
+        lines = ["digraph dependences {", "  rankdir=TB;"]
+        for index, stmt in enumerate(self.program.statements):
+            label = str(stmt.write) if stmt.write else f"S{index}"
+            lines.append(f'  s{index} [label="S{index}: {label}" shape=box];')
+        styles = {"flow": "solid", "anti": "dashed", "output": "dotted"}
+        for src, dst, edge in self.statement_edges():
+            vector = " ".join(edge.vector) or "scalar"
+            style = styles.get(edge.kind, "solid")
+            lines.append(
+                f'  s{src} -> s{dst} [label="{edge.kind} ({vector})" '
+                f"style={style}];"
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+def build_graph(
+    program: Program, analyzer: DependenceAnalyzer | None = None
+) -> DependenceGraph:
+    """Classify every reference pair and assemble the graph.
+
+    Input (read-read) edges are excluded — they never constrain
+    execution order.
+    """
+    if analyzer is None:
+        analyzer = DependenceAnalyzer()
+    graph = DependenceGraph(program)
+    for site1, site2 in reference_pairs(program):
+        for edge in classify_pair(site1, site2, analyzer):
+            if edge.kind != "input":
+                graph.edges.append(edge)
+    return graph

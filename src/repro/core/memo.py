@@ -1,0 +1,128 @@
+"""Memoization of dependence queries (paper section 5).
+
+Real programs repeat a small number of unique subscript/bound patterns,
+so remembering previous answers removes the vast majority of test
+invocations (5,679 -> 332 on the PERFECT Club).  Two tables are kept:
+
+* a **no-bounds** table keyed on the subscript equations alone — a hit
+  here reuses the Extended GCD outcome (the GCD test never looks at
+  bounds);
+* a **with-bounds** table keyed on equations plus loop bounds — a hit
+  reuses the full verdict (and any direction-vector analysis).
+
+The hash is the paper's: treating the problem as one long integer
+vector ``z``, ``h(z) = size(z) + sum_i 2^i * z_i``, chosen so that
+symmetrical or partially symmetrical references do not collide; the
+table is a simple open-hashing scheme (buckets of entries, full-key
+comparison on probe).
+
+The *improved* scheme additionally drops the bound constraints of
+unused loop indices before keying, merging cases that differ only in
+irrelevant surrounding loops; see
+:meth:`repro.system.depsystem.DependenceProblem.eliminate_unused`.
+
+As a further optimization the paper suggests canonicalizing symmetric
+pairs (comparing ``a[i]`` to ``a[i-1]`` is the same problem as
+comparing ``a[i-1]`` to ``a[i]``); :class:`MemoTable` supports this via
+``symmetry=True`` (off by default to mirror the published scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MemoTable", "MemoStats", "paper_hash"]
+
+
+def paper_hash(vector: tuple[int, ...], table_size: int) -> int:
+    """The paper's hash: ``h(z) = size(z) + sum_i 2^i * z_i`` mod table size."""
+    acc = len(vector)
+    weight = 1
+    for z in vector:
+        acc += weight * z
+        weight = (weight * 2) % table_size
+    return acc % table_size
+
+
+@dataclass
+class MemoStats:
+    """Hit/miss accounting for one table."""
+
+    queries: int = 0
+    hits: int = 0
+    inserts: int = 0
+    probe_collisions: int = 0  # bucket entries inspected that did not match
+
+    @property
+    def unique(self) -> int:
+        return self.inserts
+
+    @property
+    def unique_fraction(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return self.inserts / self.queries
+
+
+class MemoTable:
+    """Open-hashing memo table keyed on integer problem vectors."""
+
+    def __init__(self, size: int = 4096):
+        if size <= 0:
+            raise ValueError("table size must be positive")
+        self.size = size
+        self._buckets: list[list[tuple[tuple[int, ...], Any]]] = [
+            [] for _ in range(size)
+        ]
+        self.stats = MemoStats()
+
+    def lookup(self, key: tuple[int, ...]) -> tuple[bool, Any]:
+        """Return ``(hit, value)``; counts the query."""
+        self.stats.queries += 1
+        bucket = self._buckets[paper_hash(key, self.size)]
+        for stored_key, value in bucket:
+            if stored_key == key:
+                self.stats.hits += 1
+                return True, value
+            self.stats.probe_collisions += 1
+        return False, None
+
+    def insert(self, key: tuple[int, ...], value: Any) -> None:
+        bucket = self._buckets[paper_hash(key, self.size)]
+        for i, (stored_key, _) in enumerate(bucket):
+            if stored_key == key:
+                bucket[i] = (key, value)
+                return
+        bucket.append((key, value))
+        self.stats.inserts += 1
+
+    def update(self, key: tuple[int, ...], value: Any) -> None:
+        """Overwrite the value without counting a fresh unique insert."""
+        bucket = self._buckets[paper_hash(key, self.size)]
+        for i, (stored_key, _) in enumerate(bucket):
+            if stored_key == key:
+                bucket[i] = (key, value)
+                return
+        bucket.append((key, value))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets)
+
+
+@dataclass
+class Memoizer:
+    """The analyzer's pair of memo tables (section 5).
+
+    ``improved`` selects the unused-variable-eliminated keys (the
+    paper's improved scheme); the analyzer consults it when encoding.
+    """
+
+    no_bounds: MemoTable = field(default_factory=MemoTable)
+    with_bounds: MemoTable = field(default_factory=MemoTable)
+    improved: bool = True
+    # The paper's "further optimization": canonicalize a problem and its
+    # reference-swapped twin onto one slot.  Applies to plain queries
+    # (distances are re-oriented on retrieval); direction-vector queries
+    # keep orientation-specific entries.
+    symmetry: bool = False

@@ -1,0 +1,136 @@
+"""Persistent memoization tables (paper section 5, last paragraph).
+
+"One other possible improvement is to store the hash table across
+compilations.  This will eliminate the data dependence cost of
+incremental compilation.  In addition, if there is similarity across
+programs, one could use a set of benchmarks to set up a standard table
+which would be used by all programs."
+
+This module serializes a :class:`~repro.core.memo.Memoizer` to a plain
+JSON document and restores it, so a later compilation session starts
+with every previously-seen case already answered.  Only the cacheable
+payloads are stored (verdicts, reduced distances/vectors, GCD
+factorizations); hit statistics start fresh.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.analyzer import _CachedDirections, _CachedVerdict, _GcdCacheEntry
+from repro.core.memo import Memoizer, MemoTable
+
+__all__ = ["save_memoizer", "load_memoizer", "dumps", "loads"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_value(value: Any) -> dict:
+    if isinstance(value, _GcdCacheEntry):
+        return {
+            "kind": "gcd",
+            "independent": value.independent,
+            "x_offset": list(value.x_offset) if value.x_offset else None,
+            "x_basis": [list(row) for row in value.x_basis]
+            if value.x_basis
+            else None,
+        }
+    if isinstance(value, _CachedVerdict):
+        return {
+            "kind": "verdict",
+            "dependent": value.dependent,
+            "decided_by": value.decided_by,
+            "exact": value.exact,
+            "distance": list(value.distance_reduced)
+            if value.distance_reduced is not None
+            else None,
+        }
+    if isinstance(value, _CachedDirections):
+        return {
+            "kind": "directions",
+            "vectors": sorted(list(v) for v in value.vectors_reduced),
+            "exact": value.exact,
+            "n_common": value.reduced_n_common,
+        }
+    raise TypeError(f"cannot persist memo value {value!r}")
+
+
+def _decode_value(blob: dict) -> Any:
+    kind = blob["kind"]
+    if kind == "gcd":
+        return _GcdCacheEntry(
+            independent=blob["independent"],
+            x_offset=tuple(blob["x_offset"]) if blob["x_offset"] else None,
+            x_basis=tuple(tuple(row) for row in blob["x_basis"])
+            if blob["x_basis"]
+            else None,
+        )
+    if kind == "verdict":
+        return _CachedVerdict(
+            dependent=blob["dependent"],
+            decided_by=blob["decided_by"],
+            exact=blob["exact"],
+            distance_reduced=tuple(blob["distance"])
+            if blob["distance"] is not None
+            else None,
+        )
+    if kind == "directions":
+        return _CachedDirections(
+            vectors_reduced=frozenset(tuple(v) for v in blob["vectors"]),
+            exact=blob["exact"],
+            reduced_n_common=blob["n_common"],
+        )
+    raise ValueError(f"unknown memo value kind {kind!r}")
+
+
+def _encode_table(table: MemoTable) -> dict:
+    entries = []
+    for bucket in table._buckets:
+        for key, value in bucket:
+            entries.append({"key": list(key), "value": _encode_value(value)})
+    return {"size": table.size, "entries": entries}
+
+
+def _decode_table(blob: dict) -> MemoTable:
+    table = MemoTable(size=blob["size"])
+    for entry in blob["entries"]:
+        table.update(tuple(entry["key"]), _decode_value(entry["value"]))
+    return table
+
+
+def dumps(memoizer: Memoizer) -> str:
+    """Serialize a memoizer to a JSON string."""
+    return json.dumps(
+        {
+            "version": _FORMAT_VERSION,
+            "improved": memoizer.improved,
+            "symmetry": memoizer.symmetry,
+            "no_bounds": _encode_table(memoizer.no_bounds),
+            "with_bounds": _encode_table(memoizer.with_bounds),
+        }
+    )
+
+
+def loads(text: str) -> Memoizer:
+    """Restore a memoizer from :func:`dumps` output."""
+    blob = json.loads(text)
+    if blob.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported memo format {blob.get('version')!r}")
+    return Memoizer(
+        no_bounds=_decode_table(blob["no_bounds"]),
+        with_bounds=_decode_table(blob["with_bounds"]),
+        improved=blob["improved"],
+        symmetry=blob["symmetry"],
+    )
+
+
+def save_memoizer(memoizer: Memoizer, path: str | Path) -> None:
+    """Write the memoizer to disk for the next compilation session."""
+    Path(path).write_text(dumps(memoizer))
+
+
+def load_memoizer(path: str | Path) -> Memoizer:
+    """Load a memoizer saved by :func:`save_memoizer`."""
+    return loads(Path(path).read_text())

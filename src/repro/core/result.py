@@ -1,0 +1,93 @@
+"""Results returned by the dependence analyzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DependenceResult", "DirectionResult", "DECIDED_CONSTANT"]
+
+# Pseudo test name for the array-constant fast path (Table 1's first
+# column): cases like a[3] vs a[4] decided without any dependence test.
+DECIDED_CONSTANT = "constant"
+
+
+@dataclass
+class DependenceResult:
+    """Outcome of a plain (no direction vectors) dependence query.
+
+    Attributes:
+        dependent: can the two references touch the same location?
+        decided_by: name of the test that produced the answer
+            ("constant", "gcd", "svpc", "acyclic", "loop_residue",
+            "fourier_motzkin"), or "memo" suffixed when served from the
+            memoization table (e.g. "svpc" with ``from_memo=True``).
+        exact: False only if Fourier-Motzkin exhausted its
+            branch-and-bound budget and dependence was *assumed*.
+        witness: a satisfying assignment over the problem's combined
+            variables (i vars, primed i' vars, symbols) when available.
+        from_memo: served from a memoization table without re-testing.
+        distance: per common loop level, the constant dependence
+            distance ``i'_k - i_k`` if the Extended GCD solution proves
+            it constant, else None for that level.  Only populated for
+            dependent results.
+    """
+
+    dependent: bool
+    decided_by: str
+    exact: bool = True
+    witness: tuple[int, ...] | None = None
+    from_memo: bool = False
+    distance: tuple[int | None, ...] | None = None
+
+    @property
+    def independent(self) -> bool:
+        return not self.dependent
+
+
+@dataclass
+class DirectionResult:
+    """Outcome of a direction-vector query (paper section 6).
+
+    ``vectors`` holds every maximal direction vector under which the
+    references are dependent.  Components are "<", "=", ">" or "*"
+    (levels proven irrelevant keep "*").  An empty set means the
+    references are independent — including the implicit
+    branch-and-bound case where the plain test was dependent over the
+    reals but every elementary vector proved independent.
+    """
+
+    vectors: frozenset[tuple[str, ...]]
+    n_common: int
+    exact: bool = True
+    from_memo: bool = False
+    tests_performed: int = 0
+
+    @property
+    def dependent(self) -> bool:
+        return bool(self.vectors)
+
+    @property
+    def independent(self) -> bool:
+        return not self.vectors
+
+    def elementary_vectors(self) -> frozenset[tuple[str, ...]]:
+        """Expand '*' components into all elementary {<,=,>} vectors."""
+        from repro.system.depsystem import Direction
+
+        expanded: set[tuple[str, ...]] = set()
+
+        def expand(prefix: tuple[str, ...], rest: tuple[str, ...]) -> None:
+            if not rest:
+                expanded.add(prefix)
+                return
+            head, tail = rest[0], rest[1:]
+            options = Direction.ALL if head == Direction.ANY else (head,)
+            for option in options:
+                expand(prefix + (option,), tail)
+
+        for vector in self.vectors:
+            expand((), vector)
+        return frozenset(expanded)
+
+    def count_elementary(self) -> int:
+        return len(self.elementary_vectors())

@@ -1,0 +1,79 @@
+"""Counters reproducing the paper's per-test statistics.
+
+Every table in the evaluation is a view over these counters: how many
+cases each test decided (Table 1), how memoization collapses repeats
+(Tables 2-3), how many test invocations direction vectors cost
+(Tables 4-5, 7), and per-test independent/dependent outcome splits
+(section 7's discussion numbers).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["AnalyzerStats", "TEST_ORDER"]
+
+# Canonical column order used by the tables.
+TEST_ORDER = ("svpc", "acyclic", "loop_residue", "fourier_motzkin")
+
+
+@dataclass
+class AnalyzerStats:
+    """Mutable counters accumulated by one analyzer run."""
+
+    # -- plain dependence queries (Tables 1 and 3) -------------------------
+    total_queries: int = 0
+    constant_cases: int = 0
+    gcd_independent: int = 0
+    decided_by: Counter = field(default_factory=Counter)
+
+    # -- memoization (Tables 2 and 3) ----------------------------------------
+    memo_queries_no_bounds: int = 0
+    memo_hits_no_bounds: int = 0
+    memo_queries_bounds: int = 0
+    memo_hits_bounds: int = 0
+
+    # -- direction vectors (Tables 4, 5 and 7) ---------------------------------
+    direction_tests: Counter = field(default_factory=Counter)
+    direction_vectors_found: int = 0
+
+    # -- per-test outcomes (section 7 discussion) --------------------------------
+    outcomes: Counter = field(default_factory=Counter)  # (test, "independent"/"dependent")
+
+    def record_decision(self, test_name: str, independent: bool) -> None:
+        self.decided_by[test_name] += 1
+        self.outcomes[(test_name, "independent" if independent else "dependent")] += 1
+
+    def record_direction_test(self, test_name: str, independent: bool) -> None:
+        self.direction_tests[test_name] += 1
+        self.outcomes[(test_name, "independent" if independent else "dependent")] += 1
+
+    @property
+    def unique_cases_no_bounds(self) -> int:
+        return self.memo_queries_no_bounds - self.memo_hits_no_bounds
+
+    @property
+    def unique_cases_bounds(self) -> int:
+        return self.memo_queries_bounds - self.memo_hits_bounds
+
+    def merge(self, other: "AnalyzerStats") -> None:
+        """Accumulate another run's counters into this one."""
+        self.total_queries += other.total_queries
+        self.constant_cases += other.constant_cases
+        self.gcd_independent += other.gcd_independent
+        self.decided_by.update(other.decided_by)
+        self.memo_queries_no_bounds += other.memo_queries_no_bounds
+        self.memo_hits_no_bounds += other.memo_hits_no_bounds
+        self.memo_queries_bounds += other.memo_queries_bounds
+        self.memo_hits_bounds += other.memo_hits_bounds
+        self.direction_tests.update(other.direction_tests)
+        self.direction_vectors_found += other.direction_vectors_found
+        self.outcomes.update(other.outcomes)
+
+    def test_counts(self) -> dict[str, int]:
+        """Plain-query decision counts in table column order."""
+        return {name: self.decided_by.get(name, 0) for name in TEST_ORDER}
+
+    def direction_test_counts(self) -> dict[str, int]:
+        return {name: self.direction_tests.get(name, 0) for name in TEST_ORDER}

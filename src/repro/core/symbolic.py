@@ -1,0 +1,38 @@
+"""Symbolic (unknown) terms in dependence testing (paper section 8).
+
+A loop-invariant unknown — a value read at run time, an unanalyzable
+parameter — can appear in subscripts and bounds.  As long as it does
+not vary inside the loops, it is added to the dependence system "as if
+it were an induction variable without bounds": a single shared variable
+constrained only by wherever it occurs.  Everything downstream (the GCD
+factorization, the cascade, direction vectors) is unchanged — exactness
+is preserved at very little extra cost (Table 7).
+
+:mod:`repro.system.depsystem` performs this automatically: any free
+variable of a subscript or bound that is not a loop index becomes a
+symbol.  This module provides the introspection helpers used by the
+harness and tests.
+"""
+
+from __future__ import annotations
+
+from repro.ir.arrays import ArrayRef
+from repro.ir.loops import LoopNest
+from repro.system.depsystem import DependenceProblem
+
+__all__ = ["has_symbolic_terms", "symbolic_terms", "problem_is_symbolic"]
+
+
+def symbolic_terms(ref: ArrayRef, nest: LoopNest) -> frozenset[str]:
+    """Free variables of a reference and its nest that are not loop indices."""
+    loop_vars = set(nest.variables)
+    return frozenset((ref.variables() | nest.symbols()) - loop_vars)
+
+
+def has_symbolic_terms(ref: ArrayRef, nest: LoopNest) -> bool:
+    return bool(symbolic_terms(ref, nest))
+
+
+def problem_is_symbolic(problem: DependenceProblem) -> bool:
+    """Does the combined dependence system involve any symbolic term?"""
+    return bool(problem.symbols)

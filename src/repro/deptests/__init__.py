@@ -1,0 +1,31 @@
+"""The cascaded exact dependence tests (paper section 3)."""
+
+from repro.deptests.acyclic import (
+    AcyclicElimination,
+    AcyclicTest,
+    build_constraint_graph,
+)
+from repro.deptests.base import DependenceTest, TestResult, Verdict
+from repro.deptests.fourier_motzkin import FourierMotzkinTest
+from repro.deptests.gcdtest import ExtendedGcdTest
+from repro.deptests.loop_residue import (
+    LoopResidueTest,
+    ResidueGraph,
+    build_residue_graph,
+)
+from repro.deptests.svpc import SvpcTest
+
+__all__ = [
+    "Verdict",
+    "TestResult",
+    "DependenceTest",
+    "ExtendedGcdTest",
+    "SvpcTest",
+    "AcyclicTest",
+    "AcyclicElimination",
+    "build_constraint_graph",
+    "LoopResidueTest",
+    "ResidueGraph",
+    "build_residue_graph",
+    "FourierMotzkinTest",
+]

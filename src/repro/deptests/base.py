@@ -1,0 +1,82 @@
+"""Shared interface of the cascaded dependence tests.
+
+Each test consumes a :class:`~repro.system.constraints.ConstraintSystem`
+over the free ``t`` variables produced by Extended GCD preprocessing
+and returns a :class:`TestResult`.  A test either *decides* the system
+(INDEPENDENT / DEPENDENT, exactly), reports itself NOT_APPLICABLE so
+the cascade moves on, or — only Fourier-Motzkin with an exhausted
+branch-and-bound budget — returns UNKNOWN.
+
+All tests share the same input form (the paper lists this as a design
+criterion for choosing the suite), so the cascade never converts data
+between representations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.system.constraints import ConstraintSystem
+
+__all__ = ["Verdict", "TestResult", "DependenceTest"]
+
+
+class Verdict(enum.Enum):
+    """Outcome of one dependence test on one constraint system."""
+
+    INDEPENDENT = "independent"
+    DEPENDENT = "dependent"
+    NOT_APPLICABLE = "not_applicable"
+    UNKNOWN = "unknown"
+
+    @property
+    def decided(self) -> bool:
+        return self in (Verdict.INDEPENDENT, Verdict.DEPENDENT)
+
+
+@dataclass
+class TestResult:
+    """What a test found.
+
+    Attributes:
+        verdict: the decision (or NOT_APPLICABLE / UNKNOWN).
+        test_name: which test produced this result.
+        witness: for DEPENDENT, an integer point (over the system's
+            variables) satisfying every constraint — the existence proof.
+        exact: False only for an UNKNOWN forced out of Fourier-Motzkin
+            by the branch-and-bound budget; such answers are treated as
+            dependent but flagged.
+    """
+
+    verdict: Verdict
+    test_name: str
+    witness: tuple[int, ...] | None = None
+    exact: bool = True
+
+    def __post_init__(self) -> None:
+        if self.verdict is Verdict.DEPENDENT and self.witness is None:
+            raise ValueError("DEPENDENT results must carry a witness")
+
+
+class DependenceTest(Protocol):
+    """Protocol implemented by every test in the cascade."""
+
+    name: str
+
+    def applicable(self, system: ConstraintSystem) -> bool:
+        """Cheap structural check: can this test decide ``system`` exactly?"""
+        ...
+
+    def decide(self, system: ConstraintSystem) -> TestResult:
+        """Decide the system, or report NOT_APPLICABLE."""
+        ...
+
+
+@dataclass
+class CascadeTrace:
+    """Diagnostic record of one cascade run (which tests were consulted)."""
+
+    consulted: list[str] = field(default_factory=list)
+    decided_by: str | None = None

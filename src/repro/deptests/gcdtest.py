@@ -1,0 +1,23 @@
+"""The Extended GCD test as a cascade member (paper section 3.1).
+
+The real work lives in :mod:`repro.system.transform`; this wrapper
+gives the preprocessing step the same face as the other tests so the
+statistics machinery can count "GCD returned independent" cases
+(Table 1's GCD column) uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.system.depsystem import DependenceProblem
+from repro.system.transform import GcdOutcome, gcd_transform
+
+__all__ = ["ExtendedGcdTest"]
+
+
+class ExtendedGcdTest:
+    """Integer solvability of the subscript equalities, ignoring bounds."""
+
+    name = "gcd"
+
+    def run(self, problem: DependenceProblem) -> GcdOutcome:
+        return gcd_transform(problem)

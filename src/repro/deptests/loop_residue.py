@@ -1,0 +1,136 @@
+"""The Simple Loop Residue test (paper section 3.4).
+
+Pratt's algorithm decides systems of difference constraints
+``t_i <= t_j + c`` exactly: build a graph with one node per variable
+plus a special zero node ``n0`` (a pseudo-variable fixed at 0 that
+carries the single-variable constraints), put an arc of value ``c``
+from ``t_i`` to ``t_j`` for each constraint, and check cycles — the
+system is independent iff some cycle has negative value.
+
+Shostak generalized the method to arbitrary two-variable constraints
+but lost exactness; the paper instead extends it only to the case
+``a*t_i <= a*t_j + c`` (equal coefficient on both sides), which stays
+exact: dividing through gives ``t_i - t_j <= floor(c/a)`` — an exact
+integer tightening.
+
+We detect negative cycles with Bellman-Ford.  Difference-constraint
+matrices are totally unimodular, so a real solution implies an integer
+one; the shortest-path potentials provide an integer witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deptests.base import TestResult, Verdict
+from repro.linalg.gcdext import floor_div
+from repro.system.constraints import ConstraintSystem, LinearConstraint
+
+__all__ = ["LoopResidueTest", "ResidueGraph", "build_residue_graph"]
+
+_ZERO = -1  # node id of the special n0 node
+
+
+@dataclass
+class ResidueGraph:
+    """The residue graph: arcs ``(src, dst, value)`` meaning ``t_src <= t_dst + value``.
+
+    Node ``-1`` is the special zero node ``n0``.
+    """
+
+    n_vars: int
+    arcs: list[tuple[int, int, int]]
+
+    def node_name(self, node: int, names: tuple[str, ...] | None = None) -> str:
+        if node == _ZERO:
+            return "n0"
+        return names[node] if names else f"t{node}"
+
+
+def build_residue_graph(system: ConstraintSystem) -> ResidueGraph | None:
+    """Translate constraints into residue arcs, or None if not applicable.
+
+    Applicable constraints are:
+      * zero-variable (checked separately),
+      * single-variable ``a*t <= c``,
+      * two-variable with *opposite equal* coefficients ``a*t_i - a*t_j <= c``.
+    """
+    arcs: list[tuple[int, int, int]] = []
+    for con in system.constraints:
+        used = con.variables()
+        if len(used) == 0:
+            if con.is_contradiction:
+                # Encode as a self-loop of negative value at n0 so the
+                # decision procedure reports independence uniformly.
+                arcs.append((_ZERO, _ZERO, -1))
+            continue
+        if len(used) == 1:
+            (i,) = used
+            a = con.coeffs[i]
+            if a > 0:
+                # t_i <= floor(c/a)  ==  t_i <= n0 + floor(c/a)
+                arcs.append((i, _ZERO, floor_div(con.bound, a)))
+            else:
+                # t_i >= -floor(c/|a|)  ==  n0 <= t_i + floor(c/|a|)
+                arcs.append((_ZERO, i, floor_div(con.bound, -a)))
+            continue
+        if len(used) == 2:
+            i, j = used
+            ai, aj = con.coeffs[i], con.coeffs[j]
+            if ai != -aj:
+                return None
+            if ai > 0:
+                # ai*(t_i - t_j) <= c   ==>   t_i <= t_j + floor(c/ai)
+                arcs.append((i, j, floor_div(con.bound, ai)))
+            else:
+                arcs.append((j, i, floor_div(con.bound, aj)))
+            continue
+        return None
+    return ResidueGraph(system.n_vars, arcs)
+
+
+class LoopResidueTest:
+    """Exact negative-cycle test for (scaled) difference constraints."""
+
+    name = "loop_residue"
+
+    def applicable(self, system: ConstraintSystem) -> bool:
+        return build_residue_graph(system) is not None
+
+    def decide(self, system: ConstraintSystem) -> TestResult:
+        graph = build_residue_graph(system)
+        if graph is None:
+            return TestResult(Verdict.NOT_APPLICABLE, self.name)
+        potentials = self._solve(graph)
+        if potentials is None:
+            return TestResult(Verdict.INDEPENDENT, self.name)
+        witness = tuple(potentials[v] for v in range(system.n_vars))
+        return TestResult(Verdict.DEPENDENT, self.name, witness=witness)
+
+    @staticmethod
+    def _solve(graph: ResidueGraph) -> dict[int, int] | None:
+        """Bellman-Ford: None on a negative cycle, else integer potentials.
+
+        An arc ``(i, j, c)`` encodes ``t_i <= t_j + c``; relaxing along the
+        arc *backwards* (``dist[i] <= dist[j] + c``) from a virtual source
+        connected to every node yields feasible potentials.
+        """
+        nodes = {_ZERO}
+        nodes.update(range(graph.n_vars))
+        dist = dict.fromkeys(nodes, 0)
+        for _ in range(len(nodes)):
+            changed = False
+            for i, j, c in graph.arcs:
+                if dist[j] + c < dist[i]:
+                    dist[i] = dist[j] + c
+                    changed = True
+            if not changed:
+                break
+        else:
+            # One extra pass still relaxed: negative cycle.
+            for i, j, c in graph.arcs:
+                if dist[j] + c < dist[i]:
+                    return None
+        # Anchor the zero node at 0.
+        shift = dist[_ZERO]
+        return {v: dist[v] - shift for v in nodes}

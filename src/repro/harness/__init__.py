@@ -1,0 +1,34 @@
+"""Experiment harness regenerating the paper's tables."""
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    TableResult,
+    run_baseline_comparison,
+    run_outcomes,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+from repro.harness.tables import render_table
+from repro.harness.timing import TestTiming, time_tests
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "TableResult",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_outcomes",
+    "run_baseline_comparison",
+    "render_table",
+    "time_tests",
+    "TestTiming",
+]

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    footer: Sequence[object] | None = None,
+) -> str:
+    """Render an aligned ASCII table with a title and optional footer row."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    if footer is not None:
+        str_rows.append([_fmt(cell) for cell in footer])
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in str_rows))
+        if str_rows
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [title, rule, line(list(headers)), rule]
+    body = str_rows[:-1] if footer is not None else str_rows
+    out.extend(line(row) for row in body)
+    if footer is not None:
+        out.append(rule)
+        out.append(line(str_rows[-1]))
+    out.append(rule)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)

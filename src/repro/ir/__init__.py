@@ -1,0 +1,20 @@
+"""Loop-nest intermediate representation."""
+
+from repro.ir.affine import AffineExpr, const, var
+from repro.ir.arrays import AccessKind, ArrayRef
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.program import AccessSite, Program, Statement, reference_pairs
+
+__all__ = [
+    "AffineExpr",
+    "var",
+    "const",
+    "ArrayRef",
+    "AccessKind",
+    "Loop",
+    "LoopNest",
+    "Statement",
+    "AccessSite",
+    "Program",
+    "reference_pairs",
+]

@@ -1,0 +1,193 @@
+"""Affine expressions over loop variables and symbolic terms.
+
+The analyses in this package apply to loop nests whose bounds and array
+subscripts are *integral affine* functions of the enclosing loop
+variables, plus loop-invariant symbolic unknowns (paper sections 2 and
+8).  :class:`AffineExpr` is the shared representation: an integer
+constant plus a map from variable name to integer coefficient.
+
+Instances are immutable and support the arithmetic needed to build and
+manipulate subscripts: addition, subtraction, scaling by an integer,
+and substitution of a variable by another affine expression (the basis
+of forward substitution and induction-variable elimination in
+:mod:`repro.opt`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Union
+
+__all__ = ["AffineExpr", "var", "const"]
+
+_Scalar = Union[int, "AffineExpr"]
+
+
+class AffineExpr:
+    """An immutable integer affine expression ``const + sum(coeff*name)``."""
+
+    __slots__ = ("constant", "_terms")
+
+    def __init__(self, constant: int = 0, terms: Mapping[str, int] | None = None):
+        self.constant = int(constant)
+        clean = {}
+        if terms:
+            for name, coeff in terms.items():
+                coeff = int(coeff)
+                if coeff != 0:
+                    clean[name] = coeff
+        self._terms: dict[str, int] = clean
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def variable(name: str) -> "AffineExpr":
+        return AffineExpr(0, {name: 1})
+
+    @staticmethod
+    def of(value: _Scalar) -> "AffineExpr":
+        if isinstance(value, AffineExpr):
+            return value
+        return AffineExpr(int(value))
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def terms(self) -> dict[str, int]:
+        return dict(self._terms)
+
+    def coeff(self, name: str) -> int:
+        return self._terms.get(name, 0)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(self._terms)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self._terms
+
+    def as_constant(self) -> int:
+        if self._terms:
+            raise ValueError(f"{self} is not a constant")
+        return self.constant
+
+    # -- arithmetic --------------------------------------------------------------
+
+    def __add__(self, other: _Scalar) -> "AffineExpr":
+        other = AffineExpr.of(other)
+        terms = dict(self._terms)
+        for name, coeff in other._terms.items():
+            terms[name] = terms.get(name, 0) + coeff
+        return AffineExpr(self.constant + other.constant, terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr(-self.constant, {n: -c for n, c in self._terms.items()})
+
+    def __sub__(self, other: _Scalar) -> "AffineExpr":
+        return self + (-AffineExpr.of(other))
+
+    def __rsub__(self, other: _Scalar) -> "AffineExpr":
+        return AffineExpr.of(other) - self
+
+    def __mul__(self, factor: int) -> "AffineExpr":
+        if isinstance(factor, AffineExpr):
+            if factor.is_constant:
+                factor = factor.constant
+            elif self.is_constant:
+                return factor * self.constant
+            else:
+                raise ValueError("product of two non-constant affine expressions")
+        factor = int(factor)
+        return AffineExpr(
+            self.constant * factor, {n: c * factor for n, c in self._terms.items()}
+        )
+
+    __rmul__ = __mul__
+
+    def substitute(self, name: str, replacement: _Scalar) -> "AffineExpr":
+        """Replace ``name`` by an affine expression (exact, integer)."""
+        coeff = self._terms.get(name, 0)
+        if coeff == 0:
+            return self
+        terms = dict(self._terms)
+        del terms[name]
+        base = AffineExpr(self.constant, terms)
+        return base + AffineExpr.of(replacement) * coeff
+
+    def rename(self, mapping: Mapping[str, str]) -> "AffineExpr":
+        """Rename variables (e.g. prime the second reference's indices).
+
+        If the mapping sends two variables to the same name their
+        coefficients merge.
+        """
+        terms: dict[str, int] = {}
+        for name, coeff in self._terms.items():
+            new_name = mapping.get(name, name)
+            terms[new_name] = terms.get(new_name, 0) + coeff
+        return AffineExpr(self.constant, terms)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.constant + sum(c * env[n] for n, c in self._terms.items())
+
+    def coefficients(self, order: Sequence[str]) -> list[int]:
+        """Coefficient vector in the given variable order.
+
+        Raises if the expression mentions a variable outside ``order`` —
+        that would silently drop a term.
+        """
+        known = set(order)
+        missing = self.variables() - known
+        if missing:
+            raise ValueError(f"variables {sorted(missing)} not in order {order}")
+        return [self._terms.get(name, 0) for name in order]
+
+    # -- comparisons and formatting ------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = AffineExpr(other)
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        return self.constant == other.constant and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash((self.constant, tuple(sorted(self._terms.items()))))
+
+    def __repr__(self) -> str:
+        return f"AffineExpr({self})"
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for name in sorted(self._terms):
+            coeff = self._terms[name]
+            if coeff == 1:
+                text = name
+            elif coeff == -1:
+                text = f"-{name}"
+            else:
+                text = f"{coeff}*{name}"
+            if parts and not text.startswith("-"):
+                parts.append(f"+ {text}")
+            elif parts:
+                parts.append(f"- {text[1:]}")
+            else:
+                parts.append(text)
+        if self.constant or not parts:
+            if parts:
+                sign = "+" if self.constant >= 0 else "-"
+                parts.append(f"{sign} {abs(self.constant)}")
+            else:
+                parts.append(str(self.constant))
+        return " ".join(parts)
+
+
+def var(name: str) -> AffineExpr:
+    """Shorthand for :meth:`AffineExpr.variable`."""
+    return AffineExpr.variable(name)
+
+
+def const(value: int) -> AffineExpr:
+    """Shorthand for a constant expression."""
+    return AffineExpr(value)

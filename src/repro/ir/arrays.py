@@ -1,0 +1,59 @@
+"""Array references: the objects dependence testing compares."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.ir.affine import AffineExpr
+
+__all__ = ["ArrayRef", "AccessKind"]
+
+
+class AccessKind:
+    """Whether a reference reads or writes its location."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A subscripted reference ``array[sub0][sub1]...`` with an access kind."""
+
+    array: str
+    subscripts: tuple[AffineExpr, ...]
+    kind: str = AccessKind.READ
+
+    @staticmethod
+    def make(
+        array: str, subscripts: Sequence[AffineExpr | int], kind: str = AccessKind.READ
+    ) -> "ArrayRef":
+        return ArrayRef(
+            array, tuple(AffineExpr.of(s) for s in subscripts), kind
+        )
+
+    @property
+    def rank(self) -> int:
+        return len(self.subscripts)
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == AccessKind.WRITE
+
+    def variables(self) -> frozenset[str]:
+        free: frozenset[str] = frozenset()
+        for sub in self.subscripts:
+            free |= sub.variables()
+        return free
+
+    def rename(self, mapping: dict[str, str]) -> "ArrayRef":
+        return ArrayRef(
+            self.array,
+            tuple(s.rename(mapping) for s in self.subscripts),
+            self.kind,
+        )
+
+    def __str__(self) -> str:
+        subs = "".join(f"[{s}]" for s in self.subscripts)
+        return f"{self.array}{subs}"

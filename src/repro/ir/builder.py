@@ -1,0 +1,76 @@
+"""Convenience builders for loop nests, references and programs.
+
+The mini-language frontend (:mod:`repro.lang`) is the main way to
+construct programs, but tests, examples and the synthetic workload
+generator want a terse programmatic API:
+
+    >>> from repro.ir import builder as B
+    >>> nest = B.nest(("i", 1, 10), ("j", 1, B.v("i")))
+    >>> prog = B.program("demo")
+    >>> B.assign(prog, nest, ("a", [B.v("i") + 1]), [("a", [B.v("i")])])
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import AccessKind, ArrayRef
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.program import Program, Statement
+
+__all__ = ["v", "c", "nest", "program", "assign", "ref"]
+
+_Bound = AffineExpr | int | str
+_RefSpec = tuple[str, Sequence[AffineExpr | int]]
+
+
+def v(name: str) -> AffineExpr:
+    """An affine variable (loop index or symbolic term)."""
+    return AffineExpr.variable(name)
+
+
+def c(value: int) -> AffineExpr:
+    """An affine constant."""
+    return AffineExpr(value)
+
+
+def _expr(value: _Bound) -> AffineExpr:
+    if isinstance(value, str):
+        return AffineExpr.variable(value)
+    return AffineExpr.of(value)
+
+
+def nest(*loops: tuple[str, _Bound, _Bound]) -> LoopNest:
+    """Build a nest from ``(var, lower, upper)`` triples, outermost first.
+
+    Bounds may be ints, affine expressions, or bare variable names
+    (interpreted as symbols or outer loop variables).
+    """
+    return LoopNest([Loop(name, _expr(lo), _expr(hi)) for name, lo, hi in loops])
+
+
+def ref(array: str, subscripts: Sequence[AffineExpr | int], write: bool = False) -> ArrayRef:
+    kind = AccessKind.WRITE if write else AccessKind.READ
+    return ArrayRef.make(array, subscripts, kind)
+
+
+def program(name: str, source_lines: int = 0) -> Program:
+    return Program(name, source_lines=source_lines)
+
+
+def assign(
+    prog: Program,
+    loop_nest: LoopNest,
+    write: _RefSpec | None,
+    reads: Sequence[_RefSpec] = (),
+    label: str = "",
+) -> Statement:
+    """Append ``write = f(reads)`` to ``prog`` and return the statement."""
+    write_ref = (
+        ref(write[0], write[1], write=True) if write is not None else None
+    )
+    read_refs = tuple(ref(name, subs) for name, subs in reads)
+    stmt = Statement(loop_nest, write_ref, read_refs, label)
+    prog.add(stmt)
+    return stmt

@@ -1,0 +1,135 @@
+"""Loop nests with trapezoidal (affine) bounds.
+
+A :class:`Loop` binds one index variable to an inclusive range whose
+ends are affine functions of more outwardly nested loop variables and
+symbolic terms (the paper's "nested trapezoidal loops").  Loops are
+normalized to step 1; :mod:`repro.opt.normalize` rewrites strided
+source loops into this form before analysis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.ir.affine import AffineExpr
+
+__all__ = ["Loop", "LoopNest"]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """``for var = lower to upper`` (inclusive, step 1)."""
+
+    var: str
+    lower: AffineExpr
+    upper: AffineExpr
+
+    def __post_init__(self) -> None:
+        if self.var in self.lower.variables() or self.var in self.upper.variables():
+            raise ValueError(f"loop bound of {self.var} references itself")
+
+    def rename(self, mapping: dict[str, str]) -> "Loop":
+        return Loop(
+            mapping.get(self.var, self.var),
+            self.lower.rename(mapping),
+            self.upper.rename(mapping),
+        )
+
+    def __str__(self) -> str:
+        return f"for {self.var} = {self.lower} to {self.upper}"
+
+
+class LoopNest:
+    """An ordered sequence of loops, outermost first."""
+
+    __slots__ = ("loops",)
+
+    def __init__(self, loops: Sequence[Loop]):
+        self.loops: tuple[Loop, ...] = tuple(loops)
+        seen: set[str] = set()
+        for loop in self.loops:
+            if loop.var in seen:
+                raise ValueError(f"duplicate loop variable {loop.var!r}")
+            outer_unknowns = loop.lower.variables() | loop.upper.variables()
+            # bounds may reference outer loop vars and symbols, never inner vars
+            inner = {l.var for l in self.loops} - seen - {loop.var}
+            bad = outer_unknowns & inner
+            if bad:
+                raise ValueError(
+                    f"bound of {loop.var!r} references inner loop vars {sorted(bad)}"
+                )
+            seen.add(loop.var)
+
+    @property
+    def depth(self) -> int:
+        return len(self.loops)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(loop.var for loop in self.loops)
+
+    def __iter__(self) -> Iterator[Loop]:
+        return iter(self.loops)
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def __getitem__(self, index: int) -> Loop:
+        return self.loops[index]
+
+    def symbols(self) -> frozenset[str]:
+        """Free variables of the bounds: loop-invariant symbolic terms."""
+        bound_vars = set(self.variables)
+        free: set[str] = set()
+        for loop in self.loops:
+            free |= loop.lower.variables() | loop.upper.variables()
+        return frozenset(free - bound_vars)
+
+    def common_prefix_depth(self, other: "LoopNest") -> int:
+        """Number of leading loops shared (by identity of var and bounds)."""
+        depth = 0
+        for a, b in zip(self.loops, other.loops):
+            if a != b:
+                break
+            depth += 1
+        return depth
+
+    def iteration_space(self, env: dict[str, int] | None = None):
+        """Yield all iteration vectors (dicts) for *constant* bounds.
+
+        ``env`` supplies values for symbolic terms.  Used by the
+        enumeration oracle and the examples; raises if a bound is not
+        resolvable to a constant.
+        """
+        env = dict(env or {})
+
+        def recurse(level: int):
+            if level == len(self.loops):
+                yield {v: env[v] for v in self.variables}
+                return
+            loop = self.loops[level]
+            lo = loop.lower.evaluate(env)
+            hi = loop.upper.evaluate(env)
+            for value in range(lo, hi + 1):
+                env[loop.var] = value
+                yield from recurse(level + 1)
+            env.pop(loop.var, None)
+
+        yield from recurse(0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LoopNest):
+            return NotImplemented
+        return self.loops == other.loops
+
+    def __hash__(self) -> int:
+        return hash(self.loops)
+
+    def __repr__(self) -> str:
+        return f"LoopNest({list(self.loops)!r})"
+
+    def __str__(self) -> str:
+        return "\n".join(
+            "  " * i + str(loop) for i, loop in enumerate(self.loops)
+        )

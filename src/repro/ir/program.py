@@ -1,0 +1,98 @@
+"""Programs as collections of array accesses inside loop nests."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.ir.arrays import ArrayRef
+from repro.ir.loops import LoopNest
+
+__all__ = ["Statement", "AccessSite", "Program"]
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One assignment: a single written reference plus the references read.
+
+    ``reads`` may include scalar-free array references only; scalar data
+    flow is resolved earlier by :mod:`repro.opt`.
+    """
+
+    nest: LoopNest
+    write: ArrayRef | None
+    reads: tuple[ArrayRef, ...] = ()
+    label: str = ""
+
+    def refs(self) -> tuple[ArrayRef, ...]:
+        out = []
+        if self.write is not None:
+            out.append(self.write)
+        out.extend(self.reads)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """A single array reference at a specific point in the program."""
+
+    ref: ArrayRef
+    nest: LoopNest
+    stmt_index: int
+    site_index: int
+
+    def __str__(self) -> str:
+        return f"{self.ref} (stmt {self.stmt_index})"
+
+
+@dataclass
+class Program:
+    """A named list of statements, each with its enclosing loop nest."""
+
+    name: str
+    statements: list[Statement] = field(default_factory=list)
+    source_lines: int = 0
+
+    def add(self, statement: Statement) -> None:
+        self.statements.append(statement)
+
+    def sites(self) -> list[AccessSite]:
+        """All array access sites, in program order."""
+        out: list[AccessSite] = []
+        counter = 0
+        for stmt_index, stmt in enumerate(self.statements):
+            for ref in stmt.refs():
+                out.append(AccessSite(ref, stmt.nest, stmt_index, counter))
+                counter += 1
+        return out
+
+    def arrays(self) -> set[str]:
+        return {site.ref.array for site in self.sites()}
+
+
+def reference_pairs(
+    program: Program, include_self_output: bool = False
+) -> list[tuple[AccessSite, AccessSite]]:
+    """All pairs of references that dependence testing must examine.
+
+    Two sites form a testable pair when they name the same array and at
+    least one of them writes.  A write site paired with itself (pure
+    output self-dependence) is trivially dependent only at equal
+    iterations, so it is skipped unless ``include_self_output`` is set.
+    """
+    sites = program.sites()
+    by_array: dict[str, list[AccessSite]] = {}
+    for site in sites:
+        by_array.setdefault(site.ref.array, []).append(site)
+
+    pairs: list[tuple[AccessSite, AccessSite]] = []
+    for group in by_array.values():
+        for i, first in enumerate(group):
+            start = i if include_self_output else i + 1
+            for second in group[start:]:
+                if not (first.ref.is_write or second.ref.is_write):
+                    continue
+                if second.site_index == first.site_index and not include_self_output:
+                    continue
+                pairs.append((first, second))
+    return pairs

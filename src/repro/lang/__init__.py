@@ -1,0 +1,42 @@
+"""Mini-Fortran frontend: lexer, parser, AST, and IR lowering."""
+
+from repro.lang.ast_nodes import (
+    Access,
+    Assign,
+    BinOp,
+    Expr,
+    ForLoop,
+    IfStmt,
+    Name,
+    Num,
+    Read,
+    SourceProgram,
+    Stmt,
+)
+from repro.lang.errors import LangError, LexError, LowerError, ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.lower import LowerResult, lower, lower_expr
+from repro.lang.parser import parse
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "lower",
+    "lower_expr",
+    "LowerResult",
+    "SourceProgram",
+    "Stmt",
+    "Assign",
+    "Read",
+    "ForLoop",
+    "IfStmt",
+    "Expr",
+    "Num",
+    "Name",
+    "Access",
+    "BinOp",
+    "LangError",
+    "LexError",
+    "ParseError",
+    "LowerError",
+]

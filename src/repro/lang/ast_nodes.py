@@ -1,0 +1,176 @@
+"""AST for the mini-Fortran loop language.
+
+Expressions are a small arithmetic tree (the optimizer and lowering
+reduce them to affine form); statements are scalar/array assignments,
+``read`` declarations (introducing symbolic unknowns), and ``for``
+loops with optional constant step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Name",
+    "Access",
+    "BinOp",
+    "Stmt",
+    "Assign",
+    "Read",
+    "ForLoop",
+    "IfStmt",
+    "SourceProgram",
+    "walk_statements",
+]
+
+
+# -- expressions --------------------------------------------------------------
+
+
+class Expr:
+    """Base expression node."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A scalar variable or loop index reference."""
+
+    ident: str
+
+    def __str__(self) -> str:
+        return self.ident
+
+
+@dataclass(frozen=True)
+class Access(Expr):
+    """An array element read ``a[e1][e2]...`` (as an expression)."""
+
+    array: str
+    subscripts: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return self.array + "".join(f"[{s}]" for s in self.subscripts)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # "+", "-", "*"
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+# -- statements ------------------------------------------------------------------
+
+
+class Stmt:
+    """Base statement node."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = expr`` — target is a scalar Name or array Access."""
+
+    target: Expr  # Name or Access
+    expr: Expr
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr}"
+
+
+@dataclass
+class Read(Stmt):
+    """``read(x)`` — declares x as a runtime unknown (symbolic term)."""
+
+    ident: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"read({self.ident})"
+
+
+@dataclass
+class IfStmt(Stmt):
+    """``if left OP right then ... [else ...] end if``.
+
+    Conditions compare two arithmetic expressions with one of
+    ``< <= > >= == !=``.  Dependence analysis treats both branches'
+    references as potentially executed (control flow is conservatively
+    ignored; see :mod:`repro.lang.lower`).
+    """
+
+    op: str  # "<", "<=", ">", ">=", "==", "!="
+    left: Expr
+    right: Expr
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+    def __str__(self) -> str:
+        out = [f"if {self.left} {self.op} {self.right} then"]
+        out.extend(f"  {line}" for s in self.then_body for line in str(s).split("\n"))
+        if self.else_body:
+            out.append("else")
+            out.extend(
+                f"  {line}" for s in self.else_body for line in str(s).split("\n")
+            )
+        out.append("end if")
+        return "\n".join(out)
+
+
+@dataclass
+class ForLoop(Stmt):
+    """``for var = lower to upper [step k] do ... end for``."""
+
+    var: str
+    lower: Expr
+    upper: Expr
+    step: int
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+    def __str__(self) -> str:
+        step = f" step {self.step}" if self.step != 1 else ""
+        header = f"for {self.var} = {self.lower} to {self.upper}{step} do"
+        body = "\n".join(f"  {line}" for stmt in self.body for line in str(stmt).split("\n"))
+        return f"{header}\n{body}\nend for"
+
+
+@dataclass
+class SourceProgram:
+    """A parsed source file."""
+
+    body: list[Stmt] = field(default_factory=list)
+    name: str = "<source>"
+    source_lines: int = 0
+
+    def __str__(self) -> str:
+        return "\n".join(str(stmt) for stmt in self.body)
+
+
+def walk_statements(stmts: list[Stmt]):
+    """Yield every statement, pre-order, at any nesting depth."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, ForLoop):
+            yield from walk_statements(stmt.body)
+        elif isinstance(stmt, IfStmt):
+            yield from walk_statements(stmt.then_body)
+            yield from walk_statements(stmt.else_body)

@@ -1,0 +1,28 @@
+"""Frontend error types."""
+
+from __future__ import annotations
+
+__all__ = ["LangError", "LexError", "ParseError", "LowerError"]
+
+
+class LangError(Exception):
+    """Base class for all frontend errors; carries a source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(LangError):
+    """Unrecognized input character or malformed token."""
+
+
+class ParseError(LangError):
+    """Token stream does not match the grammar."""
+
+
+class LowerError(LangError):
+    """AST cannot be lowered to the affine IR (e.g. non-affine subscript)."""

@@ -1,0 +1,101 @@
+"""Hand-written lexer for the mini-Fortran loop language.
+
+The language is line-oriented: newlines terminate statements (like
+Fortran), ``#`` starts a comment to end of line.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+__all__ = ["tokenize"]
+
+_SINGLE_CHAR = {
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "=": TokenKind.ASSIGN,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+}
+
+_TWO_CHAR = {
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "==": TokenKind.EQEQ,
+    "!=": TokenKind.NE,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn source text into a token list ending with EOF.
+
+    Consecutive newlines collapse into one NEWLINE token; a trailing
+    NEWLINE is guaranteed before EOF so the parser can treat lines
+    uniformly.
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+
+    def emit(kind: str, text: str) -> None:
+        tokens.append(Token(kind, text, line, column))
+
+    while i < n:
+        ch = source[i]
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "\n":
+            if tokens and tokens[-1].kind != TokenKind.NEWLINE:
+                emit(TokenKind.NEWLINE, "\\n")
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        pair = source[i : i + 2]
+        if pair in _TWO_CHAR:
+            emit(_TWO_CHAR[pair], pair)
+            i += 2
+            column += 2
+            continue
+        if ch in _SINGLE_CHAR:
+            emit(_SINGLE_CHAR[ch], ch)
+            i += 1
+            column += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            emit(TokenKind.INT, source[start:i])
+            column += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            emit(kind, text)
+            column += i - start
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    if tokens and tokens[-1].kind != TokenKind.NEWLINE:
+        tokens.append(Token(TokenKind.NEWLINE, "\\n", line, column))
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

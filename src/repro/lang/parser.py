@@ -1,0 +1,283 @@
+"""Recursive-descent parser for the mini-Fortran loop language.
+
+Grammar (newline-terminated statements)::
+
+    program   := stmt*
+    stmt      := read | loop | assign
+    read      := "read" "(" IDENT ")"
+    loop      := "for" IDENT "=" expr "to" expr ["step" INT] "do"
+                    stmt* "end" ["for"]
+    assign    := lvalue "=" expr
+    lvalue    := IDENT ("[" expr "]")*
+    expr      := term (("+" | "-") term)*
+    term      := unary ("*" unary)*
+    unary     := ["-"] atom
+    atom      := INT | IDENT ("[" expr "]")* | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    Access,
+    Assign,
+    BinOp,
+    Expr,
+    ForLoop,
+    IfStmt,
+    Name,
+    Num,
+    Read,
+    SourceProgram,
+    Stmt,
+)
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenKind
+
+__all__ = ["parse", "Parser"]
+
+
+def parse(source: str, name: str = "<source>") -> SourceProgram:
+    """Parse source text into a :class:`SourceProgram`."""
+    program = Parser(tokenize(source)).parse_program()
+    program.name = name
+    program.source_lines = source.count("\n") + 1
+    return program
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._current
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._current
+        if not self._check(kind, text):
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self._accept(TokenKind.NEWLINE):
+            pass
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_program(self) -> SourceProgram:
+        body = self._statements(until_end=False)
+        self._expect(TokenKind.EOF)
+        return SourceProgram(body=body)
+
+    def _statements(self, until_end: bool) -> list[Stmt]:
+        out: list[Stmt] = []
+        self._skip_newlines()
+        while True:
+            if self._check(TokenKind.EOF):
+                if until_end:
+                    token = self._current
+                    raise ParseError("missing 'end'", token.line, token.column)
+                return out
+            if until_end and self._check(TokenKind.KEYWORD, "end"):
+                return out
+            out.append(self._statement())
+            self._skip_newlines()
+
+    def _statement(self) -> Stmt:
+        token = self._current
+        if self._check(TokenKind.KEYWORD, "for"):
+            return self._for_loop()
+        if self._check(TokenKind.KEYWORD, "if"):
+            return self._if_stmt()
+        if self._check(TokenKind.KEYWORD, "read"):
+            return self._read()
+        if self._check(TokenKind.IDENT):
+            return self._assign()
+        raise ParseError(
+            f"expected a statement, found {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    def _if_stmt(self) -> IfStmt:
+        keyword = self._expect(TokenKind.KEYWORD, "if")
+        left = self._expression()
+        op_token = self._current
+        if op_token.kind not in (
+            TokenKind.LT,
+            TokenKind.LE,
+            TokenKind.GT,
+            TokenKind.GE,
+            TokenKind.EQEQ,
+            TokenKind.NE,
+        ):
+            raise ParseError(
+                f"expected a comparison operator, found {op_token.text!r}",
+                op_token.line,
+                op_token.column,
+            )
+        self._advance()
+        right = self._expression()
+        self._expect(TokenKind.KEYWORD, "then")
+        self._end_of_statement()
+        then_body = self._statements_until(("end", "else"))
+        else_body: list[Stmt] = []
+        if self._accept(TokenKind.KEYWORD, "else"):
+            self._end_of_statement()
+            else_body = self._statements_until(("end",))
+        self._expect(TokenKind.KEYWORD, "end")
+        self._accept(TokenKind.KEYWORD, "if")
+        self._end_of_statement()
+        return IfStmt(
+            op=op_token.text,
+            left=left,
+            right=right,
+            then_body=then_body,
+            else_body=else_body,
+            line=keyword.line,
+        )
+
+    def _statements_until(self, stops: tuple[str, ...]) -> list[Stmt]:
+        out: list[Stmt] = []
+        self._skip_newlines()
+        while True:
+            if self._check(TokenKind.EOF):
+                token = self._current
+                raise ParseError(
+                    f"missing {' or '.join(repr(s) for s in stops)}",
+                    token.line,
+                    token.column,
+                )
+            if any(self._check(TokenKind.KEYWORD, stop) for stop in stops):
+                return out
+            out.append(self._statement())
+            self._skip_newlines()
+
+    def _read(self) -> Read:
+        keyword = self._expect(TokenKind.KEYWORD, "read")
+        self._expect(TokenKind.LPAREN)
+        ident = self._expect(TokenKind.IDENT)
+        self._expect(TokenKind.RPAREN)
+        self._end_of_statement()
+        return Read(ident.text, line=keyword.line)
+
+    def _for_loop(self) -> ForLoop:
+        keyword = self._expect(TokenKind.KEYWORD, "for")
+        var = self._expect(TokenKind.IDENT)
+        self._expect(TokenKind.ASSIGN)
+        lower = self._expression()
+        self._expect(TokenKind.KEYWORD, "to")
+        upper = self._expression()
+        step = 1
+        if self._accept(TokenKind.KEYWORD, "step"):
+            negative = self._accept(TokenKind.MINUS) is not None
+            step_token = self._expect(TokenKind.INT)
+            step = -step_token.int_value if negative else step_token.int_value
+            if step == 0:
+                raise ParseError(
+                    "loop step must be non-zero", step_token.line, step_token.column
+                )
+        self._expect(TokenKind.KEYWORD, "do")
+        self._end_of_statement()
+        body = self._statements(until_end=True)
+        self._expect(TokenKind.KEYWORD, "end")
+        self._accept(TokenKind.KEYWORD, "for")
+        self._end_of_statement()
+        return ForLoop(var.text, lower, upper, step, body, line=keyword.line)
+
+    def _assign(self) -> Assign:
+        target = self._lvalue()
+        equals = self._expect(TokenKind.ASSIGN)
+        expr = self._expression()
+        self._end_of_statement()
+        return Assign(target, expr, line=equals.line)
+
+    def _lvalue(self) -> Expr:
+        ident = self._expect(TokenKind.IDENT)
+        subs = self._subscripts()
+        if subs:
+            return Access(ident.text, subs)
+        return Name(ident.text)
+
+    def _subscripts(self) -> tuple[Expr, ...]:
+        subs: list[Expr] = []
+        while self._accept(TokenKind.LBRACKET):
+            subs.append(self._expression())
+            self._expect(TokenKind.RBRACKET)
+        return tuple(subs)
+
+    def _end_of_statement(self) -> None:
+        if self._check(TokenKind.EOF):
+            return
+        if self._check(TokenKind.KEYWORD, "end"):
+            return
+        self._expect(TokenKind.NEWLINE)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expression(self) -> Expr:
+        expr = self._term()
+        while True:
+            if self._accept(TokenKind.PLUS):
+                expr = BinOp("+", expr, self._term())
+            elif self._accept(TokenKind.MINUS):
+                expr = BinOp("-", expr, self._term())
+            else:
+                return expr
+
+    def _term(self) -> Expr:
+        expr = self._unary()
+        while self._accept(TokenKind.STAR):
+            expr = BinOp("*", expr, self._unary())
+        return expr
+
+    def _unary(self) -> Expr:
+        if self._accept(TokenKind.MINUS):
+            return BinOp("-", Num(0), self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        token = self._current
+        if self._accept(TokenKind.INT):
+            return Num(int(token.text))
+        if self._accept(TokenKind.LPAREN):
+            expr = self._expression()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        if self._check(TokenKind.IDENT):
+            ident = self._advance()
+            subs = self._subscripts()
+            if subs:
+                return Access(ident.text, subs)
+            return Name(ident.text)
+        raise ParseError(
+            f"expected an expression, found {token.text!r}",
+            token.line,
+            token.column,
+        )

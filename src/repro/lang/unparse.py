@@ -1,0 +1,168 @@
+"""Unparser: AST (or IR) back to mini-Fortran source text.
+
+Supports round-trip testing (``parse(unparse(ast))`` is structurally
+identical), the source-level workload generator, and human-readable
+CLI/debug output.  The emitted text is canonical: one statement per
+line, two-space indentation, ``end for`` closers, minimal parentheses
+(the grammar's precedence is two-level, so only additive subtrees under
+``*`` need them).
+"""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.ir.loops import LoopNest
+from repro.ir.program import Program
+from repro.lang.ast_nodes import (
+    Access,
+    Assign,
+    BinOp,
+    Expr,
+    ForLoop,
+    IfStmt,
+    Name,
+    Num,
+    Read,
+    SourceProgram,
+    Stmt,
+)
+
+__all__ = ["unparse", "unparse_expr", "program_to_source"]
+
+
+def unparse_expr(expr: Expr) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, Num):
+        return str(expr.value)
+    if isinstance(expr, Name):
+        return expr.ident
+    if isinstance(expr, Access):
+        subs = "".join(f"[{unparse_expr(s)}]" for s in expr.subscripts)
+        return f"{expr.array}{subs}"
+    if isinstance(expr, BinOp):
+        left = unparse_expr(expr.left)
+        right = unparse_expr(expr.right)
+        if expr.op == "*":
+            left = _paren_if_additive(expr.left, left)
+            right = _paren_if_additive(expr.right, right)
+            return f"{left} * {right}"
+        if expr.op == "-":
+            right = _paren_if_additive(expr.right, right)
+            return f"{left} - {right}"
+        return f"{left} + {right}"
+    raise TypeError(f"cannot unparse {expr!r}")
+
+
+def _paren_if_additive(expr: Expr, text: str) -> str:
+    if isinstance(expr, BinOp) and expr.op in ("+", "-"):
+        return f"({text})"
+    return text
+
+
+def _unparse_stmt(stmt: Stmt, indent: int, out: list[str]) -> None:
+    pad = "  " * indent
+    if isinstance(stmt, Read):
+        out.append(f"{pad}read({stmt.ident})")
+    elif isinstance(stmt, Assign):
+        out.append(
+            f"{pad}{unparse_expr(stmt.target)} = {unparse_expr(stmt.expr)}"
+        )
+    elif isinstance(stmt, ForLoop):
+        step = f" step {stmt.step}" if stmt.step != 1 else ""
+        out.append(
+            f"{pad}for {stmt.var} = {unparse_expr(stmt.lower)} "
+            f"to {unparse_expr(stmt.upper)}{step} do"
+        )
+        for inner in stmt.body:
+            _unparse_stmt(inner, indent + 1, out)
+        out.append(f"{pad}end for")
+    elif isinstance(stmt, IfStmt):
+        out.append(
+            f"{pad}if {unparse_expr(stmt.left)} {stmt.op} "
+            f"{unparse_expr(stmt.right)} then"
+        )
+        for inner in stmt.then_body:
+            _unparse_stmt(inner, indent + 1, out)
+        if stmt.else_body:
+            out.append(f"{pad}else")
+            for inner in stmt.else_body:
+                _unparse_stmt(inner, indent + 1, out)
+        out.append(f"{pad}end if")
+    else:
+        raise TypeError(f"cannot unparse {stmt!r}")
+
+
+def unparse(program: SourceProgram) -> str:
+    """Render a whole program as canonical source text."""
+    out: list[str] = []
+    for stmt in program.body:
+        _unparse_stmt(stmt, 0, out)
+    return "\n".join(out) + "\n"
+
+
+# -- IR -> source ------------------------------------------------------------
+
+
+def _affine_to_text(expr: AffineExpr) -> str:
+    parts: list[str] = []
+    for name in sorted(expr.terms):
+        coeff = expr.coeff(name)
+        term = name if abs(coeff) == 1 else f"{abs(coeff)} * {name}"
+        if not parts:
+            parts.append(term if coeff > 0 else f"0 - {term}")
+        else:
+            parts.append(f"+ {term}" if coeff > 0 else f"- {term}")
+    if expr.constant or not parts:
+        if not parts:
+            parts.append(str(expr.constant))
+        elif expr.constant > 0:
+            parts.append(f"+ {expr.constant}")
+        else:
+            parts.append(f"- {-expr.constant}")
+    return " ".join(parts)
+
+
+def program_to_source(program: Program) -> str:
+    """Render an IR program back to source (one loop nest per statement).
+
+    Statements sharing a nest are *not* re-fused; the output is a
+    semantically equivalent program in which every assignment carries
+    its own copy of the enclosing loops — sufficient for dependence
+    analysis round-trips, which work per statement pair.
+    """
+    out: list[str] = []
+    symbols: set[str] = set()
+    for stmt in program.statements:
+        symbols |= stmt.nest.symbols()
+        for ref in stmt.refs():
+            symbols |= ref.variables() - set(stmt.nest.variables)
+    for symbol in sorted(symbols):
+        out.append(f"read({symbol})")
+    for stmt in program.statements:
+        _emit_nest(stmt, out)
+    return "\n".join(out) + "\n"
+
+
+def _emit_nest(stmt, out: list[str]) -> None:
+    nest: LoopNest = stmt.nest
+    for depth, loop in enumerate(nest):
+        pad = "  " * depth
+        out.append(
+            f"{pad}for {loop.var} = {_affine_to_text(loop.lower)} "
+            f"to {_affine_to_text(loop.upper)} do"
+        )
+    pad = "  " * nest.depth
+    write = stmt.write
+    target = (
+        f"{write.array}"
+        + "".join(f"[{_affine_to_text(s)}]" for s in write.subscripts)
+        if write is not None
+        else "scratch"
+    )
+    read_text = " + ".join(
+        ref.array + "".join(f"[{_affine_to_text(s)}]" for s in ref.subscripts)
+        for ref in stmt.reads
+    ) or "0"
+    out.append(f"{pad}{target} = {read_text}")
+    for depth in reversed(range(nest.depth)):
+        out.append("  " * depth + "end for")

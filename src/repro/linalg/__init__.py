@@ -1,0 +1,26 @@
+"""Exact integer linear algebra used by the dependence tests."""
+
+from repro.linalg.echelon import EchelonFactorization, echelon_factor
+from repro.linalg.gcdext import (
+    ceil_div,
+    divides,
+    extended_gcd,
+    floor_div,
+    gcd,
+    gcd_all,
+    lcm,
+)
+from repro.linalg.matrix import IntMatrix
+
+__all__ = [
+    "IntMatrix",
+    "EchelonFactorization",
+    "echelon_factor",
+    "gcd",
+    "gcd_all",
+    "extended_gcd",
+    "floor_div",
+    "ceil_div",
+    "divides",
+    "lcm",
+]

@@ -1,0 +1,96 @@
+"""Unimodular/echelon factorization — the heart of the Extended GCD test.
+
+Banerjee's Extended GCD test (paper section 3.1) factors the subscript
+equation matrix ``A`` (one row per variable, one column per equation) as
+
+    U @ A == D
+
+where ``U`` is a square *unimodular* integer matrix (determinant +/-1,
+so its inverse is also integral) and ``D`` is an *echelon* matrix.  The
+factorization is computed by integer Gaussian elimination: the only row
+operations used (swap, negate, add an integer multiple of another row)
+are unimodular, and applying the same operations to an identity matrix
+accumulates ``U``.
+
+Given the factorization, the linear Diophantine system ``x @ A == c``
+has an integer solution iff ``t @ D == c`` does for integral ``t``
+(with ``x = t @ U``), and the echelon shape of ``D`` makes the latter
+solvable by simple forward substitution (see
+:mod:`repro.system.transform`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.linalg.matrix import IntMatrix
+
+__all__ = ["EchelonFactorization", "echelon_factor"]
+
+
+@dataclass(frozen=True)
+class EchelonFactorization:
+    """Result of ``echelon_factor``: ``u @ a == d`` with ``u`` unimodular.
+
+    Attributes:
+        u: the accumulated unimodular transform (n x n).
+        d: the echelon form of ``a`` (n x m).
+        rank: number of non-zero rows of ``d``.
+        pivot_cols: for each non-zero row ``r`` of ``d``, the column of
+            its leading entry; ``len(pivot_cols) == rank``.
+    """
+
+    u: IntMatrix
+    d: IntMatrix
+    rank: int
+    pivot_cols: tuple[int, ...]
+
+
+def echelon_factor(a: IntMatrix) -> EchelonFactorization:
+    """Factor ``a`` as ``u @ a == d`` with ``u`` unimodular, ``d`` echelon.
+
+    Leading entries of ``d`` are made positive (the paper requires
+    ``d11 > 0``; we normalize every pivot).
+    """
+    d = a.copy()
+    u = IntMatrix.identity(a.n_rows)
+    n, m = d.shape
+
+    pivot_row = 0
+    pivot_cols: list[int] = []
+    for col in range(m):
+        if pivot_row >= n:
+            break
+        # Reduce all entries below pivot_row in this column to zero using
+        # gcd-style remainder steps: repeatedly subtract multiples of the
+        # row with the smaller non-zero entry from the others.
+        while True:
+            nonzero = [
+                i for i in range(pivot_row, n) if d[i, col] != 0
+            ]
+            if not nonzero:
+                break
+            # Bring the row whose entry has the smallest magnitude to the top.
+            best = min(nonzero, key=lambda i: abs(d[i, col]))
+            if best != pivot_row:
+                d.swap_rows(pivot_row, best)
+                u.swap_rows(pivot_row, best)
+            if len(nonzero) == 1:
+                break
+            head = d[pivot_row, col]
+            for i in range(pivot_row + 1, n):
+                entry = d[i, col]
+                if entry != 0:
+                    q = entry // head  # floor division keeps remainders small
+                    d.add_multiple_of_row(i, pivot_row, -q)
+                    u.add_multiple_of_row(i, pivot_row, -q)
+        if d[pivot_row, col] != 0:
+            if d[pivot_row, col] < 0:
+                d.negate_row(pivot_row)
+                u.negate_row(pivot_row)
+            pivot_cols.append(col)
+            pivot_row += 1
+
+    return EchelonFactorization(
+        u=u, d=d, rank=pivot_row, pivot_cols=tuple(pivot_cols)
+    )

@@ -1,0 +1,171 @@
+"""A small exact integer matrix.
+
+Dependence systems are tiny (a handful of loop variables and array
+dimensions), so a dense list-of-lists representation with arbitrary
+precision Python ints is both simple and fast enough.  We deliberately
+do not use numpy here: the echelon factorization needs exact integer
+row operations, and silent overflow or float coercion would be a
+correctness bug.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["IntMatrix"]
+
+
+class IntMatrix:
+    """A dense matrix of Python ints supporting exact row operations."""
+
+    __slots__ = ("rows", "n_rows", "n_cols")
+
+    def __init__(self, rows: Iterable[Sequence[int]]):
+        self.rows: list[list[int]] = [list(map(int, row)) for row in rows]
+        self.n_rows = len(self.rows)
+        self.n_cols = len(self.rows[0]) if self.rows else 0
+        for row in self.rows:
+            if len(row) != self.n_cols:
+                raise ValueError("ragged rows in IntMatrix")
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def identity(cls, n: int) -> "IntMatrix":
+        return cls([[1 if i == j else 0 for j in range(n)] for i in range(n)])
+
+    @classmethod
+    def zeros(cls, n_rows: int, n_cols: int) -> "IntMatrix":
+        return cls([[0] * n_cols for _ in range(n_rows)])
+
+    def copy(self) -> "IntMatrix":
+        return IntMatrix(self.rows)
+
+    # -- element access ------------------------------------------------
+
+    def __getitem__(self, index: tuple[int, int]) -> int:
+        i, j = index
+        return self.rows[i][j]
+
+    def __setitem__(self, index: tuple[int, int], value: int) -> None:
+        i, j = index
+        self.rows[i][j] = int(value)
+
+    def row(self, i: int) -> list[int]:
+        return list(self.rows[i])
+
+    def col(self, j: int) -> list[int]:
+        return [row[j] for row in self.rows]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    # -- row operations (exact, in place) -------------------------------
+
+    def swap_rows(self, i: int, j: int) -> None:
+        self.rows[i], self.rows[j] = self.rows[j], self.rows[i]
+
+    def negate_row(self, i: int) -> None:
+        self.rows[i] = [-x for x in self.rows[i]]
+
+    def add_multiple_of_row(self, dst: int, src: int, factor: int) -> None:
+        """``row[dst] += factor * row[src]`` — a unimodular operation."""
+        if factor == 0:
+            return
+        src_row = self.rows[src]
+        dst_row = self.rows[dst]
+        self.rows[dst] = [d + factor * s for d, s in zip(dst_row, src_row)]
+
+    # -- arithmetic ------------------------------------------------------
+
+    def matmul(self, other: "IntMatrix") -> "IntMatrix":
+        if self.n_cols != other.n_rows:
+            raise ValueError(
+                f"shape mismatch: {self.shape} @ {other.shape}"
+            )
+        other_cols = [other.col(j) for j in range(other.n_cols)]
+        return IntMatrix(
+            [
+                [sum(a * b for a, b in zip(row, col)) for col in other_cols]
+                for row in self.rows
+            ]
+        )
+
+    def __matmul__(self, other: "IntMatrix") -> "IntMatrix":
+        return self.matmul(other)
+
+    def vecmul(self, vec: Sequence[int]) -> list[int]:
+        """Row-vector times matrix: ``vec @ self`` (vec has n_rows entries)."""
+        if len(vec) != self.n_rows:
+            raise ValueError("vector length mismatch")
+        return [
+            sum(v * row[j] for v, row in zip(vec, self.rows))
+            for j in range(self.n_cols)
+        ]
+
+    def transpose(self) -> "IntMatrix":
+        return IntMatrix(
+            [[self.rows[i][j] for i in range(self.n_rows)] for j in range(self.n_cols)]
+        )
+
+    # -- predicates -------------------------------------------------------
+
+    def determinant(self) -> int:
+        """Exact determinant via fraction-free (Bareiss) elimination."""
+        if self.n_rows != self.n_cols:
+            raise ValueError("determinant of a non-square matrix")
+        n = self.n_rows
+        if n == 0:
+            return 1
+        a = [row[:] for row in self.rows]
+        sign = 1
+        prev = 1
+        for k in range(n - 1):
+            if a[k][k] == 0:
+                for i in range(k + 1, n):
+                    if a[i][k] != 0:
+                        a[k], a[i] = a[i], a[k]
+                        sign = -sign
+                        break
+                else:
+                    return 0
+            for i in range(k + 1, n):
+                for j in range(k + 1, n):
+                    a[i][j] = (a[i][j] * a[k][k] - a[i][k] * a[k][j]) // prev
+                a[i][k] = 0
+            prev = a[k][k]
+        return sign * a[n - 1][n - 1]
+
+    def is_unimodular(self) -> bool:
+        """True iff square with determinant +1 or -1."""
+        return self.n_rows == self.n_cols and abs(self.determinant()) == 1
+
+    def is_echelon(self) -> bool:
+        """True iff in row echelon form (leading columns strictly increase,
+        zero rows at the bottom)."""
+        last_lead = -1
+        seen_zero_row = False
+        for row in self.rows:
+            lead = next((j for j, x in enumerate(row) if x != 0), None)
+            if lead is None:
+                seen_zero_row = True
+                continue
+            if seen_zero_row or lead <= last_lead:
+                return False
+            last_lead = lead
+        return True
+
+    # -- misc ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntMatrix):
+            return NotImplemented
+        return self.rows == other.rows
+
+    def __hash__(self) -> int:
+        return hash(tuple(tuple(row) for row in self.rows))
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(row) for row in self.rows)
+        return f"IntMatrix([{body}])"

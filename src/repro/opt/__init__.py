@@ -1,0 +1,16 @@
+"""Prepass optimizations that make subscripts and bounds affine."""
+
+from repro.opt.constprop import propagate_constants
+from repro.opt.forward_sub import forward_substitute
+from repro.opt.induction import substitute_inductions
+from repro.opt.normalize import normalize_loops
+from repro.opt.pipeline import compile_source, optimize
+
+__all__ = [
+    "propagate_constants",
+    "forward_substitute",
+    "substitute_inductions",
+    "normalize_loops",
+    "optimize",
+    "compile_source",
+]

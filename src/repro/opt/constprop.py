@@ -1,0 +1,110 @@
+"""Constant propagation on scalars (paper sections 2 and 8).
+
+A flow-sensitive pass tracking scalars with known integer values and
+substituting them into every expression — bounds, subscripts and
+right-hand sides.  Scalars assigned inside a loop are invalidated at
+loop entry (their value varies across iterations; the stronger
+scalar-evolution pass in :mod:`repro.opt.induction` recovers the linear
+ones); ``read(x)`` makes ``x`` a runtime unknown.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Expr,
+    ForLoop,
+    IfStmt,
+    Name,
+    Num,
+    Read,
+    SourceProgram,
+    Stmt,
+)
+from repro.opt.rewrite import (
+    assigned_scalars,
+    map_expressions,
+    substitute_names,
+    try_affine,
+)
+
+__all__ = ["propagate_constants"]
+
+
+def propagate_constants(source: SourceProgram) -> SourceProgram:
+    """Return a program with known scalar constants substituted."""
+    env: dict[str, int] = {}
+    body = _walk(source.body, env)
+    return SourceProgram(
+        body=body, name=source.name, source_lines=source.source_lines
+    )
+
+
+def _walk(stmts: list[Stmt], env: dict[str, int]) -> list[Stmt]:
+    out: list[Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, Read):
+            env.pop(stmt.ident, None)
+            out.append(stmt)
+        elif isinstance(stmt, Assign):
+            out.append(_assign(stmt, env))
+        elif isinstance(stmt, ForLoop):
+            out.append(_loop(stmt, env))
+        elif isinstance(stmt, IfStmt):
+            out.append(_branch(stmt, env))
+        else:
+            raise TypeError(f"unknown statement {stmt!r}")
+    return out
+
+
+def _substitute(expr: Expr, env: dict[str, int]) -> Expr:
+    mapping = {name: Num(value) for name, value in env.items()}
+    return substitute_names(expr, mapping)
+
+
+def _assign(stmt: Assign, env: dict[str, int]) -> Assign:
+    rewritten = map_expressions(stmt, lambda e: _substitute(e, env))
+    assert isinstance(rewritten, Assign)
+    if isinstance(rewritten.target, Name):
+        affine = try_affine(rewritten.expr)
+        if affine is not None and affine.is_constant:
+            env[rewritten.target.ident] = affine.as_constant()
+        else:
+            env.pop(rewritten.target.ident, None)
+    return rewritten
+
+
+def _branch(stmt: IfStmt, env: dict[str, int]) -> IfStmt:
+    """Both arms start from the current facts; afterwards only facts on
+    which the arms *agree* survive (the classic meet)."""
+    left = _substitute(stmt.left, env)
+    right = _substitute(stmt.right, env)
+    then_env = dict(env)
+    else_env = dict(env)
+    then_body = _walk(stmt.then_body, then_env)
+    else_body = _walk(stmt.else_body, else_env)
+    env.clear()
+    env.update(
+        {
+            name: value
+            for name, value in then_env.items()
+            if else_env.get(name) == value
+        }
+    )
+    return IfStmt(stmt.op, left, right, then_body, else_body, stmt.line)
+
+
+def _loop(stmt: ForLoop, env: dict[str, int]) -> ForLoop:
+    lower = _substitute(stmt.lower, env)
+    upper = _substitute(stmt.upper, env)
+    # The loop variable and anything assigned in the body vary inside.
+    inner_env = dict(env)
+    inner_env.pop(stmt.var, None)
+    for name in assigned_scalars(stmt.body):
+        inner_env.pop(name, None)
+    body = _walk(stmt.body, inner_env)
+    # After the loop the body-assigned scalars are unknown.
+    env.pop(stmt.var, None)
+    for name in assigned_scalars(stmt.body):
+        env.pop(name, None)
+    return ForLoop(stmt.var, lower, upper, stmt.step, body, stmt.line)

@@ -1,0 +1,128 @@
+"""Forward substitution of affine scalar definitions (paper section 2).
+
+Where constant propagation only tracks integer values, forward
+substitution tracks whole affine expressions: after ``k = i + 1`` the
+use ``a[k]`` becomes ``a[i + 1]``.  A definition is only propagated
+while every variable it mentions is *stable* — an enclosing loop
+variable or a never-assigned name (symbolic term).  Scalars assigned
+inside a loop vary across iterations and are invalidated at loop entry;
+:mod:`repro.opt.induction` recovers the linear ones.
+"""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.lang.ast_nodes import (
+    Assign,
+    Expr,
+    ForLoop,
+    IfStmt,
+    Name,
+    Read,
+    SourceProgram,
+    Stmt,
+)
+from repro.opt.rewrite import (
+    affine_to_expr,
+    assigned_scalars,
+    map_expressions,
+    substitute_names,
+    try_affine,
+)
+
+__all__ = ["forward_substitute"]
+
+
+def forward_substitute(source: SourceProgram) -> SourceProgram:
+    """Return a program with affine scalar definitions folded into uses."""
+    assigned_anywhere = assigned_scalars(source.body)
+    walker = _Walker(assigned_anywhere)
+    body = walker.walk(source.body, {}, loop_vars=[])
+    return SourceProgram(
+        body=body, name=source.name, source_lines=source.source_lines
+    )
+
+
+class _Walker:
+    def __init__(self, assigned_anywhere: set[str]):
+        self.assigned_anywhere = assigned_anywhere
+
+    def _stable(self, name: str, loop_vars: list[str]) -> bool:
+        return name in loop_vars or name not in self.assigned_anywhere
+
+    def walk(
+        self,
+        stmts: list[Stmt],
+        env: dict[str, AffineExpr],
+        loop_vars: list[str],
+    ) -> list[Stmt]:
+        out: list[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, Read):
+                env.pop(stmt.ident, None)
+                out.append(stmt)
+            elif isinstance(stmt, Assign):
+                out.append(self._assign(stmt, env, loop_vars))
+            elif isinstance(stmt, ForLoop):
+                out.append(self._loop(stmt, env, loop_vars))
+            elif isinstance(stmt, IfStmt):
+                out.append(self._branch(stmt, env, loop_vars))
+            else:
+                raise TypeError(f"unknown statement {stmt!r}")
+        return out
+
+    def _branch(
+        self, stmt: IfStmt, env: dict[str, AffineExpr], loop_vars: list[str]
+    ) -> IfStmt:
+        left = self._substitute(stmt.left, env)
+        right = self._substitute(stmt.right, env)
+        then_env = dict(env)
+        else_env = dict(env)
+        then_body = self.walk(stmt.then_body, then_env, loop_vars)
+        else_body = self.walk(stmt.else_body, else_env, loop_vars)
+        env.clear()
+        env.update(
+            {
+                name: value
+                for name, value in then_env.items()
+                if else_env.get(name) == value
+            }
+        )
+        return IfStmt(stmt.op, left, right, then_body, else_body, stmt.line)
+
+    def _substitute(self, expr: Expr, env: dict[str, AffineExpr]) -> Expr:
+        mapping = {name: affine_to_expr(value) for name, value in env.items()}
+        return substitute_names(expr, mapping)
+
+    def _assign(
+        self, stmt: Assign, env: dict[str, AffineExpr], loop_vars: list[str]
+    ) -> Assign:
+        rewritten = map_expressions(stmt, lambda e: self._substitute(e, env))
+        assert isinstance(rewritten, Assign)
+        if isinstance(rewritten.target, Name):
+            name = rewritten.target.ident
+            value = try_affine(rewritten.expr)
+            if value is not None and all(
+                self._stable(v, loop_vars) for v in value.variables()
+            ):
+                env[name] = value
+            else:
+                env.pop(name, None)
+        return rewritten
+
+    def _loop(
+        self, stmt: ForLoop, env: dict[str, AffineExpr], loop_vars: list[str]
+    ) -> ForLoop:
+        lower = self._substitute(stmt.lower, env)
+        upper = self._substitute(stmt.upper, env)
+        inner_env = dict(env)
+        inner_env.pop(stmt.var, None)
+        for name in assigned_scalars(stmt.body):
+            inner_env.pop(name, None)
+        # Definitions mentioning the loop variable of an *outer* scope
+        # stay valid; ones mentioning this new variable cannot exist yet.
+        body = self.walk(stmt.body, inner_env, loop_vars + [stmt.var])
+        env.pop(stmt.var, None)
+        for name in assigned_scalars(stmt.body):
+            env.pop(name, None)
+        return ForLoop(stmt.var, lower, upper, stmt.step, body, stmt.line)

@@ -1,0 +1,247 @@
+"""Induction-variable substitution via scalar evolution (paper section 8).
+
+The paper's motivating example::
+
+    n = 100
+    iz = 0
+    for i = 1 to 10 do
+        iz = iz + 2
+        a[iz + n] = a[iz + 2*n + 1] + 3
+    end for
+
+must become ``a[2i + 100] = a[2i + 201] + 3`` before dependence testing
+can apply.  This pass subsumes constant propagation and forward
+substitution: it tracks every scalar as an affine expression over
+*stable* names (enclosing loop variables and never-assigned symbols),
+and additionally recognizes linear recurrences.
+
+For each loop, each scalar ``x`` assigned in the body is test-simulated
+through one iteration starting from a placeholder value; if its exit
+value is ``placeholder + c`` for a constant ``c`` and its entry value
+``x0`` is known, then inside the body at iteration ``i`` the pass seeds
+``x = x0 + c*(i - L)`` (the pre-increment value; the sequential walk
+then tracks positions before/after the increment exactly), and after
+the loop ``x = x0 + c * trips``.
+
+Caveat, shared with production strength reduction: the post-loop value
+assumes the loop runs its full trip count (a zero-trip loop would leave
+``x = x0``); bounds in this IR are assumed non-empty, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.lang.ast_nodes import (
+    Assign,
+    Expr,
+    ForLoop,
+    IfStmt,
+    Name,
+    Read,
+    SourceProgram,
+    Stmt,
+)
+from repro.opt.rewrite import (
+    affine_to_expr,
+    assigned_scalars,
+    map_expressions,
+    substitute_names,
+    try_affine,
+)
+
+__all__ = ["substitute_inductions"]
+
+_PLACEHOLDER = "@{}"  # simulation-only variable names; never escape
+
+
+def substitute_inductions(source: SourceProgram) -> SourceProgram:
+    """Run the scalar-evolution rewrite over a whole program."""
+    assigned_anywhere = assigned_scalars(source.body)
+    walker = _Evolution(assigned_anywhere)
+    body = walker.walk(list(source.body), {}, loop_vars=[])
+    return SourceProgram(
+        body=body, name=source.name, source_lines=source.source_lines
+    )
+
+
+class _Evolution:
+    def __init__(self, assigned_anywhere: set[str]):
+        self.assigned_anywhere = assigned_anywhere
+
+    # -- value validity ----------------------------------------------------
+
+    def _stable(self, name: str, loop_vars: list[str]) -> bool:
+        return name in loop_vars or name not in self.assigned_anywhere
+
+    def _admissible(self, value: AffineExpr, loop_vars: list[str]) -> bool:
+        return all(self._stable(v, loop_vars) for v in value.variables())
+
+    # -- main walk -----------------------------------------------------------
+
+    def walk(
+        self,
+        stmts: list[Stmt],
+        env: dict[str, AffineExpr],
+        loop_vars: list[str],
+    ) -> list[Stmt]:
+        out: list[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, Read):
+                env.pop(stmt.ident, None)
+                out.append(stmt)
+            elif isinstance(stmt, Assign):
+                out.append(self._assign(stmt, env, loop_vars))
+            elif isinstance(stmt, ForLoop):
+                out.append(self._loop(stmt, env, loop_vars))
+            elif isinstance(stmt, IfStmt):
+                out.append(self._branch(stmt, env, loop_vars))
+            else:
+                raise TypeError(f"unknown statement {stmt!r}")
+        return out
+
+    def _branch(
+        self, stmt: IfStmt, env: dict[str, AffineExpr], loop_vars: list[str]
+    ) -> IfStmt:
+        left = self._substitute(stmt.left, env)
+        right = self._substitute(stmt.right, env)
+        then_env = dict(env)
+        else_env = dict(env)
+        then_body = self.walk(list(stmt.then_body), then_env, loop_vars)
+        else_body = self.walk(list(stmt.else_body), else_env, loop_vars)
+        env.clear()
+        env.update(
+            {
+                name: value
+                for name, value in then_env.items()
+                if else_env.get(name) == value
+            }
+        )
+        return IfStmt(stmt.op, left, right, then_body, else_body, stmt.line)
+
+    def _substitute(self, expr: Expr, env: dict[str, AffineExpr]) -> Expr:
+        mapping = {name: affine_to_expr(value) for name, value in env.items()}
+        return substitute_names(expr, mapping)
+
+    def _assign(
+        self, stmt: Assign, env: dict[str, AffineExpr], loop_vars: list[str]
+    ) -> Assign:
+        rewritten = map_expressions(stmt, lambda e: self._substitute(e, env))
+        assert isinstance(rewritten, Assign)
+        if isinstance(rewritten.target, Name):
+            name = rewritten.target.ident
+            value = try_affine(rewritten.expr)
+            if value is not None and self._admissible(value, loop_vars):
+                env[name] = value
+            else:
+                env.pop(name, None)
+        return rewritten
+
+    def _loop(
+        self, stmt: ForLoop, env: dict[str, AffineExpr], loop_vars: list[str]
+    ) -> ForLoop:
+        lower_expr = self._substitute(stmt.lower, env)
+        upper_expr = self._substitute(stmt.upper, env)
+        lower = try_affine(lower_expr)
+        upper = try_affine(upper_expr)
+        assigned = assigned_scalars(stmt.body)
+        inner_vars = loop_vars + [stmt.var]
+
+        evolutions = self._find_evolutions(stmt, env, assigned)
+        entry_values = {name: env[name] for name in evolutions}
+
+        inner_env = {
+            name: value
+            for name, value in env.items()
+            if name not in assigned and name != stmt.var
+        }
+        closed_forms_ok = (
+            stmt.step == 1
+            and lower is not None
+            and self._admissible(lower, loop_vars)
+        )
+        if closed_forms_ok:
+            index = AffineExpr.variable(stmt.var)
+            for name, stride in evolutions.items():
+                inner_env[name] = entry_values[name] + (index - lower) * stride
+
+        body = self.walk(list(stmt.body), inner_env, inner_vars)
+
+        # Post-loop values: evolving scalars get their closed form at the
+        # full trip count; everything else assigned in the body is unknown.
+        env.pop(stmt.var, None)
+        for name in assigned:
+            env.pop(name, None)
+        if (
+            closed_forms_ok
+            and upper is not None
+            and self._admissible(upper, loop_vars)
+        ):
+            trips = upper - lower + 1
+            for name, stride in evolutions.items():
+                env[name] = entry_values[name] + trips * stride
+        return ForLoop(
+            stmt.var, lower_expr, upper_expr, stmt.step, body, stmt.line
+        )
+
+    def _find_evolutions(
+        self,
+        stmt: ForLoop,
+        env: dict[str, AffineExpr],
+        assigned: set[str],
+    ) -> dict[str, int]:
+        """Scalars evolving as ``x += c`` per iteration, with known entry.
+
+        Returns ``{name: stride}`` only for scalars whose entry value is
+        already known affine, since the closed form needs ``x0``.
+        Snapshot of entry values is taken by the caller from ``env``.
+        """
+        candidates = {
+            name for name in assigned if name in env
+        }
+        if not candidates:
+            return {}
+        sim_env: dict[str, AffineExpr] = {}
+        for name, value in env.items():
+            if name in assigned:
+                sim_env[name] = AffineExpr.variable(_PLACEHOLDER.format(name))
+            else:
+                sim_env[name] = value
+        self._simulate(stmt.body, sim_env)
+        evolutions: dict[str, int] = {}
+        for name in candidates:
+            exit_value = sim_env.get(name)
+            if exit_value is None:
+                continue
+            placeholder = _PLACEHOLDER.format(name)
+            if exit_value.coeff(placeholder) != 1:
+                continue
+            delta = exit_value - AffineExpr.variable(placeholder)
+            if not delta.is_constant:
+                continue
+            evolutions[name] = delta.as_constant()
+        return evolutions
+
+    def _simulate(self, stmts: list[Stmt], env: dict[str, AffineExpr]) -> None:
+        """One abstract iteration: track scalar updates only."""
+        for stmt in stmts:
+            if isinstance(stmt, Read):
+                env.pop(stmt.ident, None)
+            elif isinstance(stmt, Assign) and isinstance(stmt.target, Name):
+                substituted = self._substitute(stmt.expr, env)
+                value = try_affine(substituted)
+                name = stmt.target.ident
+                if value is not None:
+                    env[name] = value
+                else:
+                    env.pop(name, None)
+            elif isinstance(stmt, ForLoop):
+                for name in assigned_scalars(stmt.body):
+                    env.pop(name, None)
+                env.pop(stmt.var, None)
+            elif isinstance(stmt, IfStmt):
+                # A conditionally-assigned scalar is not a uniform
+                # recurrence; reject it as an induction candidate.
+                for name in assigned_scalars(stmt.then_body):
+                    env.pop(name, None)
+                for name in assigned_scalars(stmt.else_body):
+                    env.pop(name, None)

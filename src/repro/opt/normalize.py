@@ -1,0 +1,130 @@
+"""Loop normalization: rewrite strided loops to step 1 (paper section 2).
+
+``for i = L to U step s`` becomes ``for k = 0 to trip-1`` with every
+use of ``i`` replaced by ``L + s*k``.  The trip count ``(U - L) / s``
+must round toward zero by Fortran DO semantics; with affine bounds that
+division is only computable when ``U - L`` is a known constant, so:
+
+* ``s == 1``  — already normal, untouched;
+* ``s != 1`` with constant ``U - L`` — rewritten as above;
+* otherwise — left as-is (the lowering stage reports it).
+
+Negative steps are handled by the same formula (trip count
+``(U - L) // s`` with floor-toward-zero semantics of a DO loop).
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    ForLoop,
+    IfStmt,
+    Name,
+    Num,
+    Read,
+    SourceProgram,
+    Stmt,
+)
+from repro.opt.rewrite import affine_to_expr, substitute_names, try_affine
+
+__all__ = ["normalize_loops"]
+
+
+def normalize_loops(source: SourceProgram) -> SourceProgram:
+    """Return a program in which every normalizable loop has step 1."""
+    return SourceProgram(
+        body=[_normalize(stmt) for stmt in source.body],
+        name=source.name,
+        source_lines=source.source_lines,
+    )
+
+
+def _normalize(stmt: Stmt) -> Stmt:
+    if isinstance(stmt, IfStmt):
+        return IfStmt(
+            stmt.op,
+            stmt.left,
+            stmt.right,
+            [_normalize(s) for s in stmt.then_body],
+            [_normalize(s) for s in stmt.else_body],
+            stmt.line,
+        )
+    if not isinstance(stmt, ForLoop):
+        return stmt
+    body = [_normalize(inner) for inner in stmt.body]
+    if stmt.step == 1:
+        return ForLoop(stmt.var, stmt.lower, stmt.upper, 1, body, stmt.line)
+
+    lower = try_affine(stmt.lower)
+    upper = try_affine(stmt.upper)
+    if lower is None or upper is None:
+        return ForLoop(stmt.var, stmt.lower, stmt.upper, stmt.step, body, stmt.line)
+    span = upper - lower
+    if not span.is_constant:
+        return ForLoop(stmt.var, stmt.lower, stmt.upper, stmt.step, body, stmt.line)
+
+    # DO-loop trip count: executes for i = L, L+s, ... while
+    # (i - L) * sign(s) <= (U - L) * sign(s); trips = span//s + 1 when
+    # span and s have compatible signs, else 0 -- encode the non-positive
+    # case as an upper bound of -1 (empty normalized loop).
+    span_c = span.as_constant()
+    trips = span_c // stmt.step + 1 if span_c * stmt.step >= 0 else 0
+
+    new_var = f"{stmt.var}__n"
+    # i = L + s * k
+    replacement = BinOp(
+        "+",
+        affine_to_expr(lower),
+        BinOp("*", Num(stmt.step), Name(new_var)),
+    )
+    new_body = [
+        _substitute_stmt(inner, stmt.var, replacement) for inner in body
+    ]
+    return ForLoop(
+        new_var,
+        Num(0),
+        Num(trips - 1),
+        1,
+        new_body,
+        stmt.line,
+    )
+
+
+def _substitute_stmt(stmt: Stmt, name: str, replacement) -> Stmt:
+    mapping = {name: replacement}
+    if isinstance(stmt, Assign):
+        from repro.opt.rewrite import map_expressions
+
+        return map_expressions(stmt, lambda e: substitute_names(e, mapping))
+    if isinstance(stmt, ForLoop):
+        if stmt.var == name:
+            # Inner loop shadows the name: bounds still see the outer value.
+            return ForLoop(
+                stmt.var,
+                substitute_names(stmt.lower, mapping),
+                substitute_names(stmt.upper, mapping),
+                stmt.step,
+                stmt.body,
+                stmt.line,
+            )
+        return ForLoop(
+            stmt.var,
+            substitute_names(stmt.lower, mapping),
+            substitute_names(stmt.upper, mapping),
+            stmt.step,
+            [_substitute_stmt(inner, name, replacement) for inner in stmt.body],
+            stmt.line,
+        )
+    if isinstance(stmt, IfStmt):
+        return IfStmt(
+            stmt.op,
+            substitute_names(stmt.left, mapping),
+            substitute_names(stmt.right, mapping),
+            [_substitute_stmt(s, name, replacement) for s in stmt.then_body],
+            [_substitute_stmt(s, name, replacement) for s in stmt.else_body],
+            stmt.line,
+        )
+    if isinstance(stmt, Read):
+        return stmt
+    raise TypeError(f"unknown statement {stmt!r}")

@@ -1,0 +1,40 @@
+"""The prepass optimization pipeline (paper sections 2 and 8).
+
+Order matters:
+
+1. **loop normalization** rewrites strided loops to step 1, exposing
+   plain loop variables;
+2. **scalar evolution** (:func:`substitute_inductions`) folds constants,
+   affine scalar definitions, and linear recurrences into subscripts
+   and bounds — it subsumes constant propagation and forward
+   substitution, which remain available individually for ablation.
+
+``optimize`` is AST -> AST; ``compile_source`` goes all the way from
+source text to the affine IR.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import SourceProgram
+from repro.lang.lower import LowerResult, lower
+from repro.lang.parser import parse
+from repro.opt.constprop import propagate_constants
+from repro.opt.forward_sub import forward_substitute
+from repro.opt.induction import substitute_inductions
+from repro.opt.normalize import normalize_loops
+
+__all__ = ["optimize", "compile_source"]
+
+
+def optimize(source: SourceProgram) -> SourceProgram:
+    """Run the full prepass pipeline on a parsed program."""
+    out = normalize_loops(source)
+    out = substitute_inductions(out)
+    return out
+
+
+def compile_source(
+    text: str, name: str = "<source>", strict: bool = True
+) -> LowerResult:
+    """Parse, optimize and lower source text to the affine IR."""
+    return lower(optimize(parse(text, name=name)), strict=strict)

@@ -1,0 +1,140 @@
+"""Shared AST rewriting utilities for the prepass optimizations."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.ir.affine import AffineExpr
+from repro.lang.ast_nodes import (
+    Access,
+    Assign,
+    BinOp,
+    Expr,
+    ForLoop,
+    IfStmt,
+    Name,
+    Num,
+    Read,
+    Stmt,
+)
+
+__all__ = [
+    "substitute_names",
+    "map_expressions",
+    "affine_to_expr",
+    "try_affine",
+    "assigned_scalars",
+]
+
+
+def substitute_names(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:
+    """Replace scalar Name nodes per ``mapping`` (array names untouched)."""
+    if isinstance(expr, Name):
+        return mapping.get(expr.ident, expr)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            substitute_names(expr.left, mapping),
+            substitute_names(expr.right, mapping),
+        )
+    if isinstance(expr, Access):
+        return Access(
+            expr.array,
+            tuple(substitute_names(s, mapping) for s in expr.subscripts),
+        )
+    return expr
+
+
+def map_expressions(stmt: Stmt, fn: Callable[[Expr], Expr]) -> Stmt:
+    """Apply ``fn`` to every expression position of one statement (shallow:
+    loop bodies are not entered — passes control their own traversal)."""
+    if isinstance(stmt, Assign):
+        target = stmt.target
+        if isinstance(target, Access):
+            target = Access(
+                target.array, tuple(fn(s) for s in target.subscripts)
+            )
+        return Assign(target, fn(stmt.expr), line=stmt.line)
+    if isinstance(stmt, ForLoop):
+        return ForLoop(
+            stmt.var,
+            fn(stmt.lower),
+            fn(stmt.upper),
+            stmt.step,
+            stmt.body,
+            line=stmt.line,
+        )
+    if isinstance(stmt, IfStmt):
+        return IfStmt(
+            stmt.op,
+            fn(stmt.left),
+            fn(stmt.right),
+            stmt.then_body,
+            stmt.else_body,
+            line=stmt.line,
+        )
+    if isinstance(stmt, Read):
+        return stmt
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def affine_to_expr(affine: AffineExpr) -> Expr:
+    """Convert an affine expression back into an AST expression tree."""
+    expr: Expr | None = None
+
+    def append(term: Expr, negative: bool) -> None:
+        nonlocal expr
+        if expr is None:
+            expr = BinOp("-", Num(0), term) if negative else term
+        else:
+            expr = BinOp("-" if negative else "+", expr, term)
+
+    for name in sorted(affine.terms):
+        coeff = affine.coeff(name)
+        magnitude = abs(coeff)
+        term: Expr = Name(name)
+        if magnitude != 1:
+            term = BinOp("*", Num(magnitude), term)
+        append(term, coeff < 0)
+    if affine.constant != 0 or expr is None:
+        append(Num(abs(affine.constant)), affine.constant < 0)
+    assert expr is not None
+    return expr
+
+
+def try_affine(expr: Expr) -> AffineExpr | None:
+    """Lower an AST expression to affine form; None when non-affine."""
+    if isinstance(expr, Num):
+        return AffineExpr(expr.value)
+    if isinstance(expr, Name):
+        return AffineExpr.variable(expr.ident)
+    if isinstance(expr, BinOp):
+        left = try_affine(expr.left)
+        right = try_affine(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            if left.is_constant:
+                return right * left.constant
+            if right.is_constant:
+                return left * right.constant
+        return None
+    return None  # array accesses are never affine
+
+
+def assigned_scalars(stmts: list[Stmt]) -> set[str]:
+    """Scalar names assigned anywhere within the statements (recursive)."""
+    out: set[str] = set()
+    for stmt in stmts:
+        if isinstance(stmt, Assign) and isinstance(stmt.target, Name):
+            out.add(stmt.target.ident)
+        elif isinstance(stmt, ForLoop):
+            out |= assigned_scalars(stmt.body)
+        elif isinstance(stmt, IfStmt):
+            out |= assigned_scalars(stmt.then_body)
+            out |= assigned_scalars(stmt.else_body)
+    return out

@@ -1,0 +1,17 @@
+"""Exhaustive-enumeration ground truth for validating the exact tests."""
+
+from repro.oracle.enumerate import (
+    iterate_solutions,
+    oracle_dependent,
+    oracle_direction_vectors,
+    oracle_distance_set,
+    solve_system,
+)
+
+__all__ = [
+    "iterate_solutions",
+    "solve_system",
+    "oracle_dependent",
+    "oracle_direction_vectors",
+    "oracle_distance_set",
+]

@@ -1,0 +1,131 @@
+"""Brute-force enumeration oracle.
+
+Dependence testing asks whether an integer system has a solution; for
+small constant bounds that question can be settled by exhaustive
+enumeration.  The oracle is the ground truth against which every test
+in the cascade is validated (unit tests and hypothesis properties),
+and it also computes reference direction/distance vector sets.
+
+Never used by the analyzer itself — only by tests and examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from itertools import product
+
+from repro.ir.arrays import ArrayRef
+from repro.ir.loops import LoopNest
+from repro.system.constraints import ConstraintSystem
+from repro.system.depsystem import Direction
+
+__all__ = [
+    "solve_system",
+    "iterate_solutions",
+    "oracle_dependent",
+    "oracle_direction_vectors",
+    "oracle_distance_set",
+]
+
+
+def iterate_solutions(
+    system: ConstraintSystem, lo: int, hi: int
+) -> Iterator[tuple[int, ...]]:
+    """All integer points in ``[lo, hi]^n`` satisfying the system."""
+    for point in product(range(lo, hi + 1), repeat=system.n_vars):
+        if system.evaluate(point):
+            yield point
+
+
+def solve_system(
+    system: ConstraintSystem, lo: int, hi: int
+) -> tuple[int, ...] | None:
+    """First solution in the box, or None.
+
+    Only meaningful when the system's solutions (if any) are known to
+    intersect the box — callers bound their variables accordingly.
+    """
+    return next(iterate_solutions(system, lo, hi), None)
+
+
+def _iteration_vectors(
+    nest: LoopNest, env: Mapping[str, int]
+) -> Iterator[dict[str, int]]:
+    yield from nest.iteration_space(dict(env))
+
+
+def _conflicts(
+    ref1: ArrayRef,
+    nest1: LoopNest,
+    ref2: ArrayRef,
+    nest2: LoopNest,
+    env: Mapping[str, int],
+) -> Iterator[tuple[dict[str, int], dict[str, int]]]:
+    """All pairs of iterations at which the two references collide."""
+    if ref1.array != ref2.array or ref1.rank != ref2.rank:
+        return
+    points2 = list(_iteration_vectors(nest2, env))
+    for iter1 in _iteration_vectors(nest1, env):
+        env1 = {**env, **iter1}
+        addr1 = tuple(s.evaluate(env1) for s in ref1.subscripts)
+        for iter2 in points2:
+            env2 = {**env, **iter2}
+            addr2 = tuple(s.evaluate(env2) for s in ref2.subscripts)
+            if addr1 == addr2:
+                yield iter1, iter2
+
+
+def oracle_dependent(
+    ref1: ArrayRef,
+    nest1: LoopNest,
+    ref2: ArrayRef,
+    nest2: LoopNest,
+    env: Mapping[str, int] | None = None,
+) -> bool:
+    """True iff some pair of iterations touches the same element."""
+    return next(_conflicts(ref1, nest1, ref2, nest2, env or {}), None) is not None
+
+
+def oracle_direction_vectors(
+    ref1: ArrayRef,
+    nest1: LoopNest,
+    ref2: ArrayRef,
+    nest2: LoopNest,
+    env: Mapping[str, int] | None = None,
+) -> set[tuple[str, ...]]:
+    """The exact set of elementary direction vectors over the common loops.
+
+    Each vector has one component from ``{<, =, >}`` per common loop
+    level (paper section 6); non-common levels do not participate.
+    """
+    n_common = nest1.common_prefix_depth(nest2)
+    common_vars = nest1.variables[:n_common]
+    found: set[tuple[str, ...]] = set()
+    for iter1, iter2 in _conflicts(ref1, nest1, ref2, nest2, env or {}):
+        vector = []
+        for var in common_vars:
+            a, b = iter1[var], iter2[var]
+            if a < b:
+                vector.append(Direction.LT)
+            elif a == b:
+                vector.append(Direction.EQ)
+            else:
+                vector.append(Direction.GT)
+        found.add(tuple(vector))
+    return found
+
+
+def oracle_distance_set(
+    ref1: ArrayRef,
+    nest1: LoopNest,
+    ref2: ArrayRef,
+    nest2: LoopNest,
+    env: Mapping[str, int] | None = None,
+) -> set[tuple[int, ...]]:
+    """All observed distance vectors ``i' - i`` over the common loops."""
+    n_common = nest1.common_prefix_depth(nest2)
+    common_vars = nest1.variables[:n_common]
+    return {
+        tuple(iter2[v] - iter1[v] for v in common_vars)
+        for iter1, iter2 in _conflicts(ref1, nest1, ref2, nest2, env or {})
+    }

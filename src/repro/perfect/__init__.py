@@ -1,0 +1,24 @@
+"""Synthetic PERFECT-Club-shaped workload (see DESIGN.md substitutions)."""
+
+from repro.perfect.patterns import PATTERNS, SYMBOLIC_PATTERNS, Query, make_query
+from repro.perfect.programs import (
+    BUCKETS,
+    PROGRAM_SPECS,
+    ProgramSpec,
+    generate_program,
+)
+from repro.perfect.suite import SuiteProgram, load_suite, suite_totals
+
+__all__ = [
+    "Query",
+    "make_query",
+    "PATTERNS",
+    "SYMBOLIC_PATTERNS",
+    "ProgramSpec",
+    "PROGRAM_SPECS",
+    "BUCKETS",
+    "generate_program",
+    "SuiteProgram",
+    "load_suite",
+    "suite_totals",
+]

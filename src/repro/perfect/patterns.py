@@ -1,0 +1,251 @@
+"""Reference-pattern families for the synthetic PERFECT workload.
+
+The paper evaluates on the 13 PERFECT Club Fortran programs, which are
+proprietary; DESIGN.md documents the substitution.  Each factory below
+deterministically builds a *family* of dependence queries that the
+cascade decides with one specific test:
+
+===================  ==========================================================
+bucket               pattern shape
+===================  ==========================================================
+constant             ``a[c1]`` vs ``a[c2]`` — no dependence testing at all
+gcd                  ``a[s*i]`` vs ``a[s*i + r]`` with ``s`` ∤ ``r``
+svpc                 shifts, separable 2-D refs, and the paper's coupled
+                     ``a[i1][i2]`` vs ``a[i2+c][i1+d]`` example
+acyclic              triangular bounds ``j <= i`` (one-directional coupling)
+loop_residue         banded bounds ``i <= j <= i+w`` (difference-constraint
+                     cycles with unit coefficients)
+fourier_motzkin      three-variable couplings ``a[i+j]`` vs ``a[i+j+k]`` and
+                     scaled bands ``2i <= j <= 2i+w``
+symbolic_*           section-8 shapes: unknowns in subscripts and bounds
+===================  ==========================================================
+
+``idx`` selects a distinct family member (different offsets/bounds);
+the same ``idx`` always rebuilds the identical query, which is what the
+memoization experiments repeat.  ``wrapper`` optionally adds an unused
+outer loop (variants that the *simple* memo scheme distinguishes but
+the improved one merges, and that unpruned direction refinement pays
+for — Tables 2, 4 and 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir import builder as B
+from repro.ir.arrays import ArrayRef
+from repro.ir.loops import Loop, LoopNest
+
+__all__ = ["Query", "PATTERNS", "SYMBOLIC_PATTERNS", "make_query"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One dependence query of the synthetic workload."""
+
+    ref1: ArrayRef
+    ref2: ArrayRef
+    nest1: LoopNest
+    nest2: LoopNest
+    bucket: str
+    symbolic: bool = False
+
+    @property
+    def nest(self) -> LoopNest:
+        return self.nest1
+
+
+def _wrap(nest: LoopNest, wrapper: int) -> LoopNest:
+    """Prepend ``wrapper`` unused outer loops (bounds vary per variant)."""
+    if wrapper <= 0:
+        return nest
+    outers = [
+        Loop(f"w{k}", B.c(1), B.c(8 + 2 * k + wrapper))
+        for k in range(wrapper)
+    ]
+    return LoopNest(outers + list(nest.loops))
+
+
+def _bound(idx: int) -> int:
+    """A loop bound that varies across family members."""
+    return (10, 50, 100, 20, 64)[idx % 5]
+
+
+# -- plain pattern factories ---------------------------------------------------
+
+
+def _constant(idx: int) -> tuple[ArrayRef, ArrayRef, LoopNest]:
+    nest = B.nest(("i", 1, _bound(idx)))
+    c1 = idx  # injective: every family member is a distinct problem
+    c2 = c1 if idx % 3 == 0 else c1 + 1 + idx % 4
+    ref1 = B.ref("a", [c1], write=True)
+    ref2 = B.ref("a", [c2])
+    return ref1, ref2, nest
+
+
+def _gcd(idx: int) -> tuple[ArrayRef, ArrayRef, LoopNest]:
+    if idx % 2 == 1:
+        # Coupled inconsistent subscripts: a[i][i+c] vs a[j][j+c+g].
+        # Per-dimension tests (simple GCD, Banerjee) cannot refute these
+        # -- the class Shen/Li/Yew found traditional tests keep missing;
+        # the Extended GCD test proves the combined equalities unsolvable.
+        c = idx // 2
+        g = 1 + idx % 3
+        n = _bound(idx)
+        nest = B.nest(("i", 1, n), ("j", 1, n))
+        ref1 = B.ref("a", [B.v("i"), B.v("i") + c], write=True)
+        ref2 = B.ref("a", [B.v("j"), B.v("j") + c + g])
+        return ref1, ref2, nest
+    stride = 2 + idx % 3  # 2, 3, 4
+    offset = idx  # injective
+    gap = 1 + idx % (stride - 1) if stride > 2 else 1
+    nest = B.nest(("i", 1, _bound(idx)))
+    ref1 = B.ref("a", [B.v("i") * stride + offset], write=True)
+    ref2 = B.ref("a", [B.v("i") * stride + offset + gap])
+    return ref1, ref2, nest
+
+
+def _svpc(idx: int) -> tuple[ArrayRef, ArrayRef, LoopNest]:
+    family = idx % 3
+    n = _bound(idx)
+    if family == 0:
+        # plain shift; every third member shifts beyond the range
+        shift = (idx // 3) + 1 + (n if idx % 3 == 2 else 0)
+        nest = B.nest(("i", 1, n))
+        ref1 = B.ref("a", [B.v("i") + shift], write=True)
+        ref2 = B.ref("a", [B.v("i")])
+        return ref1, ref2, nest
+    if family == 1:
+        # separable 2-D shifts
+        s1 = idx // 3
+        s2 = (idx // 9) % 3 + 1
+        nest = B.nest(("i", 1, n), ("j", 1, n))
+        ref1 = B.ref("a", [B.v("i") + s1, B.v("j") + s2], write=True)
+        ref2 = B.ref("a", [B.v("i"), B.v("j")])
+        return ref1, ref2, nest
+    # the paper's coupled-subscript SVPC example
+    c1 = n + idx // 3  # out of range -> independent
+    c2 = (idx // 3) % 4
+    nest = B.nest(("i1", 1, n), ("i2", 1, n))
+    ref1 = B.ref("a", [B.v("i1"), B.v("i2")], write=True)
+    ref2 = B.ref("a", [B.v("i2") + c1, B.v("i1") + c2])
+    return ref1, ref2, nest
+
+
+def _acyclic(idx: int) -> tuple[ArrayRef, ArrayRef, LoopNest]:
+    n = _bound(idx)
+    shift = (idx // 5) * 4 + idx % 4 + (n if idx % 5 == 4 else 0)
+    nest = B.nest(("i", 1, n), ("j", 1, B.v("i")))
+    ref1 = B.ref("a", [B.v("j") + shift], write=True)
+    ref2 = B.ref("a", [B.v("j")])
+    return ref1, ref2, nest
+
+
+def _loop_residue(idx: int) -> tuple[ArrayRef, ArrayRef, LoopNest]:
+    n = _bound(idx)
+    width = 3 + idx % 3
+    # The shift sweeps through and beyond the band width (including
+    # negative values), so direction refinement at the outer level gets
+    # genuinely refuted windows -- the Loop Residue test returns
+    # independent for a healthy fraction of directions (section 7).
+    shift = (idx // 5) * 3 + idx % 4 - width + (n + 2 * width if idx % 5 == 4 else 0)
+    nest = B.nest(("i", 1, n), ("j", B.v("i"), B.v("i") + width))
+    ref1 = B.ref("a", [B.v("j") + shift], write=True)
+    ref2 = B.ref("a", [B.v("j")])
+    return ref1, ref2, nest
+
+
+def _fourier_motzkin(idx: int) -> tuple[ArrayRef, ArrayRef, LoopNest]:
+    n = _bound(idx)
+    family = idx % 2
+    if family == 0:
+        # three-variable coupling
+        shift = (idx // 2) + (2 * n if idx % 7 == 6 else 0)
+        nest = B.nest(("i", 1, n), ("j", 1, n))
+        ref1 = B.ref("a", [B.v("i") + B.v("j") + shift], write=True)
+        ref2 = B.ref("a", [B.v("i") + B.v("j")])
+        return ref1, ref2, nest
+    # scaled band: 2i <= j <= 2i + w (unequal coefficients)
+    width = 2 + (idx // 2) % 3
+    shift = idx // 2
+    nest = B.nest(("i", 1, n), ("j", B.v("i") * 2, B.v("i") * 2 + width))
+    ref1 = B.ref("a", [B.v("j") + shift], write=True)
+    ref2 = B.ref("a", [B.v("j")])
+    return ref1, ref2, nest
+
+
+# -- symbolic pattern factories (section 8 / Table 7) ------------------------------
+
+
+def _symbolic_svpc(idx: int) -> tuple[ArrayRef, ArrayRef, LoopNest]:
+    # the unknown cancels: a[i+n+shift] vs a[i+n]
+    n_bound = _bound(idx)
+    shift = (idx // 3) * 3 + idx % 3 + (n_bound if idx % 3 == 2 else 0)
+    nest = B.nest(("i", 1, n_bound))
+    ref1 = B.ref("a", [B.v("i") + B.v("n") + shift], write=True)
+    ref2 = B.ref("a", [B.v("i") + B.v("n")])
+    return ref1, ref2, nest
+
+
+def _symbolic_acyclic(idx: int) -> tuple[ArrayRef, ArrayRef, LoopNest]:
+    # symbolic upper bound: for i = 1 to n
+    shift = 1 + idx
+    nest = B.nest(("i", 1, B.v("n")))
+    ref1 = B.ref("a", [B.v("i") + shift], write=True)
+    ref2 = B.ref("a", [B.v("i")])
+    return ref1, ref2, nest
+
+
+def _symbolic_residue(idx: int) -> tuple[ArrayRef, ArrayRef, LoopNest]:
+    # symbolic loop origin: for i = n to n + span — the i/n coupling
+    # yields unit-coefficient difference constraints
+    span = 6 + idx % 5
+    shift = (idx // 5) * 4 + idx % 4 + (span + 1 if idx % 5 == 4 else 0)
+    nest = B.nest(("i", B.v("n"), B.v("n") + span))
+    ref1 = B.ref("a", [B.v("i") + shift], write=True)
+    ref2 = B.ref("a", [B.v("i")])
+    return ref1, ref2, nest
+
+
+def _symbolic_fm(idx: int) -> tuple[ArrayRef, ArrayRef, LoopNest]:
+    # the paper's read(n) example: a[i+n] vs a[i+2n+shift] — the doubled
+    # symbol gives unequal coefficients, only Fourier-Motzkin applies
+    shift = 1 + idx
+    nest = B.nest(("i", 1, _bound(idx)))
+    ref1 = B.ref("a", [B.v("i") + B.v("n")], write=True)
+    ref2 = B.ref("a", [B.v("i") + B.v("n") * 2 + shift])
+    return ref1, ref2, nest
+
+
+PATTERNS = {
+    "constant": _constant,
+    "gcd": _gcd,
+    "svpc": _svpc,
+    "acyclic": _acyclic,
+    "loop_residue": _loop_residue,
+    "fourier_motzkin": _fourier_motzkin,
+}
+
+SYMBOLIC_PATTERNS = {
+    "svpc": _symbolic_svpc,
+    "acyclic": _symbolic_acyclic,
+    "loop_residue": _symbolic_residue,
+    "fourier_motzkin": _symbolic_fm,
+}
+
+
+def make_query(
+    bucket: str, idx: int, wrapper: int = 0, symbolic: bool = False
+) -> Query:
+    """Build one deterministic query from a pattern family."""
+    factory = (SYMBOLIC_PATTERNS if symbolic else PATTERNS)[bucket]
+    ref1, ref2, nest = factory(idx)
+    wrapped = _wrap(nest, wrapper)
+    return Query(
+        ref1=ref1,
+        ref2=ref2,
+        nest1=wrapped,
+        nest2=wrapped,
+        bucket=bucket,
+        symbolic=symbolic,
+    )

@@ -1,0 +1,162 @@
+"""The 13 synthetic PERFECT-Club-shaped programs.
+
+Each :class:`ProgramSpec` encodes a program's published population:
+
+* ``totals`` — how many dependence queries each test bucket decides,
+  straight from the paper's Table 1 (columns Constant, GCD, SVPC,
+  Acyclic, Loop Residue, Fourier-Motzkin);
+* ``uniques`` — how many of those queries are *distinct* problems,
+  from Table 3 (the remainder are repetitions of the same subscript and
+  bound patterns — exactly the redundancy memoization exploits);
+* ``wrapper_variants`` — how many unused-outer-loop variants each
+  unique case appears under.  Variants are distinct cases for the
+  *simple* memo scheme but merge under the *improved* scheme, which is
+  what separates Table 2's two columns;
+* ``symbolic`` — additional (total, unique) symbolic-term cases per
+  bucket, enabled for the Table 7 workload.
+
+The generator is deterministic: query ``q`` of a bucket reuses pattern
+member ``q % unique`` under wrapper variant ``(q // unique) % variants``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perfect.patterns import Query, make_query
+
+__all__ = ["ProgramSpec", "PROGRAM_SPECS", "generate_program", "BUCKETS"]
+
+BUCKETS = ("constant", "gcd", "svpc", "acyclic", "loop_residue", "fourier_motzkin")
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Published population of one PERFECT program (Tables 1-3)."""
+
+    name: str
+    lines: int
+    totals: dict[str, int]
+    uniques: dict[str, int]
+    wrapper_variants: int = 2
+    symbolic: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def total_tests(self) -> int:
+        """Dependence tests actually run (Table 3's 'Total Cases')."""
+        return sum(
+            self.totals.get(b, 0)
+            for b in ("svpc", "acyclic", "loop_residue", "fourier_motzkin")
+        )
+
+
+def _spec(
+    name: str,
+    lines: int,
+    constant: int,
+    gcd: int,
+    svpc: tuple[int, int],
+    acyclic: tuple[int, int],
+    residue: tuple[int, int],
+    fm: tuple[int, int],
+    wrappers: int = 2,
+    symbolic: dict[str, tuple[int, int]] | None = None,
+) -> ProgramSpec:
+    return ProgramSpec(
+        name=name,
+        lines=lines,
+        totals={
+            "constant": constant,
+            "gcd": gcd,
+            "svpc": svpc[0],
+            "acyclic": acyclic[0],
+            "loop_residue": residue[0],
+            "fourier_motzkin": fm[0],
+        },
+        uniques={
+            "constant": max(1, constant // 40) if constant else 0,
+            "gcd": max(1, round(gcd * 0.05)) if gcd else 0,
+            "svpc": svpc[1],
+            "acyclic": acyclic[1],
+            "loop_residue": residue[1],
+            "fourier_motzkin": fm[1],
+        },
+        wrapper_variants=wrappers,
+        symbolic=symbolic or {},
+    )
+
+
+# Populations from Table 1 (totals) and Table 3 (uniques); the symbolic
+# additions approximate the per-program growth visible in Table 7.
+PROGRAM_SPECS: tuple[ProgramSpec, ...] = (
+    _spec("AP", 6104, 229, 91, (613, 27), (0, 0), (0, 0), (0, 0),
+          symbolic={"svpc": (12, 6), "acyclic": (30, 15)}),
+    _spec("CS", 18520, 50, 0, (127, 14), (15, 6), (0, 0), (0, 0),
+          symbolic={"svpc": (12, 6), "acyclic": (16, 8), "loop_residue": (10, 5)}),
+    _spec("LG", 2327, 6961, 0, (73, 23), (0, 0), (0, 0), (0, 0),
+          wrappers=3, symbolic={"svpc": (8, 4)}),
+    _spec("LW", 1237, 54, 0, (34, 15), (43, 2), (0, 0), (0, 0)),
+    _spec("MT", 3785, 49, 0, (326, 14), (0, 0), (0, 0), (0, 0),
+          symbolic={"svpc": (10, 5)}),
+    _spec("NA", 3976, 45, 0, (679, 48), (202, 11), (1, 1), (2, 1),
+          symbolic={"acyclic": (24, 12)}),
+    _spec("OC", 2739, 2, 7, (36, 5), (0, 0), (0, 0), (0, 0),
+          symbolic={"acyclic": (2, 1)}),
+    _spec("SD", 7607, 949, 0, (526, 36), (17, 6), (5, 3), (12, 4)),
+    _spec("SM", 2759, 1004, 98, (264, 8), (0, 0), (0, 0), (0, 0),
+          wrappers=3),
+    _spec("SR", 3970, 1679, 0, (1290, 14), (0, 0), (0, 0), (0, 0),
+          wrappers=2, symbolic={"svpc": (14, 7), "loop_residue": (4, 2)}),
+    _spec("TF", 2020, 801, 6, (826, 20), (0, 0), (0, 0), (0, 0),
+          symbolic={"svpc": (40, 20)}),
+    _spec("TI", 484, 0, 0, (4, 3), (42, 8), (0, 0), (0, 0)),
+    _spec("WS", 3884, 36, 182, (378, 35), (4, 1), (0, 0), (160, 27),
+          symbolic={"acyclic": (8, 4)}),
+)
+
+
+def generate_program(
+    spec: ProgramSpec,
+    include_symbolic: bool = False,
+    scale: float = 1.0,
+) -> list[Query]:
+    """All dependence queries of one synthetic program, in a stable order.
+
+    ``scale`` < 1 shrinks total counts proportionally (for quick runs
+    and microbenchmarks) while keeping every unique case present.
+    """
+    queries: list[Query] = []
+    for bucket in BUCKETS:
+        total = spec.totals.get(bucket, 0)
+        unique = spec.uniques.get(bucket, 0)
+        queries.extend(
+            _bucket_queries(spec, bucket, total, unique, scale, symbolic=False)
+        )
+    if include_symbolic:
+        for bucket, (total, unique) in spec.symbolic.items():
+            queries.extend(
+                _bucket_queries(spec, bucket, total, unique, scale, symbolic=True)
+            )
+    return queries
+
+
+def _bucket_queries(
+    spec: ProgramSpec,
+    bucket: str,
+    total: int,
+    unique: int,
+    scale: float,
+    symbolic: bool,
+) -> list[Query]:
+    if total <= 0 or unique <= 0:
+        return []
+    scaled_total = max(unique, int(round(total * scale)))
+    out: list[Query] = []
+    for q in range(scaled_total):
+        idx = q % unique
+        # Only every other unique case comes in unused-outer-loop
+        # variants; this calibrates the simple-vs-improved unique-case
+        # gap of Table 2 to the published ratios.
+        variants = spec.wrapper_variants if idx % 2 == 0 else 1
+        wrapper = (q // unique) % variants
+        out.append(make_query(bucket, idx, wrapper, symbolic))
+    return out

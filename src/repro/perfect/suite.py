@@ -1,0 +1,57 @@
+"""Assembly of the full synthetic PERFECT workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfect.patterns import Query
+from repro.perfect.programs import PROGRAM_SPECS, ProgramSpec, generate_program
+
+__all__ = ["SuiteProgram", "load_suite", "suite_totals"]
+
+
+@dataclass(frozen=True)
+class SuiteProgram:
+    """One synthetic program: its spec plus its generated queries."""
+
+    spec: ProgramSpec
+    queries: tuple[Query, ...]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def lines(self) -> int:
+        return self.spec.lines
+
+
+def load_suite(
+    include_symbolic: bool = False, scale: float = 1.0
+) -> list[SuiteProgram]:
+    """Generate all 13 synthetic programs.
+
+    ``include_symbolic`` adds the section-8 symbolic cases (the Table 7
+    workload); ``scale`` shrinks repetition counts for quick runs while
+    keeping every unique case.
+    """
+    return [
+        SuiteProgram(
+            spec=spec,
+            queries=tuple(
+                generate_program(
+                    spec, include_symbolic=include_symbolic, scale=scale
+                )
+            ),
+        )
+        for spec in PROGRAM_SPECS
+    ]
+
+
+def suite_totals(suite: list[SuiteProgram]) -> dict[str, int]:
+    """Query counts per bucket across the whole suite."""
+    totals: dict[str, int] = {}
+    for program in suite:
+        for query in program.queries:
+            totals[query.bucket] = totals.get(query.bucket, 0) + 1
+    return totals

@@ -1,0 +1,31 @@
+"""Constraint systems and dependence-problem construction."""
+
+from repro.system.constraints import (
+    NEG_INF,
+    POS_INF,
+    ConstraintSystem,
+    Interval,
+    LinearConstraint,
+)
+from repro.system.depsystem import (
+    DependenceProblem,
+    Direction,
+    build_problem,
+    build_problem_from_sites,
+)
+from repro.system.transform import GcdOutcome, TransformedSystem, gcd_transform
+
+__all__ = [
+    "LinearConstraint",
+    "ConstraintSystem",
+    "Interval",
+    "NEG_INF",
+    "POS_INF",
+    "DependenceProblem",
+    "Direction",
+    "build_problem",
+    "build_problem_from_sites",
+    "GcdOutcome",
+    "TransformedSystem",
+    "gcd_transform",
+]

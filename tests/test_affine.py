@@ -1,0 +1,138 @@
+"""Tests for affine expressions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.affine import AffineExpr, const, var
+
+names = st.sampled_from(["i", "j", "k", "n", "m"])
+coeffs = st.integers(min_value=-50, max_value=50)
+
+
+def exprs():
+    return st.builds(
+        AffineExpr,
+        coeffs,
+        st.dictionaries(names, coeffs, max_size=4),
+    )
+
+
+class TestConstruction:
+    def test_variable(self):
+        e = var("i")
+        assert e.coeff("i") == 1
+        assert e.constant == 0
+
+    def test_zero_coeffs_dropped(self):
+        e = AffineExpr(3, {"i": 0, "j": 2})
+        assert e.variables() == frozenset({"j"})
+
+    def test_of(self):
+        assert AffineExpr.of(5) == const(5)
+        e = var("i")
+        assert AffineExpr.of(e) is e
+
+
+class TestArithmetic:
+    def test_add(self):
+        e = var("i") + var("j") + 3
+        assert e.coeff("i") == 1 and e.coeff("j") == 1 and e.constant == 3
+
+    def test_add_cancels(self):
+        e = var("i") - var("i")
+        assert e.is_constant and e.constant == 0
+
+    def test_mul(self):
+        e = (var("i") + 2) * 3
+        assert e.coeff("i") == 3 and e.constant == 6
+
+    def test_rmul_and_rsub(self):
+        e = 3 * var("i")
+        assert e.coeff("i") == 3
+        e2 = 10 - var("i")
+        assert e2.coeff("i") == -1 and e2.constant == 10
+
+    def test_mul_by_constant_expr(self):
+        assert var("i") * const(4) == var("i") * 4
+
+    def test_mul_nonlinear_rejected(self):
+        with pytest.raises(ValueError):
+            var("i") * var("j")
+
+    @given(exprs(), exprs())
+    def test_add_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(exprs())
+    def test_neg_involution(self, a):
+        assert -(-a) == a
+
+    @given(exprs(), coeffs)
+    def test_scaling_distributes(self, a, k):
+        env = {n: 3 for n in a.variables()}
+        assert (a * k).evaluate(env) == k * a.evaluate(env)
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        e = var("i") * 2 + var("j")
+        out = e.substitute("i", var("k") + 1)
+        assert out == var("k") * 2 + var("j") + 2
+
+    def test_substitute_constant(self):
+        e = var("i") + 5
+        assert e.substitute("i", 3) == const(8)
+
+    def test_substitute_absent_is_identity(self):
+        e = var("i")
+        assert e.substitute("z", 100) is e
+
+    @given(exprs(), coeffs)
+    def test_substitution_consistent_with_evaluation(self, e, value):
+        if "i" not in e.variables():
+            return
+        env = {n: 2 for n in e.variables()}
+        env["i"] = value
+        substituted = e.substitute("i", value)
+        env2 = {n: 2 for n in substituted.variables()}
+        assert substituted.evaluate(env2) == e.evaluate(env)
+
+
+class TestRename:
+    def test_rename(self):
+        e = var("i") + var("j")
+        out = e.rename({"i": "i'"})
+        assert out.variables() == frozenset({"i'", "j"})
+
+    def test_rename_collision_merges(self):
+        e = var("i") + var("j")
+        out = e.rename({"i": "j"})
+        assert out.coeff("j") == 2
+
+
+class TestCoefficients:
+    def test_order(self):
+        e = var("j") * 2 - var("i") + 7
+        assert e.coefficients(["i", "j", "k"]) == [-1, 2, 0]
+
+    def test_missing_variable_rejected(self):
+        with pytest.raises(ValueError):
+            var("z").coefficients(["i"])
+
+
+class TestFormatting:
+    def test_str_constant(self):
+        assert str(const(0)) == "0"
+        assert str(const(-3)) == "-3"
+
+    def test_str_mixed(self):
+        text = str(var("i") * 2 - var("j") + 1)
+        assert "2*i" in text and "j" in text
+
+    def test_hash_equal_exprs(self):
+        assert hash(var("i") + 1) == hash(AffineExpr(1, {"i": 1}))
+
+    def test_eq_with_int(self):
+        assert const(5) == 5
+        assert not (var("i") == 5)

@@ -1,0 +1,76 @@
+"""Property tests for the trapezoidal extreme-value propagation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import affine_extremes
+from repro.ir import builder as B
+from repro.ir.affine import AffineExpr
+
+coef = st.integers(min_value=-3, max_value=3)
+small = st.integers(min_value=-5, max_value=5)
+bound = st.integers(min_value=1, max_value=6)
+
+
+class TestAffineExtremes:
+    def test_constant(self):
+        lo, hi = affine_extremes(AffineExpr(7), [])
+        assert (lo, hi) == (7, 7)
+
+    def test_rectangular(self):
+        nest = B.nest(("i", 1, 10))
+        lo, hi = affine_extremes(B.v("i") * 2 + 1, list(nest))
+        assert (lo, hi) == (3, 21)
+
+    def test_negative_coefficient(self):
+        nest = B.nest(("i", 1, 10))
+        lo, hi = affine_extremes(B.v("i") * -3, list(nest))
+        assert (lo, hi) == (-30, -3)
+
+    def test_trapezoid_exact(self):
+        # j in [1, i], i in [1, 5]: max of i + j is 10 (not 5 + 5 = 10
+        # here -- but for j <= i the widened box would also say 10);
+        # use i - 2j: widened box min = 1 - 10; trapezoid min = i - 2i.
+        nest = B.nest(("i", 1, 5), ("j", 1, B.v("i")))
+        lo, hi = affine_extremes(B.v("i") - B.v("j") * 2, list(nest))
+        # min over trapezoid: j = i -> i - 2i = -i -> min -5
+        assert lo == -5
+        # max: j = 1 -> i - 2 -> max 3
+        assert hi == 3
+
+    def test_symbolic_leftover_unbounded(self):
+        nest = B.nest(("i", 1, B.v("n")))
+        lo, hi = affine_extremes(B.v("i"), list(nest))
+        assert lo == 1 and hi == float("inf")
+
+    def test_symbolic_cancellation(self):
+        nest = B.nest(("i", B.v("n"), B.v("n") + 5))
+        # i - n over [n, n+5] is [0, 5]: the symbol cancels exactly.
+        lo, hi = affine_extremes(B.v("i") - B.v("n"), list(nest))
+        assert (lo, hi) == (0, 5)
+
+    @given(coef, coef, small, bound, st.integers(0, 4))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_enumeration_trapezoid(self, a, b, c, n, slack):
+        """Exact over every point of a triangular iteration space."""
+        nest = B.nest(("i", 1, n), ("j", 1, B.v("i") + slack))
+        expr = B.v("i") * a + B.v("j") * b + c
+        lo, hi = affine_extremes(expr, list(nest))
+        values = [
+            expr.evaluate(point) for point in nest.iteration_space()
+        ]
+        assert values, "nest unexpectedly empty"
+        assert lo == min(values)
+        assert hi == max(values)
+
+    @given(coef, coef, coef, small, bound, bound)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_enumeration_3deep(self, a, b, c, d, n1, n2):
+        nest = B.nest(
+            ("i", 1, n1), ("j", 1, n2), ("k", B.v("j"), B.v("j") + 2)
+        )
+        expr = B.v("i") * a + B.v("j") * b + B.v("k") * c + d
+        lo, hi = affine_extremes(expr, list(nest))
+        values = [expr.evaluate(p) for p in nest.iteration_space()]
+        assert lo == min(values)
+        assert hi == max(values)

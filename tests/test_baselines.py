@@ -1,0 +1,175 @@
+"""Tests for the inexact baselines: soundness and known imprecision."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    BaselineAnalyzer,
+    banerjee_independent,
+    constant_ranges,
+    simple_gcd_independent,
+)
+from repro.core.analyzer import DependenceAnalyzer
+from repro.ir import builder as B
+from repro.oracle.enumerate import oracle_dependent
+
+coef = st.integers(min_value=-3, max_value=3)
+shift = st.integers(min_value=-10, max_value=10)
+bound = st.integers(min_value=1, max_value=8)
+
+
+class TestSimpleGcd:
+    def test_parity_independence(self):
+        nest = B.nest(("i", 1, 10))
+        w = B.ref("a", [B.v("i") * 2], write=True)
+        r = B.ref("a", [B.v("i") * 2 + 1])
+        assert simple_gcd_independent(w, nest, r, nest)
+
+    def test_cannot_use_bounds(self):
+        # a[i] vs a[i+100]: coefficients are unit, gcd divides anything:
+        # the simple GCD test misses what the bounds make obvious.
+        nest = B.nest(("i", 1, 10))
+        w = B.ref("a", [B.v("i")], write=True)
+        r = B.ref("a", [B.v("i") + 100])
+        assert not simple_gcd_independent(w, nest, r, nest)
+
+    @given(coef, shift, coef, shift, bound)
+    @settings(max_examples=200, deadline=None)
+    def test_sound(self, a1, c1, a2, c2, n):
+        """Never claims independence when a dependence exists."""
+        nest = B.nest(("i", 1, n))
+        w = B.ref("a", [B.v("i") * a1 + c1], write=True)
+        r = B.ref("a", [B.v("i") * a2 + c2])
+        if simple_gcd_independent(w, nest, r, nest):
+            assert not oracle_dependent(w, nest, r, nest)
+
+
+class TestBanerjee:
+    def test_bounds_independence(self):
+        nest = B.nest(("i", 1, 10))
+        w = B.ref("a", [B.v("i")], write=True)
+        r = B.ref("a", [B.v("i") + 100])
+        assert banerjee_independent(w, nest, r, nest)
+
+    def test_misses_coupled_subscripts(self):
+        # The known blind spot: per-dimension reasoning cannot see that
+        # a[i][i] vs a[j][j+1] requires i = j and i = j + 1 at once.
+        nest = B.nest(("i", 1, 10), ("j", 1, 10))
+        w = B.ref("a", [B.v("i"), B.v("i")], write=True)
+        r = B.ref("a", [B.v("j"), B.v("j") + 1])
+        assert not banerjee_independent(w, nest, r, nest)
+        # ... while the exact cascade proves independence.
+        result = DependenceAnalyzer().analyze(w, nest, r, nest)
+        assert result.independent
+
+    def test_direction_constrained(self):
+        # a[i] = a[i] has no '<' dependence.
+        nest = B.nest(("i", 1, 10))
+        w = B.ref("a", [B.v("i")], write=True)
+        r = B.ref("a", [B.v("i")])
+        assert banerjee_independent(w, nest, r, nest, ("<",))
+        assert not banerjee_independent(w, nest, r, nest, ("=",))
+
+    def test_trapezoid_widened(self):
+        nest = B.nest(("i", 1, 10), ("j", 1, B.v("i")))
+        ranges = constant_ranges(nest)
+        assert ranges["i"] == (1, 10)
+        assert ranges["j"] == (1, 10)  # widened to the outer extreme
+
+    def test_symbolic_bound_unbounded(self):
+        nest = B.nest(("i", 1, B.v("n")))
+        ranges = constant_ranges(nest)
+        assert ranges["i"][1] == float("inf")
+
+    def test_symbolic_direction_refutation(self):
+        # a[i] vs a[i] under '<' is refutable even with symbolic bounds.
+        nest = B.nest(("i", 1, B.v("n")))
+        w = B.ref("a", [B.v("i")], write=True)
+        r = B.ref("a", [B.v("i")])
+        assert banerjee_independent(w, nest, r, nest, ("<",))
+
+    @given(coef, shift, coef, shift, bound, st.sampled_from(["<", "=", ">", "*"]))
+    @settings(max_examples=300, deadline=None)
+    def test_sound_under_directions(self, a1, c1, a2, c2, n, psi):
+        nest = B.nest(("i", 1, n))
+        w = B.ref("a", [B.v("i") * a1 + c1], write=True)
+        r = B.ref("a", [B.v("i") * a2 + c2])
+        if not banerjee_independent(w, nest, r, nest, (psi,)):
+            return
+        # claimed independent under psi: oracle must agree
+        from repro.oracle.enumerate import oracle_direction_vectors
+
+        truth = oracle_direction_vectors(w, nest, r, nest)
+        if psi == "*":
+            assert not truth
+        else:
+            assert psi not in {v[0] for v in truth}
+
+
+class TestBaselineAnalyzer:
+    def test_misses_what_exact_finds(self):
+        """The motivating gap: a pair independent only through coupling."""
+        nest = B.nest(("i", 1, 10), ("j", 1, 10))
+        w = B.ref("a", [B.v("i"), B.v("i")], write=True)
+        r = B.ref("a", [B.v("j"), B.v("j") + 1])
+        baseline = BaselineAnalyzer()
+        exact = DependenceAnalyzer()
+        assert baseline.analyze(w, nest, r, nest) is True  # assumed dep
+        assert exact.analyze(w, nest, r, nest).independent
+
+    def test_direction_vectors_over_reported(self):
+        # a[i+1] = a[i]: exact answer is the single vector (<).
+        nest = B.nest(("i", 1, 10))
+        w = B.ref("a", [B.v("i") + 1], write=True)
+        r = B.ref("a", [B.v("i")])
+        baseline = BaselineAnalyzer()
+        result = baseline.directions(w, nest, r, nest)
+        exact = DependenceAnalyzer().directions(w, nest, r, nest)
+        assert exact.elementary_vectors() == {("<",)}
+        # Banerjee *can* get this one right; over-reporting appears on
+        # harder shapes, but never under-reporting:
+        assert result.count_elementary() >= 1
+        for vector in exact.elementary_vectors():
+            assert any(
+                _matches(vector, coarse) for coarse in result.vectors
+            )
+
+    def test_unused_variable_star(self):
+        nest = B.nest(("k", 1, 10), ("i", 1, 10))
+        w = B.ref("a", [B.v("i")], write=True)
+        r = B.ref("a", [B.v("i") - 1])
+        result = BaselineAnalyzer().directions(w, nest, r, nest)
+        assert all(vec[0] == "*" for vec in result.vectors)
+
+    @given(coef, shift, coef, shift, bound)
+    @settings(max_examples=200, deadline=None)
+    def test_never_misses_dependences(self, a1, c1, a2, c2, n):
+        """Soundness of the whole baseline pipeline (1-D)."""
+        nest = B.nest(("i", 1, n))
+        w = B.ref("a", [B.v("i") * a1 + c1], write=True)
+        r = B.ref("a", [B.v("i") * a2 + c2])
+        dependent = BaselineAnalyzer().analyze(w, nest, r, nest)
+        if not dependent:
+            assert not oracle_dependent(w, nest, r, nest)
+
+    @given(coef, coef, shift, coef, coef, shift, st.integers(1, 6))
+    @settings(max_examples=200, deadline=None)
+    def test_baseline_superset_of_true_directions(
+        self, a, b, c, d, e, f, n
+    ):
+        """Every *true* direction vector survives in the baseline set."""
+        from repro.oracle.enumerate import oracle_direction_vectors
+
+        nest = B.nest(("i", 1, n), ("j", 1, n))
+        ref1 = B.ref("a", [B.v("i") * a + B.v("j") * b + c], write=True)
+        ref2 = B.ref("a", [B.v("i") * d + B.v("j") * e + f])
+        baseline = BaselineAnalyzer().directions(ref1, nest, ref2, nest)
+        truth = oracle_direction_vectors(ref1, nest, ref2, nest)
+        for vector in truth:
+            assert any(
+                _matches(vector, coarse) for coarse in baseline.vectors
+            ), f"baseline dropped true vector {vector}"
+
+
+def _matches(elementary: tuple[str, ...], coarse: tuple[str, ...]) -> bool:
+    return all(c == "*" or c == e for e, c in zip(elementary, coarse))

@@ -1,0 +1,112 @@
+"""Tests for the command-line interfaces."""
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.harness.cli import main as harness_main
+
+SOURCE = """
+for i = 2 to 10 do
+  for j = 1 to 10 do
+    a[i][j] = a[i - 1][j]
+  end
+end
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.loop"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestAnalyzeCommand:
+    def test_analyze(self, source_file, capsys):
+        assert repro_main(["analyze", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "DEPENDENT" in out
+        assert "(< =)" in out
+        assert "distance (1, 0)" in out
+
+    def test_analyze_no_pairs(self, tmp_path, capsys):
+        path = tmp_path / "empty.loop"
+        path.write_text("x = 1\n")
+        assert repro_main(["analyze", str(path)]) == 0
+        assert "no testable" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert repro_main(["analyze", "/nonexistent/x.loop"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_permissive_skip_warning(self, tmp_path, capsys):
+        path = tmp_path / "bad.loop"
+        path.write_text("for i = 1 to 9 do\n  a[i*i] = 0\nend\n")
+        assert repro_main(["analyze", str(path)]) == 0
+        assert "skipped" in capsys.readouterr().err
+
+
+class TestParallelizeCommand:
+    def test_report(self, source_file, capsys):
+        assert repro_main(["parallelize", source_file, "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "[serial  ]" in out
+        assert "[PARALLEL]" in out
+        assert "carried by" in out
+
+
+class TestDepsCommand:
+    def test_edges(self, source_file, capsys):
+        assert repro_main(["deps", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "flow" in out
+        assert "[carried]" in out
+
+    def test_no_deps(self, tmp_path, capsys):
+        path = tmp_path / "indep.loop"
+        path.write_text("for i = 1 to 9 do\n  a[i] = b[i]\nend\n")
+        assert repro_main(["deps", str(path)]) == 0
+        # a flow pair a-b does not exist; b is read-only, a write-only
+        assert "no dependences" in capsys.readouterr().out
+
+
+class TestVectorizeCommand:
+    def test_vectorize(self, tmp_path, capsys):
+        path = tmp_path / "v.loop"
+        path.write_text(
+            "for i = 2 to 100 do\n"
+            "  a[i] = b[i] + 1\n"
+            "  c[i] = a[i - 1] + 2\n"
+            "end\n"
+        )
+        assert repro_main(["vectorize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("VECTOR") == 2
+
+    def test_vectorize_serial(self, source_file, capsys):
+        assert repro_main(["vectorize", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "DO i (serial)" in out
+
+
+class TestDotCommand:
+    def test_dot(self, source_file, capsys):
+        assert repro_main(["dot", source_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "flow" in out
+
+
+class TestHarnessCli:
+    def test_single_experiment(self, capsys):
+        assert harness_main(["table1", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "TOTAL" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert harness_main(["tableX"]) == 2
+
+    def test_tables_forwarding(self, capsys):
+        assert repro_main(["tables", "table1", "--scale", "0.02"]) == 0
+        assert "Table 1" in capsys.readouterr().out

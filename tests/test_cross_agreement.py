@@ -1,0 +1,133 @@
+"""Cross-test agreement: every applicable test gives the same verdict.
+
+The cascade's correctness argument rests on each test being exact for
+its input class; since Fourier-Motzkin (with branch-and-bound) is exact
+on everything, every specialized test must agree with it wherever both
+apply.  These properties fuzz that pairwise agreement directly on
+random constraint systems — independent of the oracle-based tests,
+which go through the full analyzer.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deptests.acyclic import AcyclicTest
+from repro.deptests.base import Verdict
+from repro.deptests.fourier_motzkin import FourierMotzkinTest
+from repro.deptests.loop_residue import LoopResidueTest
+from repro.deptests.svpc import SvpcTest
+from repro.system.constraints import ConstraintSystem
+
+small = st.integers(min_value=-8, max_value=8)
+
+
+def _boxed(system: ConstraintSystem, radius: int = 7) -> ConstraintSystem:
+    """Box every variable so all tests see a bounded system."""
+    out = system.copy()
+    for var in range(system.n_vars):
+        row_hi = [0] * system.n_vars
+        row_hi[var] = 1
+        row_lo = [0] * system.n_vars
+        row_lo[var] = -1
+        out.add(row_hi, radius)
+        out.add(row_lo, radius)
+    return out
+
+
+class TestSvpcVsFourierMotzkin:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), small.filter(bool), small),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_agreement(self, rows):
+        system = ConstraintSystem(("a", "b", "c"))
+        for var, coeff, bound in rows:
+            coeffs = [0, 0, 0]
+            coeffs[var] = coeff
+            system.add(coeffs, bound)
+        system = _boxed(system)
+        svpc = SvpcTest().decide(system)
+        fm = FourierMotzkinTest().decide(system)
+        assert svpc.verdict is not Verdict.NOT_APPLICABLE
+        assert svpc.verdict == fm.verdict
+
+
+class TestResidueVsFourierMotzkin:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [(1, -1, 0), (-1, 1, 0), (0, 1, -1), (0, -1, 1),
+                     (1, 0, -1), (-1, 0, 1), (1, 0, 0), (0, -1, 0)]
+                ),
+                st.integers(-10, 10),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_agreement(self, rows):
+        system = ConstraintSystem(("a", "b", "c"))
+        for coeffs, bound in rows:
+            system.add(list(coeffs), bound)
+        system = _boxed(system)
+        residue = LoopResidueTest().decide(system)
+        fm = FourierMotzkinTest().decide(system)
+        assert residue.verdict is not Verdict.NOT_APPLICABLE
+        assert residue.verdict == fm.verdict
+
+
+class TestAcyclicVsFourierMotzkin:
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(small, small, small).filter(lambda c: any(c)),
+                st.integers(-12, 12),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_agreement_when_applicable(self, rows):
+        system = ConstraintSystem(("a", "b", "c"))
+        for coeffs, bound in rows:
+            system.add(list(coeffs), bound)
+        system = _boxed(system)
+        acyclic = AcyclicTest().decide(system)
+        if acyclic.verdict is Verdict.NOT_APPLICABLE:
+            return
+        fm = FourierMotzkinTest().decide(system)
+        assert acyclic.verdict == fm.verdict
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(small, small, small).filter(lambda c: any(c)),
+                st.integers(-12, 12),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_partial_elimination_preserves_satisfiability(self, rows):
+        """FM on the Acyclic residual == FM on the original system."""
+        system = ConstraintSystem(("a", "b", "c"))
+        for coeffs, bound in rows:
+            system.add(list(coeffs), bound)
+        system = _boxed(system)
+        elimination = AcyclicTest().eliminate(system)
+        if elimination.residual is None:
+            return
+        fm_full = FourierMotzkinTest().decide(system)
+        fm_residual = FourierMotzkinTest().decide(elimination.residual)
+        assert fm_full.verdict == fm_residual.verdict
+        if fm_residual.verdict is Verdict.DEPENDENT:
+            witness = elimination.complete_witness(fm_residual.witness)
+            assert system.evaluate(witness)

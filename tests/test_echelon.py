@@ -1,0 +1,95 @@
+"""Tests for the unimodular/echelon factorization U @ A == D."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.echelon import echelon_factor
+from repro.linalg.matrix import IntMatrix
+
+small = st.integers(min_value=-15, max_value=15)
+
+
+def matrices(max_rows: int = 5, max_cols: int = 4):
+    return st.integers(1, max_rows).flatmap(
+        lambda rows: st.integers(1, max_cols).flatmap(
+            lambda cols: st.lists(
+                st.lists(small, min_size=cols, max_size=cols),
+                min_size=rows,
+                max_size=rows,
+            ).map(IntMatrix)
+        )
+    )
+
+
+class TestFactorizationInvariants:
+    @given(matrices())
+    @settings(max_examples=200)
+    def test_u_times_a_equals_d(self, a):
+        fact = echelon_factor(a)
+        assert fact.u @ a == fact.d
+
+    @given(matrices())
+    @settings(max_examples=200)
+    def test_u_is_unimodular(self, a):
+        fact = echelon_factor(a)
+        assert fact.u.is_unimodular()
+
+    @given(matrices())
+    @settings(max_examples=200)
+    def test_d_is_echelon(self, a):
+        fact = echelon_factor(a)
+        assert fact.d.is_echelon()
+
+    @given(matrices())
+    def test_pivots_positive(self, a):
+        fact = echelon_factor(a)
+        for row, col in enumerate(fact.pivot_cols):
+            assert fact.d[row, col] > 0
+            # pivot is the first nonzero of its row
+            assert all(fact.d[row, j] == 0 for j in range(col))
+
+    @given(matrices())
+    def test_rank_consistent(self, a):
+        fact = echelon_factor(a)
+        assert fact.rank == len(fact.pivot_cols)
+        nonzero_rows = sum(
+            1 for row in fact.d.rows if any(x != 0 for x in row)
+        )
+        assert fact.rank == nonzero_rows
+
+
+class TestKnownFactorizations:
+    def test_paper_single_equation(self):
+        # The paper's example: i + 10 = i' with (i, i') gives the single
+        # equation i - i' = -10; the matrix A is the column (1, -1).
+        a = IntMatrix([[1], [-1]])
+        fact = echelon_factor(a)
+        assert fact.rank == 1
+        assert fact.d[0, 0] == 1
+        # One free variable: solutions (i, i') = (t, t + 10) after the
+        # back substitution (checked in the transform tests).
+
+    def test_identity_input(self):
+        a = IntMatrix.identity(3)
+        fact = echelon_factor(a)
+        assert fact.rank == 3
+        assert fact.d == IntMatrix.identity(3)
+
+    def test_zero_matrix(self):
+        a = IntMatrix.zeros(3, 2)
+        fact = echelon_factor(a)
+        assert fact.rank == 0
+        assert fact.u == IntMatrix.identity(3)
+
+    def test_gcd_in_pivot(self):
+        # gcd(4, 6) = 2 must surface as the pivot.
+        a = IntMatrix([[4], [6]])
+        fact = echelon_factor(a)
+        assert fact.d[0, 0] == 2
+
+    def test_coupled_system(self):
+        # Two equations over four variables (coupled subscripts).
+        a = IntMatrix([[1, 0], [0, 1], [0, -1], [-1, 0]])
+        fact = echelon_factor(a)
+        assert fact.u @ a == fact.d
+        assert fact.rank == 2

@@ -1,0 +1,141 @@
+"""Tests for Fourier-Motzkin elimination with integer heuristics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deptests.base import Verdict
+from repro.deptests.fourier_motzkin import FourierMotzkinTest
+from repro.oracle.enumerate import solve_system
+from repro.system.constraints import ConstraintSystem
+
+small = st.integers(min_value=-6, max_value=6)
+
+
+def _system(n, *rows):
+    system = ConstraintSystem(tuple(f"t{i}" for i in range(n)))
+    for coeffs, bound in rows:
+        system.add(coeffs, bound)
+    return system
+
+
+class TestBasics:
+    def test_always_applicable(self):
+        assert FourierMotzkinTest().applicable(_system(1, ([1], 0)))
+
+    def test_simple_feasible(self):
+        system = _system(2, ([1, 1], 10), ([-1, 0], 0), ([0, -1], 0))
+        result = FourierMotzkinTest().decide(system)
+        assert result.verdict is Verdict.DEPENDENT
+        assert system.evaluate(result.witness)
+
+    def test_real_infeasible(self):
+        # t0 + t1 <= 0 and t0 + t1 >= 5.
+        system = _system(2, ([1, 1], 0), ([-1, -1], -5))
+        assert (
+            FourierMotzkinTest().decide(system).verdict is Verdict.INDEPENDENT
+        )
+
+    def test_unbounded_system(self):
+        system = _system(3, ([1, 1, 1], 100))
+        result = FourierMotzkinTest().decide(system)
+        assert result.verdict is Verdict.DEPENDENT
+        assert system.evaluate(result.witness)
+
+    def test_empty_system(self):
+        system = _system(2)
+        result = FourierMotzkinTest().decide(system)
+        assert result.verdict is Verdict.DEPENDENT
+
+
+class TestIntegerGaps:
+    def test_real_feasible_integer_infeasible_single_var(self):
+        # 2t0 >= 5 and 2t0 <= 5: only t0 = 2.5. Normalization alone
+        # tightens this away (2t <= 5 -> t <= 2; -2t <= -5 -> t >= 3).
+        system = _system(1, ([2], 5), ([-2], -5))
+        assert (
+            FourierMotzkinTest().decide(system).verdict is Verdict.INDEPENDENT
+        )
+
+    def test_paper_special_case_constant_range(self):
+        # 3t0 - 3t1 ... craft a gap at the *last* eliminated variable:
+        # 0.5 <= t0 + t1 <= 0.7 scaled: 10(t0+t1) >= 5, 10(t0+t1) <= 7.
+        # After normalization: t0 + t1 >= 1 and t0 + t1 <= 0 -> infeasible.
+        system = _system(2, ([-10, -10], -5), ([10, 10], 7))
+        assert (
+            FourierMotzkinTest().decide(system).verdict is Verdict.INDEPENDENT
+        )
+
+    def test_branch_and_bound_gap(self):
+        # 2t0 - 2t1 == 1 has real solutions but no integer ones; keep
+        # coefficients coprime-ish so normalization alone cannot settle it:
+        # 2t0 - 2t1 >= 1 and 2t0 - 2t1 <= 1 normalize to t0-t1 >= 1, <= 0.
+        system = _system(2, ([2, -2], 1), ([-2, 2], -1))
+        assert (
+            FourierMotzkinTest().decide(system).verdict is Verdict.INDEPENDENT
+        )
+
+    def test_true_branch_and_bound(self):
+        # 3x + 3y == 4 within a box: real-feasible line, no lattice point.
+        # Written with coprime cross terms so gcd tightening can't fire:
+        # 3x + 3y <= 4 and 3x + 3y >= 4... gcd(3,3)=3 -> floor tightens.
+        # Use 3x + 5y == 4 with parity cut: 2 divides 3x+5y-4 nowhere...
+        # Instead: x + y >= 0.5 and x + y <= 0.5 via odd/even split:
+        # 2x + 2y <= 1, -2x - 2y <= -1 -> tightened to x+y <= 0, >= 1.
+        system = _system(2, ([2, 2], 1), ([-2, -2], -1))
+        assert (
+            FourierMotzkinTest().decide(system).verdict is Verdict.INDEPENDENT
+        )
+
+    def test_budget_exhaustion_unknown(self):
+        # With a zero budget a genuine fractional branch returns UNKNOWN.
+        # Build a gap whose bounds involve another variable so the
+        # constant-range shortcut cannot apply: 2t0 = t1 and t1 odd-ish.
+        system = _system(
+            2,
+            ([2, -1], 0),  # 2 t0 <= t1
+            ([-2, 1], 0),  # 2 t0 >= t1
+            ([0, -1], -1),  # t1 >= 1
+            ([0, 1], 1),  # t1 <= 1  => t1 = 1, t0 = 0.5
+        )
+        strict = FourierMotzkinTest(max_branch_nodes=0)
+        result = strict.decide(system)
+        assert result.verdict in (Verdict.UNKNOWN, Verdict.INDEPENDENT)
+        if result.verdict is Verdict.UNKNOWN:
+            assert not result.exact
+        # With budget the same system is settled exactly.
+        assert (
+            FourierMotzkinTest().decide(system).verdict
+            is Verdict.INDEPENDENT
+        )
+
+
+class TestExactnessAgainstOracle:
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(small, small, small).filter(lambda c: any(c)),
+                st.integers(-12, 18),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=250, deadline=None)
+    def test_agrees_with_enumeration(self, rows):
+        system = _system(3, *[(list(c), b) for c, b in rows])
+        for var in range(3):
+            lo = [0, 0, 0]
+            lo[var] = -1
+            hi = [0, 0, 0]
+            hi[var] = 1
+            system.add(lo, 5)
+            system.add(hi, 5)
+        result = FourierMotzkinTest().decide(system)
+        brute = solve_system(system, -5, 5)
+        assert result.verdict is not Verdict.NOT_APPLICABLE
+        if result.verdict is Verdict.UNKNOWN:
+            # Budget blown (should be effectively impossible here).
+            return
+        assert (brute is not None) == (result.verdict is Verdict.DEPENDENT)
+        if result.witness is not None:
+            assert system.evaluate(result.witness)

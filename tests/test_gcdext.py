@@ -1,0 +1,109 @@
+"""Unit and property tests for the exact integer arithmetic helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linalg.gcdext import (
+    ceil_div,
+    divides,
+    extended_gcd,
+    floor_div,
+    gcd,
+    gcd_all,
+    lcm,
+)
+
+ints = st.integers(min_value=-10**9, max_value=10**9)
+nonzero = ints.filter(lambda x: x != 0)
+
+
+class TestGcd:
+    def test_basic(self):
+        assert gcd(12, 18) == 6
+        assert gcd(-12, 18) == 6
+        assert gcd(0, 0) == 0
+        assert gcd(0, 7) == 7
+
+    def test_gcd_all(self):
+        assert gcd_all([4, 6, 8]) == 2
+        assert gcd_all([]) == 0
+        assert gcd_all([0, 0]) == 0
+        assert gcd_all([5]) == 5
+        assert gcd_all([-10, 15]) == 5
+
+    def test_gcd_all_early_exit(self):
+        assert gcd_all([3, 7, 10**18]) == 1
+
+
+class TestExtendedGcd:
+    @given(ints, ints)
+    def test_bezout_identity(self, a, b):
+        g, x, y = extended_gcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+    def test_examples(self):
+        g, x, y = extended_gcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == 2
+
+
+class TestDivision:
+    @given(ints, nonzero)
+    def test_floor_div_definition(self, a, b):
+        # q = floor(a/b)  <=>  q <= a/b < q + 1
+        q = floor_div(a, b)
+        if b > 0:
+            assert q * b <= a < (q + 1) * b
+        else:
+            assert q * b >= a > (q + 1) * b
+
+    @given(ints, nonzero)
+    def test_ceil_div_definition(self, a, b):
+        # q = ceil(a/b)  <=>  q - 1 < a/b <= q
+        q = ceil_div(a, b)
+        if b > 0:
+            assert (q - 1) * b < a <= q * b
+        else:
+            assert (q - 1) * b > a >= q * b
+
+    @given(ints, nonzero)
+    def test_ceil_floor_duality(self, a, b):
+        assert ceil_div(a, b) == -floor_div(-a, b)
+
+    def test_negative_divisor(self):
+        assert floor_div(7, -2) == -4  # 7/-2 = -3.5 -> -4
+        assert ceil_div(7, -2) == -3
+        assert floor_div(-7, 2) == -4
+        assert ceil_div(-7, 2) == -3
+
+    def test_zero_division(self):
+        with pytest.raises(ZeroDivisionError):
+            floor_div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            ceil_div(1, 0)
+
+
+class TestDivides:
+    def test_zero_cases(self):
+        assert divides(0, 0)
+        assert not divides(0, 5)
+        assert divides(5, 0)
+
+    @given(nonzero, ints)
+    def test_consistency(self, d, n):
+        assert divides(d, n) == (n % d == 0)
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm(4, 6) == 12
+        assert lcm(0, 5) == 0
+        assert lcm(-4, 6) == 12
+
+    @given(nonzero, nonzero)
+    def test_lcm_gcd_product(self, a, b):
+        assert lcm(a, b) * math.gcd(a, b) == abs(a * b)

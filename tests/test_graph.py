@@ -1,0 +1,72 @@
+"""Tests for the program-level dependence graph."""
+
+from repro.core.graph import build_graph
+from repro.opt import compile_source
+
+SOURCE = """
+for i = 2 to 100 do
+  a[i] = b[i - 1]
+  b[i] = a[i - 1]
+  c[i] = c[i]
+end
+"""
+
+
+class TestBuildGraph:
+    def test_edges_found(self):
+        graph = build_graph(compile_source(SOURCE).program)
+        assert len(graph) >= 3  # a<->b cycle + c self
+
+    def test_statement_edges_indices(self):
+        graph = build_graph(compile_source(SOURCE).program)
+        pairs = {(src, dst) for src, dst, _ in graph.statement_edges()}
+        assert (0, 1) in pairs  # a feeds b's read
+        assert (1, 0) in pairs  # b feeds a's read
+
+    def test_successors(self):
+        graph = build_graph(compile_source(SOURCE).program)
+        assert 1 in graph.successors(0)
+
+    def test_kind_counts(self):
+        graph = build_graph(compile_source(SOURCE).program)
+        counts = graph.kind_counts()
+        assert counts.get("flow", 0) >= 2
+
+    def test_carried_by_level(self):
+        graph = build_graph(compile_source(SOURCE).program)
+        carried = graph.carried_by_level()
+        assert 0 in carried  # the a/b recurrences carry at level 0
+
+    def test_loop_independent_edges(self):
+        graph = build_graph(compile_source(SOURCE).program)
+        independent = graph.loop_independent_edges()
+        # c[i] = c[i]: same-iteration self flow
+        assert any(e.source.ref.array == "c" for e in independent)
+
+    def test_no_input_edges(self):
+        source = "for i = 1 to 9 do\n  x[i] = r[i] + r[i + 1]\nend"
+        graph = build_graph(compile_source(source).program)
+        assert all(e.kind != "input" for e in graph.edges)
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        graph = build_graph(compile_source(SOURCE).program)
+        dot = graph.to_dot()
+        assert dot.startswith("digraph dependences {")
+        assert dot.rstrip().endswith("}")
+        assert "s0 -> s1" in dot
+        assert "flow" in dot
+
+    def test_dot_nodes_labelled(self):
+        graph = build_graph(compile_source(SOURCE).program)
+        dot = graph.to_dot()
+        assert "S0: a[i]" in dot
+        assert "shape=box" in dot
+
+    def test_empty_program(self):
+        from repro.ir import builder as B
+
+        graph = build_graph(B.program("empty"))
+        assert len(graph) == 0
+        assert "digraph" in graph.to_dot()

@@ -1,0 +1,136 @@
+"""Integration tests for the experiment harness (scaled-down runs)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    run_baseline_comparison,
+    run_outcomes,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table7,
+)
+from repro.harness.tables import render_table
+from repro.harness.timing import representative_system, time_tests
+
+
+class TestRenderer:
+    def test_basic_table(self):
+        text = render_table(
+            "T", ["A", "B"], [["x", 1], ["y", 22]], footer=["sum", 23]
+        )
+        assert "T" in text
+        assert "22" in text and "23" in text
+        lines = text.splitlines()
+        assert len({len(l) for l in lines[1:]} | set()) >= 1
+
+    def test_number_formatting(self):
+        text = render_table("T", ["N"], [[12345]])
+        assert "12,345" in text
+
+
+class TestTable1:
+    def test_full_run_matches_paper_totals(self):
+        result = run_table1()
+        footer_like = result.rows
+        totals = [0] * 6
+        for row in footer_like:
+            for k in range(6):
+                totals[k] += row[k + 2]
+        assert totals == [11_859, 384, 5_176, 323, 6, 174]
+
+    def test_rows_cover_programs(self):
+        result = run_table1(scale=0.05)
+        assert len(result.rows) == 13
+        assert result.rows[0][0] == "AP"
+
+
+class TestTable2:
+    def test_improved_never_more_unique_than_simple(self):
+        result = run_table2(scale=0.2)
+        for row in result.rows:
+            assert row[3] <= row[2] + 1e-9  # NB improved <= simple
+            assert row[6] <= row[5] + 1e-9  # WB improved <= simple
+
+
+class TestTable3:
+    def test_unique_tests_paper_total(self):
+        result = run_table3()
+        assert result.extra["unique_tests"] == 332
+        assert result.extra["total_cases"] == 5_679
+
+    def test_memoization_reduction(self):
+        result = run_table3()
+        assert result.extra["unique_tests"] < result.extra["total_cases"] / 10
+
+
+class TestDirectionTables:
+    def test_pruning_reduces_tests(self):
+        naive = run_table4(scale=0.05)
+        pruned = run_table5(scale=0.05)
+        assert pruned.extra["total_tests"] < naive.extra["total_tests"]
+        # The paper reports roughly an order of magnitude; demand > 3x.
+        assert (
+            naive.extra["total_tests"]
+            > 3 * pruned.extra["total_tests"]
+        )
+
+    def test_symbolic_adds_tests(self):
+        plain = run_table5(scale=0.05)
+        symbolic = run_table7(scale=0.05)
+        assert symbolic.extra["total_tests"] > plain.extra["total_tests"]
+
+
+class TestOutcomes:
+    def test_every_test_row_present(self):
+        result = run_outcomes(scale=0.05)
+        names = [row[0] for row in result.rows]
+        assert names == [
+            "svpc", "acyclic", "loop_residue", "fourier_motzkin"
+        ]
+
+
+class TestBaselineComparison:
+    def test_baseline_misses_independent_pairs(self):
+        result = run_baseline_comparison(scale=0.05)
+        assert (
+            result.extra["independent_baseline"]
+            < result.extra["independent_exact"]
+        )
+
+    def test_baseline_over_reports_vectors(self):
+        result = run_baseline_comparison(scale=0.05)
+        assert (
+            result.extra["vectors_baseline"] >= result.extra["vectors_exact"]
+        )
+
+
+class TestTimings:
+    def test_representative_systems_decidable(self):
+        from repro.deptests.base import Verdict
+        from repro.deptests.fourier_motzkin import FourierMotzkinTest
+        from repro.deptests.loop_residue import LoopResidueTest
+        from repro.deptests.svpc import SvpcTest
+
+        assert (
+            SvpcTest().decide(representative_system("svpc")).verdict.decided
+        )
+        assert (
+            LoopResidueTest()
+            .decide(representative_system("loop_residue"))
+            .verdict.decided
+        )
+        fm = FourierMotzkinTest().decide(
+            representative_system("fourier_motzkin")
+        )
+        assert fm.verdict is not Verdict.NOT_APPLICABLE
+
+    def test_time_tests_returns_all_four(self):
+        timings = time_tests(repeats=3)
+        assert {t.name for t in timings} == {
+            "svpc", "acyclic", "loop_residue", "fourier_motzkin"
+        }
+        for timing in timings:
+            assert timing.microseconds > 0

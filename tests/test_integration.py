@@ -1,0 +1,189 @@
+"""End-to-end integration: realistic kernels through the full pipeline.
+
+Source text -> parser -> prepass optimizer -> IR -> exact dependence
+analysis -> parallelism / transformation verdicts, checked against the
+textbook answers for each kernel.
+"""
+
+from itertools import permutations
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.kinds import DependenceKind, classify_pair
+from repro.core.memo import Memoizer
+from repro.core.parallel import analyze_parallelism
+from repro.core.transforms import (
+    gather_dependences,
+    interchange_legal,
+    permutation_legal,
+)
+from repro.ir.program import reference_pairs
+from repro.opt import compile_source
+
+
+def _parallel_map(source: str) -> dict[str, bool]:
+    program = compile_source(source).program
+    return {
+        f"{r.loop.var}@{r.level}": r.parallel
+        for r in analyze_parallelism(program)
+    }
+
+
+class TestMatmul:
+    SOURCE = """
+for i = 1 to 50 do
+  for j = 1 to 50 do
+    for k = 1 to 50 do
+      c[i][j] = c[i][j] + a[i][k] * b[k][j]
+    end
+  end
+end
+"""
+
+    def test_reduction_loop_carries(self):
+        flags = _parallel_map(self.SOURCE)
+        assert flags["i@0"] is True
+        assert flags["j@1"] is True
+        assert flags["k@2"] is False  # the reduction
+
+    def test_fully_permutable(self):
+        edges = gather_dependences(compile_source(self.SOURCE).program)
+        for perm in permutations(range(3)):
+            assert permutation_legal(edges, perm)
+
+
+class TestLuDecompositionStyle:
+    # The triangular bounds matter: with i, j > k the pivot row/column
+    # reads a[i][k], a[k][j] never alias the a[i][j] updates of the
+    # same k iteration, so the classic result holds — the elimination
+    # loop k carries, the update loops i and j parallelize.
+    SOURCE = """
+for k = 1 to 30 do
+  for i = k + 1 to 30 do
+    for j = k + 1 to 30 do
+      a[i][j] = a[i][j] - a[i][k] * a[k][j]
+    end
+  end
+end
+"""
+
+    def test_outer_loop_serial(self):
+        flags = _parallel_map(self.SOURCE)
+        assert flags["k@0"] is False
+        assert flags["i@1"] is True
+        assert flags["j@2"] is True
+
+    def test_rectangular_variant_loses_parallelism(self):
+        """Without the triangular bounds the i loop truly carries
+        (write a[i][j] at i = k is read as the pivot row a[k][j] by
+        other i iterations of the same k) — exactness distinguishes
+        the two shapes."""
+        flags = _parallel_map(
+            "for k = 2 to 30 do\n"
+            "  for i = 2 to 30 do\n"
+            "    for j = 2 to 30 do\n"
+            "      a[i][j] = a[i][j] - a[i][k] * a[k][j]\n"
+            "    end\n"
+            "  end\n"
+            "end"
+        )
+        assert flags["k@0"] is False
+        assert flags["i@1"] is False
+
+
+class TestTranspose:
+    SOURCE = """
+for i = 1 to 40 do
+  for j = 1 to 40 do
+    b[i][j] = a[j][i]
+  end
+end
+"""
+
+    def test_fully_parallel(self):
+        flags = _parallel_map(self.SOURCE)
+        assert all(flags.values())
+
+
+class TestInPlaceShiftFamily:
+    def test_forward_shift_serial(self):
+        flags = _parallel_map(
+            "for i = 2 to 100 do\n  a[i] = a[i - 1]\nend"
+        )
+        assert flags["i@0"] is False
+
+    def test_far_shift_within_half(self):
+        # a[i] = a[i+50] with i in 1..50: reads 51..100, writes 1..50.
+        flags = _parallel_map(
+            "for i = 1 to 50 do\n  a[i] = a[i + 50]\nend"
+        )
+        assert flags["i@0"] is True
+
+    def test_stride_two_halves(self):
+        # even writes, odd reads: never conflict
+        flags = _parallel_map(
+            "for i = 1 to 50 do\n  a[2 * i] = a[2 * i + 1]\nend"
+        )
+        assert flags["i@0"] is True
+
+
+class TestConvolutionStyle:
+    SOURCE = """
+read(n)
+for i = 3 to n do
+  out[i] = sig[i] + sig[i - 1] + sig[i - 2]
+end
+"""
+
+    def test_reads_only_kernel_parallel(self):
+        flags = _parallel_map(self.SOURCE)
+        assert flags["i@0"] is True
+
+    def test_dependence_kinds(self):
+        program = compile_source(self.SOURCE).program
+        analyzer = DependenceAnalyzer()
+        kinds = set()
+        for site1, site2 in reference_pairs(program):
+            for edge in classify_pair(site1, site2, analyzer):
+                kinds.add(edge.kind)
+        assert DependenceKind.FLOW not in kinds  # out/sig never alias
+
+
+class TestHistogramStyle:
+    def test_indirect_rejected_cleanly(self):
+        # histogram: h[b[i]] += 1 — not affine; permissive mode skips it
+        result = compile_source(
+            "for i = 1 to 100 do\n  h[b[i]] = h[b[i]] + 1\nend",
+            strict=False,
+        )
+        assert result.program.statements == []
+        assert result.skipped
+
+
+class TestWholePipelineMemoized:
+    def test_repeated_kernels_hit_memo(self):
+        source = "\n".join(
+            f"for i = 2 to 100 do\n  a{k}[i] = a{k}[i - 1]\nend"
+            for k in range(8)
+        )
+        program = compile_source(source).program
+        memo = Memoizer()
+        analyzer = DependenceAnalyzer(memoizer=memo)
+        for site1, site2 in reference_pairs(program):
+            analyzer.analyze_sites(site1, site2)
+        # 8 identical problems on different arrays: 1 unique
+        assert memo.with_bounds.stats.unique == 1
+        assert memo.with_bounds.stats.hits == 7
+
+    def test_interchange_on_optimized_source(self):
+        # strided source loop; legality judged after normalization
+        source = (
+            "for i = 2 to 20 step 2 do\n"
+            "  for j = 1 to 20 do\n"
+            "    a[i][j] = a[i - 2][j]\n"
+            "  end\n"
+            "end"
+        )
+        program = compile_source(source).program
+        edges = gather_dependences(program)
+        assert edges  # the carried flow dependence survives normalization
+        assert interchange_legal(edges, 0, 2)

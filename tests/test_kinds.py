@@ -1,0 +1,100 @@
+"""Tests for dependence kind classification (flow/anti/output/input)."""
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.kinds import DependenceKind, classify_pair
+from repro.ir import builder as B
+from repro.ir.program import reference_pairs
+
+
+def _sites(src_write, src_read, nest):
+    prog = B.program("t")
+    B.assign(prog, nest, src_write, [src_read])
+    (pair,) = reference_pairs(prog)
+    return pair
+
+
+class TestFlowAnti:
+    def test_flow_dependence(self):
+        # a[i+1] = a[i]: the write at iteration i reaches the read at i+1.
+        nest = B.nest(("i", 1, 10))
+        site1, site2 = _sites(("a", [B.v("i") + 1]), ("a", [B.v("i")]), nest)
+        edges = classify_pair(site1, site2)
+        assert len(edges) == 1
+        (edge,) = edges
+        assert edge.kind == DependenceKind.FLOW
+        assert edge.source.ref.is_write and not edge.sink.ref.is_write
+        assert edge.vector == ("<",)
+        assert edge.loop_carried
+
+    def test_anti_dependence(self):
+        # a[i] = a[i+1]: iteration i reads a[i+1] before i+1 writes it.
+        nest = B.nest(("i", 1, 10))
+        site1, site2 = _sites(("a", [B.v("i")]), ("a", [B.v("i") + 1]), nest)
+        edges = classify_pair(site1, site2)
+        assert len(edges) == 1
+        (edge,) = edges
+        assert edge.kind == DependenceKind.ANTI
+        assert not edge.source.ref.is_write and edge.sink.ref.is_write
+        # source-to-sink orientation: read at i, write at i+1 -> '<'
+        assert edge.vector == ("<",)
+
+    def test_loop_independent_self_is_anti(self):
+        # a[i] = a[i] + 1: within one iteration the RHS read executes
+        # before the store, so the same-iteration collision is an anti
+        # dependence from the read to the write.
+        nest = B.nest(("i", 1, 10))
+        site1, site2 = _sites(("a", [B.v("i")]), ("a", [B.v("i")]), nest)
+        edges = classify_pair(site1, site2)
+        assert len(edges) == 1
+        (edge,) = edges
+        assert not edge.loop_carried
+        assert edge.vector == ("=",)
+        assert edge.kind == DependenceKind.ANTI
+        assert not edge.source.ref.is_write
+
+    def test_loop_independent_across_statements_is_flow(self):
+        # S1 writes a[i], S2 reads it in the same iteration: flow.
+        nest = B.nest(("i", 1, 10))
+        prog = B.program("t")
+        B.assign(prog, nest, ("a", [B.v("i")]), [])
+        B.assign(prog, nest, ("c", [B.v("i")]), [("a", [B.v("i")])])
+        pairs = [
+            p for p in reference_pairs(prog) if p[0].ref.array == "a"
+        ]
+        (pair,) = pairs
+        (edge,) = classify_pair(*pair)
+        assert edge.kind == DependenceKind.FLOW
+        assert edge.vector == ("=",)
+
+    def test_output_dependence(self):
+        nest = B.nest(("i", 1, 10))
+        prog = B.program("t")
+        B.assign(prog, nest, ("a", [B.v("i")]), [])
+        B.assign(prog, nest, ("a", [B.v("i") + 1]), [])
+        (pair,) = reference_pairs(prog)
+        edges = classify_pair(*pair)
+        assert all(e.kind == DependenceKind.OUTPUT for e in edges)
+        assert edges
+
+    def test_independent_pair_no_edges(self):
+        nest = B.nest(("i", 1, 10))
+        site1, site2 = _sites(
+            ("a", [B.v("i")]), ("a", [B.v("i") + 100]), nest
+        )
+        assert classify_pair(site1, site2) == []
+
+    def test_star_vector_yields_both_orientations(self):
+        # unused outer loop: vector (* <) could run either way at level 0.
+        nest = B.nest(("k", 1, 5), ("i", 1, 10))
+        site1, site2 = _sites(("a", [B.v("i") + 1]), ("a", [B.v("i")]), nest)
+        edges = classify_pair(site1, site2)
+        kinds = sorted(e.kind for e in edges)
+        assert kinds == [DependenceKind.ANTI, DependenceKind.FLOW]
+
+    def test_directions_reused_if_given(self):
+        nest = B.nest(("i", 1, 10))
+        site1, site2 = _sites(("a", [B.v("i") + 1]), ("a", [B.v("i")]), nest)
+        analyzer = DependenceAnalyzer()
+        dirs = analyzer.directions(site1.ref, site1.nest, site2.ref, site2.nest)
+        edges = classify_pair(site1, site2, analyzer, directions=dirs)
+        assert len(edges) == 1

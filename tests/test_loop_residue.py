@@ -1,0 +1,139 @@
+"""Tests for the Simple Loop Residue test (including paper Figure 1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deptests.base import Verdict
+from repro.deptests.loop_residue import LoopResidueTest, build_residue_graph
+from repro.oracle.enumerate import solve_system
+from repro.system.constraints import ConstraintSystem
+
+small = st.integers(min_value=-8, max_value=8)
+
+
+def _system(n, *rows):
+    system = ConstraintSystem(tuple(f"t{i}" for i in range(n)))
+    for coeffs, bound in rows:
+        system.add(coeffs, bound)
+    return system
+
+
+class TestApplicability:
+    def test_difference_constraints_ok(self):
+        system = _system(2, ([1, -1], 3), ([-1, 1], 2), ([1, 0], 5))
+        assert LoopResidueTest().applicable(system)
+
+    def test_unequal_magnitudes_rejected(self):
+        system = _system(2, ([2, -1], 3))
+        assert not LoopResidueTest().applicable(system)
+        assert (
+            LoopResidueTest().decide(system).verdict is Verdict.NOT_APPLICABLE
+        )
+
+    def test_same_sign_rejected(self):
+        system = _system(2, ([1, 1], 3))
+        assert not LoopResidueTest().applicable(system)
+
+    def test_three_variables_rejected(self):
+        system = _system(3, ([1, -1, 1], 3))
+        assert not LoopResidueTest().applicable(system)
+
+    def test_scaled_difference_accepted(self):
+        # 3t0 - 3t1 <= 7 is the paper's exact extension: a*ti <= a*tj + c.
+        system = _system(2, ([3, -3], 7))
+        assert LoopResidueTest().applicable(system)
+
+
+class TestFigure1:
+    def test_paper_figure_1_negative_cycle(self):
+        """The paper's Figure 1: a cycle t1 -> t3 -> n0 -> t1 of value -1.
+
+        Constraints: t1 >= 1, t3 <= 4, t1 <= t3 - 4 (after the exact
+        division step) — the cycle value 4 + 4 - 1 ... = -1 proves
+        independence.
+        """
+        # t1 >= 1  ==>  -t1 <= -1 ; t3 <= 4 ; t1 - t3 <= -4
+        system = _system(
+            2,
+            ([-1, 0], -1),  # n0 -> t1 arc value -1
+            ([0, 1], 4),  # t3 -> n0 arc value 4
+            ([1, -1], -4),  # t1 -> t3 arc value -4
+        )
+        graph = build_residue_graph(system)
+        arcs = set(graph.arcs)
+        assert (-1, 0, -1) in arcs  # n0 -> t1 value -1
+        assert (1, -1, 4) in arcs  # t3 -> n0 value 4
+        assert (0, 1, -4) in arcs  # t1 -> t3 value -4
+        # cycle value: -4 + 4 + (-1) = -1 < 0 -> independent
+        assert LoopResidueTest().decide(system).verdict is Verdict.INDEPENDENT
+
+    def test_exact_division_extension(self):
+        # 2t0 <= 2t1 + 5  ==>  t0 - t1 <= floor(5/2) = 2 (exact for ints).
+        system = _system(2, ([2, -2], 5))
+        graph = build_residue_graph(system)
+        assert (0, 1, 2) in set(graph.arcs)
+
+
+class TestDecisions:
+    def test_feasible_difference_chain(self):
+        system = _system(
+            3,
+            ([1, -1, 0], -1),  # t0 <= t1 - 1
+            ([0, 1, -1], -1),  # t1 <= t2 - 1
+            ([0, 0, 1], 10),  # t2 <= 10
+            ([-1, 0, 0], -1),  # t0 >= 1
+        )
+        result = LoopResidueTest().decide(system)
+        assert result.verdict is Verdict.DEPENDENT
+        assert system.evaluate(result.witness)
+
+    def test_infeasible_tight_cycle(self):
+        # t0 <= t1 - 1 and t1 <= t0 - 1: cycle value -2.
+        system = _system(2, ([1, -1], -1), ([-1, 1], -1))
+        assert LoopResidueTest().decide(system).verdict is Verdict.INDEPENDENT
+
+    def test_zero_cycle_feasible(self):
+        # t0 <= t1 and t1 <= t0 (equality through a zero-value cycle).
+        system = _system(2, ([1, -1], 0), ([-1, 1], 0))
+        result = LoopResidueTest().decide(system)
+        assert result.verdict is Verdict.DEPENDENT
+        assert result.witness[0] == result.witness[1]
+
+    def test_constant_contradiction(self):
+        system = _system(1, ([0], -2))
+        assert LoopResidueTest().decide(system).verdict is Verdict.INDEPENDENT
+
+    def test_unconstrained_variable_witness(self):
+        system = _system(2, ([1, -1], 0))
+        result = LoopResidueTest().decide(system)
+        assert result.verdict is Verdict.DEPENDENT
+        assert system.evaluate(result.witness)
+
+
+class TestExactnessAgainstOracle:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [(1, -1), (-1, 1), (1, 0), (-1, 0), (0, 1), (0, -1)]
+                ),
+                st.integers(-10, 10),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=300)
+    def test_agrees_with_enumeration(self, rows):
+        system = _system(2, *[(list(c), b) for c, b in rows])
+        # Box so brute force is finite and the test sees the same system.
+        system.add([1, 0], 8)
+        system.add([-1, 0], 8)
+        system.add([0, 1], 8)
+        system.add([0, -1], 8)
+        result = LoopResidueTest().decide(system)
+        assert result.verdict in (Verdict.DEPENDENT, Verdict.INDEPENDENT)
+        brute = solve_system(system, -8, 8)
+        assert (brute is not None) == (result.verdict is Verdict.DEPENDENT)
+        if result.witness is not None:
+            assert system.evaluate(result.witness)

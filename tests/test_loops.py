@@ -1,0 +1,88 @@
+"""Tests for loop nests and iteration spaces."""
+
+import pytest
+
+from repro.ir.affine import var
+from repro.ir.loops import Loop, LoopNest
+
+
+class TestLoop:
+    def test_self_reference_rejected(self):
+        with pytest.raises(ValueError):
+            Loop("i", var("i"), var("n"))
+
+    def test_rename(self):
+        loop = Loop("i", var("n") * 0 + 1, var("n"))
+        renamed = loop.rename({"i": "i'", "n": "m"})
+        assert renamed.var == "i'"
+        assert renamed.upper == var("m")
+
+    def test_str(self):
+        loop = Loop("i", var("n") * 0 + 1, var("n"))
+        assert str(loop) == "for i = 1 to n"
+
+
+class TestLoopNest:
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest([
+                Loop("i", var("z") * 0 + 1, var("z") * 0 + 9),
+                Loop("i", var("z") * 0 + 1, var("z") * 0 + 9),
+            ])
+
+    def test_inner_reference_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest([
+                Loop("i", var("j"), var("j") + 5),  # j is the inner loop
+                Loop("j", var("j") * 0 + 1, var("j") * 0 + 9),
+            ])
+
+    def test_outer_reference_allowed(self):
+        nest = LoopNest([
+            Loop("i", var("i") * 0 + 1, var("i") * 0 + 9),
+            Loop("j", var("i") * 0 + 1, var("i")),
+        ])
+        assert nest.depth == 2
+
+    def test_symbols(self):
+        nest = LoopNest([
+            Loop("i", var("lo"), var("n")),
+            Loop("j", var("j") * 0 + 1, var("i")),
+        ])
+        assert nest.symbols() == {"lo", "n"}
+
+    def test_common_prefix(self):
+        i_loop = Loop("i", var("i") * 0 + 1, var("i") * 0 + 9)
+        j_loop = Loop("j", var("j") * 0 + 1, var("j") * 0 + 9)
+        k_loop = Loop("k", var("k") * 0 + 1, var("k") * 0 + 9)
+        a = LoopNest([i_loop, j_loop])
+        b = LoopNest([i_loop, k_loop])
+        assert a.common_prefix_depth(b) == 1
+        assert a.common_prefix_depth(a) == 2
+        assert a.common_prefix_depth(LoopNest([])) == 0
+
+    def test_iteration_space(self):
+        nest = LoopNest([
+            Loop("i", var("i") * 0 + 1, var("i") * 0 + 3),
+            Loop("j", var("j") * 0 + 1, var("i")),
+        ])
+        points = list(nest.iteration_space())
+        # triangular: 1 + 2 + 3 iterations
+        assert len(points) == 6
+        assert {"i": 3, "j": 2} in points
+
+    def test_iteration_space_with_symbols(self):
+        nest = LoopNest([Loop("i", var("i") * 0 + 1, var("n"))])
+        points = list(nest.iteration_space({"n": 4}))
+        assert [p["i"] for p in points] == [1, 2, 3, 4]
+
+    def test_empty_loop_no_iterations(self):
+        nest = LoopNest([Loop("i", var("i") * 0 + 5, var("i") * 0 + 4)])
+        assert list(nest.iteration_space()) == []
+
+    def test_indexing_and_equality(self):
+        loop = Loop("i", var("z") * 0 + 1, var("z") * 0 + 9)
+        nest = LoopNest([loop])
+        assert nest[0] == loop
+        assert nest == LoopNest([loop])
+        assert hash(nest) == hash(LoopNest([loop]))

@@ -1,0 +1,140 @@
+"""Unit and property tests for the exact integer matrix."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linalg.matrix import IntMatrix
+
+small = st.integers(min_value=-20, max_value=20)
+
+
+def matrices(max_dim: int = 4):
+    return st.integers(1, max_dim).flatmap(
+        lambda rows: st.integers(1, max_dim).flatmap(
+            lambda cols: st.lists(
+                st.lists(small, min_size=cols, max_size=cols),
+                min_size=rows,
+                max_size=rows,
+            ).map(IntMatrix)
+        )
+    )
+
+
+def square_matrices(max_dim: int = 4):
+    return st.integers(1, max_dim).flatmap(
+        lambda n: st.lists(
+            st.lists(small, min_size=n, max_size=n), min_size=n, max_size=n
+        ).map(IntMatrix)
+    )
+
+
+class TestConstruction:
+    def test_identity(self):
+        eye = IntMatrix.identity(3)
+        assert eye.shape == (3, 3)
+        assert eye[0, 0] == 1 and eye[0, 1] == 0
+
+    def test_zeros(self):
+        z = IntMatrix.zeros(2, 3)
+        assert z.shape == (2, 3)
+        assert all(x == 0 for row in z.rows for x in row)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2], [3]])
+
+    def test_copy_is_deep(self):
+        m = IntMatrix([[1, 2], [3, 4]])
+        n = m.copy()
+        n[0, 0] = 99
+        assert m[0, 0] == 1
+
+
+class TestRowOperations:
+    def test_swap(self):
+        m = IntMatrix([[1, 2], [3, 4]])
+        m.swap_rows(0, 1)
+        assert m.rows == [[3, 4], [1, 2]]
+
+    def test_negate(self):
+        m = IntMatrix([[1, -2]])
+        m.negate_row(0)
+        assert m.rows == [[-1, 2]]
+
+    def test_add_multiple(self):
+        m = IntMatrix([[1, 2], [3, 4]])
+        m.add_multiple_of_row(1, 0, -3)
+        assert m.rows == [[1, 2], [0, -2]]
+
+    @given(square_matrices())
+    def test_row_ops_preserve_abs_determinant(self, m):
+        det_before = abs(m.determinant())
+        m.swap_rows(0, m.n_rows - 1)
+        m.negate_row(0)
+        if m.n_rows > 1:
+            m.add_multiple_of_row(0, 1, 7)
+        assert abs(m.determinant()) == det_before
+
+
+class TestArithmetic:
+    def test_matmul(self):
+        a = IntMatrix([[1, 2], [3, 4]])
+        b = IntMatrix([[5, 6], [7, 8]])
+        assert (a @ b).rows == [[19, 22], [43, 50]]
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2]]) @ IntMatrix([[1, 2]])
+
+    def test_vecmul(self):
+        m = IntMatrix([[1, 0], [0, 2]])
+        assert m.vecmul([3, 4]) == [3, 8]
+
+    def test_transpose(self):
+        m = IntMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.transpose().rows == [[1, 4], [2, 5], [3, 6]]
+
+    @given(matrices())
+    def test_double_transpose(self, m):
+        assert m.transpose().transpose() == m
+
+    @given(square_matrices(3), square_matrices(3))
+    def test_determinant_multiplicative(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert (a @ b).determinant() == a.determinant() * b.determinant()
+
+
+class TestDeterminant:
+    def test_identity(self):
+        assert IntMatrix.identity(4).determinant() == 1
+
+    def test_singular(self):
+        assert IntMatrix([[1, 2], [2, 4]]).determinant() == 0
+
+    def test_known(self):
+        assert IntMatrix([[2, 0], [0, 3]]).determinant() == 6
+        assert IntMatrix([[0, 1], [1, 0]]).determinant() == -1
+
+    def test_3x3(self):
+        m = IntMatrix([[1, 2, 3], [4, 5, 6], [7, 8, 10]])
+        assert m.determinant() == -3
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2]]).determinant()
+
+
+class TestPredicates:
+    def test_unimodular(self):
+        assert IntMatrix.identity(3).is_unimodular()
+        assert IntMatrix([[1, 1], [0, 1]]).is_unimodular()
+        assert not IntMatrix([[2, 0], [0, 1]]).is_unimodular()
+
+    def test_echelon(self):
+        assert IntMatrix([[1, 2, 3], [0, 1, 4], [0, 0, 0]]).is_echelon()
+        assert IntMatrix([[0, 1], [1, 0]]).is_echelon() is False
+        assert IntMatrix([[1, 0], [0, 0]]).is_echelon()
+        # zero row above nonzero row is not echelon
+        assert IntMatrix([[0, 0], [0, 1]]).is_echelon() is False

@@ -1,0 +1,166 @@
+"""Tests for the memoization tables (paper section 5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.memo import Memoizer, MemoTable, paper_hash
+from repro.ir import builder as B
+
+
+class TestPaperHash:
+    def test_formula(self):
+        # h(z) = size(z) + sum 2^i z_i
+        assert paper_hash((3,), 10**9) == 1 + 3
+        assert paper_hash((1, 2), 10**9) == 2 + 1 + 4
+        assert paper_hash((), 10**9) == 0
+
+    def test_asymmetry(self):
+        # Chosen so symmetrical references do not collide.
+        assert paper_hash((1, 2), 4096) != paper_hash((2, 1), 4096)
+
+    @given(st.lists(st.integers(-100, 100), max_size=20), st.integers(1, 8192))
+    def test_in_range(self, vec, size):
+        assert 0 <= paper_hash(tuple(vec), size) < size
+
+
+class TestMemoTable:
+    def test_miss_then_hit(self):
+        table = MemoTable(size=64)
+        key = (1, 2, 3)
+        hit, _ = table.lookup(key)
+        assert not hit
+        table.insert(key, "value")
+        hit, value = table.lookup(key)
+        assert hit and value == "value"
+        assert table.stats.queries == 2
+        assert table.stats.hits == 1
+        assert table.stats.inserts == 1
+
+    def test_collisions_resolved_by_full_key(self):
+        table = MemoTable(size=1)  # everything collides
+        table.insert((1,), "a")
+        table.insert((2,), "b")
+        assert table.lookup((1,)) == (True, "a")
+        assert table.lookup((2,)) == (True, "b")
+        assert len(table) == 2
+
+    def test_insert_overwrites(self):
+        table = MemoTable(size=8)
+        table.insert((1,), "a")
+        table.insert((1,), "b")
+        assert table.lookup((1,))[1] == "b"
+        assert table.stats.inserts == 1  # same unique case
+
+    def test_unique_fraction(self):
+        table = MemoTable(size=8)
+        for _ in range(4):
+            hit, _ = table.lookup((1,))
+            if not hit:
+                table.insert((1,), True)
+        assert table.stats.unique == 1
+        assert table.stats.unique_fraction == 0.25
+
+
+class TestAnalyzerMemoization:
+    def _run(self, analyzer, n=10):
+        nest = B.nest(("i", 1, n))
+        w = B.ref("a", [B.v("i") + 1], write=True)
+        r = B.ref("a", [B.v("i")])
+        return analyzer.analyze(w, nest, r, nest)
+
+    def test_repeat_query_served_from_memo(self):
+        memo = Memoizer()
+        analyzer = DependenceAnalyzer(memoizer=memo)
+        first = self._run(analyzer)
+        second = self._run(analyzer)
+        assert not first.from_memo
+        assert second.from_memo
+        assert first.dependent == second.dependent
+        assert second.decided_by == first.decided_by
+        # only the first query ran a test
+        assert analyzer.stats.decided_by["svpc"] == 1
+
+    def test_alpha_renaming_hits(self):
+        """a[i+1] vs a[i] in loop i == a[j+1] vs a[j] in loop j."""
+        memo = Memoizer()
+        analyzer = DependenceAnalyzer(memoizer=memo)
+        nest_i = B.nest(("i", 1, 10))
+        nest_j = B.nest(("j", 1, 10))
+        analyzer.analyze(
+            B.ref("a", [B.v("i") + 1], write=True), nest_i,
+            B.ref("a", [B.v("i")]), nest_i,
+        )
+        result = analyzer.analyze(
+            B.ref("a", [B.v("j") + 1], write=True), nest_j,
+            B.ref("a", [B.v("j")]), nest_j,
+        )
+        assert result.from_memo
+
+    def test_paper_improved_scheme_unused_loop_merge(self):
+        """The paper's (a)/(b) example: two doubly-nested loops whose
+        outer/inner index is unused collapse to the same single-loop case."""
+        memo = Memoizer(improved=True)
+        analyzer = DependenceAnalyzer(memoizer=memo, eliminate_unused=True)
+        nest = B.nest(("i", 1, 10), ("j", 1, 10))
+        # (a) a[i+10] = a[i] inside i, j loops
+        analyzer.analyze(
+            B.ref("a", [B.v("i") + 10], write=True), nest,
+            B.ref("a", [B.v("i")]), nest,
+        )
+        # (b) a[j+10] = a[j] inside the same loops
+        result_b = analyzer.analyze(
+            B.ref("a", [B.v("j") + 10], write=True), nest,
+            B.ref("a", [B.v("j")]), nest,
+        )
+        assert result_b.from_memo  # improved scheme merges them
+
+    def test_simple_scheme_does_not_merge(self):
+        memo = Memoizer(improved=False)
+        analyzer = DependenceAnalyzer(memoizer=memo, eliminate_unused=False)
+        nest = B.nest(("i", 1, 10), ("j", 1, 10))
+        analyzer.analyze(
+            B.ref("a", [B.v("i") + 10], write=True), nest,
+            B.ref("a", [B.v("i")]), nest,
+        )
+        result_b = analyzer.analyze(
+            B.ref("a", [B.v("j") + 10], write=True), nest,
+            B.ref("a", [B.v("j")]), nest,
+        )
+        assert not result_b.from_memo
+
+    def test_different_bounds_share_gcd_but_not_verdict(self):
+        """Matching subscripts with different bounds reuse only the
+        no-bounds (GCD) table."""
+        memo = Memoizer()
+        analyzer = DependenceAnalyzer(memoizer=memo)
+        self._run(analyzer, n=10)
+        self._run(analyzer, n=20)
+        assert memo.no_bounds.stats.hits == 1
+        assert memo.with_bounds.stats.hits == 0
+        # And the second answer is still correct.
+        assert analyzer.stats.decided_by["svpc"] == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-2, 2),
+                st.integers(-5, 5),
+                st.integers(1, 6),
+            ),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_memoized_equals_unmemoized(self, cases):
+        """Memoization never changes any verdict."""
+        memoized = DependenceAnalyzer(memoizer=Memoizer())
+        plain = DependenceAnalyzer()
+        for a, c, n in cases + cases:  # force repeats
+            nest = B.nest(("i", 1, n))
+            w = B.ref("a", [B.v("i") * a + c], write=True)
+            r = B.ref("a", [B.v("i")])
+            r_memo = memoized.analyze(w, nest, r, nest)
+            r_plain = plain.analyze(w, nest, r, nest)
+            assert r_memo.dependent == r_plain.dependent

@@ -1,0 +1,270 @@
+"""Tests for the prepass optimizations."""
+
+import pytest
+
+from repro.lang import Assign, ForLoop, parse
+from repro.lang.lower import lower
+from repro.opt import (
+    compile_source,
+    forward_substitute,
+    normalize_loops,
+    optimize,
+    propagate_constants,
+    substitute_inductions,
+)
+from repro.opt.rewrite import affine_to_expr, try_affine
+from repro.ir.affine import AffineExpr
+
+
+def _subscript_strings(source_text: str) -> list[str]:
+    result = compile_source(source_text)
+    out = []
+    for stmt in result.program.statements:
+        out.append(str(stmt.write))
+        out.extend(str(r) for r in stmt.reads)
+    return out
+
+
+class TestRewriteHelpers:
+    def test_affine_roundtrip(self):
+        expr = AffineExpr(7, {"i": 2, "j": -1})
+        back = try_affine(affine_to_expr(expr))
+        assert back == expr
+
+    def test_affine_roundtrip_zero(self):
+        assert try_affine(affine_to_expr(AffineExpr(0))) == AffineExpr(0)
+
+    def test_try_affine_rejects_products(self):
+        program = parse("x = i * j")
+        assert try_affine(program.body[0].expr) is None
+
+
+class TestConstantPropagation:
+    def test_simple(self):
+        program = propagate_constants(
+            parse("n = 100\nfor i = 1 to n do\n  a[i+n] = 0\nend")
+        )
+        loop = program.body[1]
+        assert str(loop.upper) == "100"
+        inner = loop.body[0]
+        assert "100" in str(inner.target)
+
+    def test_chained(self):
+        program = propagate_constants(parse("n = 10\nm = n + 5\nx = m"))
+        assert str(program.body[2].expr) == "15"
+
+    def test_read_kills(self):
+        program = propagate_constants(
+            parse("n = 100\nread(n)\nfor i = 1 to n do\n  a[i] = 0\nend")
+        )
+        loop = program.body[2]
+        assert str(loop.upper) == "n"
+
+    def test_loop_assignment_invalidates(self):
+        program = propagate_constants(
+            parse("k = 1\nfor i = 1 to 5 do\n  k = k + 1\n  a[k] = 0\nend")
+        )
+        loop = program.body[1]
+        store = loop.body[1]
+        assert "k" in str(store.target)  # not folded: k varies
+
+    def test_conditional_free_reassignment(self):
+        program = propagate_constants(parse("n = 1\nn = 2\nx = n"))
+        assert str(program.body[2].expr) == "2"
+
+
+class TestForwardSubstitution:
+    def test_affine_def_substituted(self):
+        program = forward_substitute(
+            parse("for i = 1 to 9 do\n  k = i + 1\n  a[k] = a[i]\nend")
+        )
+        loop = program.body[0]
+        store = loop.body[1]
+        assert "i" in str(store.target)
+        assert "k" not in str(store.target)
+
+    def test_loop_varying_not_substituted_across_iterations(self):
+        # k = k + 1 is not affine in stable names: invalidated.
+        program = forward_substitute(
+            parse("k = 0\nfor i = 1 to 9 do\n  k = k + 1\n  a[k] = 0\nend")
+        )
+        loop = program.body[1]
+        store = loop.body[1]
+        assert "k" in str(store.target)
+
+    def test_outer_loop_var_stays_valid_inside_inner(self):
+        program = forward_substitute(
+            parse(
+                "for i = 1 to 9 do\n"
+                "  k = i + 2\n"
+                "  for j = 1 to 9 do\n"
+                "    a[k][j] = 0\n"
+                "  end\n"
+                "end"
+            )
+        )
+        inner_store = program.body[0].body[1].body[0]
+        assert "k" not in str(inner_store.target)
+        assert "i" in str(inner_store.target)
+
+
+class TestInductionVariables:
+    def test_paper_section8_example(self):
+        subs = _subscript_strings(
+            "n = 100\n"
+            "iz = 0\n"
+            "for i = 1 to 10 do\n"
+            "  iz = iz + 2\n"
+            "  a[iz + n] = a[iz + 2*n + 1] + 3\n"
+            "end for"
+        )
+        assert subs == ["a[2*i + 100]", "a[2*i + 201]"]
+
+    def test_pre_increment_use(self):
+        subs = _subscript_strings(
+            "iz = 5\n"
+            "for i = 1 to 10 do\n"
+            "  a[iz] = 0\n"
+            "  iz = iz + 3\n"
+            "end"
+        )
+        # At iteration i (1-based), before increment: 5 + 3*(i-1).
+        assert subs == ["a[3*i + 2]"]
+
+    def test_post_loop_value(self):
+        result = compile_source(
+            "iz = 0\n"
+            "for i = 1 to 10 do\n"
+            "  iz = iz + 1\n"
+            "end\n"
+            "for j = 1 to 5 do\n"
+            "  a[iz + j] = 0\n"
+            "end"
+        )
+        (stmt,) = result.program.statements
+        assert str(stmt.write) == "a[j + 10]"
+
+    def test_negative_stride(self):
+        subs = _subscript_strings(
+            "k = 100\n"
+            "for i = 1 to 10 do\n"
+            "  k = k - 2\n"
+            "  a[k] = 0\n"
+            "end"
+        )
+        assert subs == ["a[-2*i + 100]"]
+
+    def test_symbolic_base_value(self):
+        subs = _subscript_strings(
+            "read(m)\n"
+            "iz = m\n"
+            "for i = 1 to 10 do\n"
+            "  iz = iz + 1\n"
+            "  a[iz] = 0\n"
+            "end"
+        )
+        assert subs == ["a[i + m]"]
+
+    def test_nonlinear_update_rejected(self):
+        source = parse(
+            "iz = 1\n"
+            "for i = 1 to 10 do\n"
+            "  iz = iz * 2\n"
+            "  a[iz] = 0\n"
+            "end"
+        )
+        optimized = substitute_inductions(source)
+        from repro.lang.errors import LowerError
+
+        with pytest.raises(LowerError):
+            lower(optimized)
+
+
+class TestNormalization:
+    def test_step_two(self):
+        program = normalize_loops(
+            parse("for i = 1 to 20 step 2 do\n  a[i] = 0\nend")
+        )
+        (loop,) = program.body
+        assert loop.step == 1
+        assert str(loop.lower) == "0" and str(loop.upper) == "9"
+        # subscript rewritten to 1 + 2*k
+        store = loop.body[0]
+        assert "2" in str(store.target)
+
+    def test_downward_loop(self):
+        program = normalize_loops(
+            parse("for i = 10 to 1 step -3 do\n  a[i] = 0\nend")
+        )
+        (loop,) = program.body
+        assert loop.step == 1
+        assert str(loop.upper) == "3"  # i in {10, 7, 4, 1}: 4 trips
+
+    def test_empty_loop(self):
+        program = normalize_loops(
+            parse("for i = 10 to 1 step 2 do\n  a[i] = 0\nend")
+        )
+        (loop,) = program.body
+        assert str(loop.upper) == "-1"  # zero trips
+
+    def test_step_one_untouched(self):
+        source = parse("for i = 1 to n do\n  a[i] = 0\nend")
+        program = normalize_loops(source)
+        (loop,) = program.body
+        assert loop.var == "i"
+
+    def test_symbolic_span_left_alone(self):
+        program = normalize_loops(
+            parse("for i = 1 to n step 2 do\n  a[i] = 0\nend")
+        )
+        (loop,) = program.body
+        assert loop.step == 2  # cannot normalize; lowering will report
+
+    def test_normalized_semantics_preserved(self):
+        """Addresses touched by the strided loop match the normalized one."""
+        source = parse("for i = 3 to 17 step 4 do\n  a[i] = 0\nend")
+        normalized = normalize_loops(source)
+        original_addrs = list(range(3, 18, 4))
+        (loop,) = normalized.body
+        lo = int(str(loop.lower))
+        hi = int(str(loop.upper))
+        result = lower(normalized)
+        (stmt,) = result.program.statements
+        addrs = [
+            stmt.write.subscripts[0].evaluate({loop.var: k})
+            for k in range(lo, hi + 1)
+        ]
+        assert addrs == original_addrs
+
+
+class TestPipeline:
+    def test_optimize_composes(self):
+        program = optimize(
+            parse(
+                "n = 50\n"
+                "iz = 0\n"
+                "for i = 1 to 10 step 2 do\n"
+                "  iz = iz + 1\n"
+                "  a[iz + n] = 0\n"
+                "end"
+            )
+        )
+        result = lower(program)
+        (stmt,) = result.program.statements
+        # 5 iterations of the normalized loop; iz = k+1 for k = 0..4.
+        assert str(stmt.write) == "a[i__n + 51]"
+
+    def test_end_to_end_dependence(self):
+        from repro.core.analyzer import DependenceAnalyzer
+        from repro.ir.program import reference_pairs
+
+        result = compile_source(
+            "read(n)\n"
+            "for i = 1 to n do\n"
+            "  a[i + 1] = a[i]\n"
+            "end"
+        )
+        analyzer = DependenceAnalyzer()
+        s1, s2 = reference_pairs(result.program)[0]
+        res = analyzer.analyze_sites(s1, s2)
+        assert res.dependent

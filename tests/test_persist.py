@@ -1,0 +1,101 @@
+"""Tests for persistent memoization (section 5's cross-compilation idea)."""
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.memo import Memoizer
+from repro.core.persist import dumps, load_memoizer, loads, save_memoizer
+from repro.ir import builder as B
+from repro.perfect import generate_program, PROGRAM_SPECS
+
+
+def _run(queries, memoizer):
+    analyzer = DependenceAnalyzer(memoizer=memoizer, want_witness=False)
+    for query in queries:
+        analyzer.analyze(query.ref1, query.nest1, query.ref2, query.nest2)
+    return analyzer
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_entries(self):
+        spec = PROGRAM_SPECS[1]  # CS: has svpc and acyclic cases
+        queries = generate_program(spec)
+        memo = Memoizer()
+        _run(queries, memo)
+        restored = loads(dumps(memo))
+        assert len(restored.no_bounds) == len(memo.no_bounds)
+        assert len(restored.with_bounds) == len(memo.with_bounds)
+        assert restored.improved == memo.improved
+
+    def test_restored_table_serves_all_hits(self):
+        """A second 'compilation' with the saved table runs zero tests."""
+        spec = PROGRAM_SPECS[1]
+        queries = generate_program(spec)
+        memo = Memoizer()
+        first = _run(queries, memo)
+        assert sum(first.stats.decided_by.values()) > 0
+
+        second = _run(queries, loads(dumps(memo)))
+        assert sum(second.stats.decided_by.values()) == 0
+        assert second.stats.memo_hits_bounds > 0
+
+    def test_restored_verdicts_identical(self):
+        spec = PROGRAM_SPECS[5]  # NA: all four buckets
+        queries = generate_program(spec)
+        memo = Memoizer()
+        fresh = DependenceAnalyzer(want_witness=False)
+        warmed = DependenceAnalyzer(
+            memoizer=loads(dumps(_run_and_return_memo(queries))),
+            want_witness=False,
+        )
+        for query in queries[:200]:
+            a = fresh.analyze(query.ref1, query.nest1, query.ref2, query.nest2)
+            b = warmed.analyze(query.ref1, query.nest1, query.ref2, query.nest2)
+            assert a.dependent == b.dependent
+            assert a.distance == b.distance
+
+    def test_directions_persist(self):
+        nest = B.nest(("i", 1, 10))
+        w = B.ref("a", [B.v("i") + 1], write=True)
+        r = B.ref("a", [B.v("i")])
+        memo = Memoizer()
+        analyzer = DependenceAnalyzer(memoizer=memo)
+        original = analyzer.directions(w, nest, r, nest)
+
+        warmed = DependenceAnalyzer(memoizer=loads(dumps(memo)))
+        again = warmed.directions(w, nest, r, nest)
+        assert again.from_memo
+        assert again.vectors == original.vectors
+
+    def test_file_round_trip(self, tmp_path):
+        memo = Memoizer()
+        nest = B.nest(("i", 1, 10))
+        analyzer = DependenceAnalyzer(memoizer=memo)
+        analyzer.analyze(
+            B.ref("a", [B.v("i") * 2], write=True), nest,
+            B.ref("a", [B.v("i") * 2 + 1]), nest,
+        )
+        path = tmp_path / "memo.json"
+        save_memoizer(memo, path)
+        restored = load_memoizer(path)
+        warmed = DependenceAnalyzer(memoizer=restored)
+        result = warmed.analyze(
+            B.ref("a", [B.v("i") * 2], write=True), nest,
+            B.ref("a", [B.v("i") * 2 + 1]), nest,
+        )
+        assert result.independent
+        assert result.from_memo
+
+    def test_version_check(self):
+        import json
+
+        import pytest
+
+        blob = json.loads(dumps(Memoizer()))
+        blob["version"] = 99
+        with pytest.raises(ValueError):
+            loads(json.dumps(blob))
+
+
+def _run_and_return_memo(queries):
+    memo = Memoizer()
+    _run(queries, memo)
+    return memo

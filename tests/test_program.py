@@ -1,0 +1,92 @@
+"""Tests for programs, access sites and reference-pair extraction."""
+
+from repro.ir import builder as B
+from repro.ir.arrays import AccessKind, ArrayRef
+from repro.ir.program import reference_pairs
+
+
+class TestArrayRef:
+    def test_make_coerces_ints(self):
+        ref = ArrayRef.make("a", [3, B.v("i")])
+        assert ref.subscripts[0].is_constant
+
+    def test_variables(self):
+        ref = B.ref("a", [B.v("i") + B.v("n"), B.v("j")])
+        assert ref.variables() == {"i", "j", "n"}
+
+    def test_kinds(self):
+        assert B.ref("a", [1], write=True).is_write
+        assert not B.ref("a", [1]).is_write
+        assert B.ref("a", [1]).kind == AccessKind.READ
+
+    def test_str(self):
+        assert str(B.ref("a", [B.v("i"), 3])) == "a[i][3]"
+
+
+class TestBuilder:
+    def test_nest_accepts_mixed_bounds(self):
+        nest = B.nest(("i", 1, "n"), ("j", B.v("i"), B.v("i") + 2))
+        assert nest.depth == 2
+        assert nest.symbols() == {"n"}
+
+    def test_assign_appends(self):
+        prog = B.program("p", source_lines=42)
+        nest = B.nest(("i", 1, 5))
+        stmt = B.assign(prog, nest, ("a", [B.v("i")]), [("b", [B.v("i")])])
+        assert prog.statements == [stmt]
+        assert stmt.write.is_write
+        assert prog.source_lines == 42
+
+    def test_assign_without_write(self):
+        prog = B.program("p")
+        nest = B.nest(("i", 1, 5))
+        stmt = B.assign(prog, nest, None, [("b", [B.v("i")])])
+        assert stmt.write is None
+        assert len(stmt.refs()) == 1
+
+
+class TestReferencePairs:
+    def _program(self):
+        prog = B.program("p")
+        nest = B.nest(("i", 1, 5))
+        B.assign(prog, nest, ("a", [B.v("i")]), [("a", [B.v("i") - 1]), ("b", [B.v("i")])])
+        B.assign(prog, nest, ("b", [B.v("i")]), [("a", [B.v("i")])])
+        return prog
+
+    def test_pairs_require_common_array(self):
+        pairs = reference_pairs(self._program())
+        assert all(p[0].ref.array == p[1].ref.array for p in pairs)
+
+    def test_pairs_require_a_write(self):
+        pairs = reference_pairs(self._program())
+        assert all(p[0].ref.is_write or p[1].ref.is_write for p in pairs)
+
+    def test_read_read_pairs_excluded(self):
+        prog = B.program("p")
+        nest = B.nest(("i", 1, 5))
+        B.assign(prog, nest, ("x", [B.v("i")]), [("c", [B.v("i")]), ("c", [B.v("i") + 1])])
+        pairs = reference_pairs(prog)
+        # c is only read: the c-c pair must not appear
+        assert all(p[0].ref.array != "c" for p in pairs)
+
+    def test_expected_pair_count(self):
+        # arrays: a appears as write(s1), read(s1), read(s2);
+        # b as read(s1), write(s2).
+        # a-pairs with a write: (w,r1), (w,r2), -- r1-r2 is read-read: no.
+        # b-pairs: (r, w).
+        pairs = reference_pairs(self._program())
+        assert len(pairs) == 3
+
+    def test_self_output_option(self):
+        prog = B.program("p")
+        nest = B.nest(("i", 1, 5))
+        B.assign(prog, nest, ("a", [B.v("i")]), [])
+        assert reference_pairs(prog) == []
+        with_self = reference_pairs(prog, include_self_output=True)
+        assert len(with_self) == 1
+
+    def test_sites_ordering(self):
+        sites = self._program().sites()
+        indices = [s.site_index for s in sites]
+        assert indices == sorted(indices)
+        assert sites[0].ref.is_write

@@ -1,0 +1,115 @@
+"""Accounting invariants of the analyzer's statistics.
+
+The paper's tables are all views over these counters, so their internal
+consistency is what makes the regenerated tables trustworthy: every
+query must be accounted for exactly once (constant, GCD-independent,
+memo hit, or one decided test), and memo totals must tie out.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.memo import Memoizer
+from repro.core.stats import TEST_ORDER
+from repro.perfect import BUCKETS, make_query
+
+bucket = st.sampled_from([b for b in BUCKETS])
+idx = st.integers(0, 25)
+wrapper = st.integers(0, 2)
+
+
+@st.composite
+def query_streams(draw):
+    n = draw(st.integers(5, 40))
+    out = []
+    for _ in range(n):
+        out.append(
+            make_query(draw(bucket), draw(idx), draw(wrapper), False)
+        )
+    # force repeats
+    repeats = draw(st.integers(0, n))
+    out.extend(out[:repeats])
+    return out
+
+
+class TestAccounting:
+    @given(query_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_every_query_accounted_once_no_memo(self, queries):
+        analyzer = DependenceAnalyzer(want_witness=False)
+        for q in queries:
+            analyzer.analyze(q.ref1, q.nest1, q.ref2, q.nest2)
+        stats = analyzer.stats
+        decided = sum(stats.decided_by.get(t, 0) for t in TEST_ORDER)
+        assert (
+            stats.total_queries
+            == stats.constant_cases + stats.gcd_independent + decided
+        )
+
+    @given(query_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_every_query_accounted_once_with_memo(self, queries):
+        memo = Memoizer()
+        analyzer = DependenceAnalyzer(memoizer=memo, want_witness=False)
+        gcd_memo_hits = 0
+        for q in queries:
+            result = analyzer.analyze(q.ref1, q.nest1, q.ref2, q.nest2)
+            if result.from_memo and result.decided_by == "gcd":
+                gcd_memo_hits += 1
+        stats = analyzer.stats
+        decided = sum(stats.decided_by.get(t, 0) for t in TEST_ORDER)
+        assert stats.total_queries == (
+            stats.constant_cases
+            + stats.gcd_independent
+            + gcd_memo_hits
+            + stats.memo_hits_bounds
+            + decided
+        )
+
+    @given(query_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_memo_table_totals_tie_out(self, queries):
+        memo = Memoizer()
+        analyzer = DependenceAnalyzer(memoizer=memo, want_witness=False)
+        for q in queries:
+            analyzer.analyze(q.ref1, q.nest1, q.ref2, q.nest2)
+        stats = analyzer.stats
+        assert memo.no_bounds.stats.queries == stats.memo_queries_no_bounds
+        assert memo.no_bounds.stats.hits == stats.memo_hits_no_bounds
+        assert memo.with_bounds.stats.queries == stats.memo_queries_bounds
+        assert memo.with_bounds.stats.hits == stats.memo_hits_bounds
+        # unique = queries - hits, per table
+        assert (
+            memo.no_bounds.stats.unique
+            == memo.no_bounds.stats.queries - memo.no_bounds.stats.hits
+        )
+        assert (
+            memo.with_bounds.stats.unique
+            == memo.with_bounds.stats.queries - memo.with_bounds.stats.hits
+        )
+
+    @given(query_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_memo_never_changes_verdicts(self, queries):
+        plain = DependenceAnalyzer(want_witness=False)
+        memoized = DependenceAnalyzer(
+            memoizer=Memoizer(), want_witness=False
+        )
+        for q in queries:
+            a = plain.analyze(q.ref1, q.nest1, q.ref2, q.nest2)
+            b = memoized.analyze(q.ref1, q.nest1, q.ref2, q.nest2)
+            assert a.dependent == b.dependent
+            assert a.distance == b.distance
+
+    @given(query_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_outcome_counts_match_decisions(self, queries):
+        analyzer = DependenceAnalyzer(want_witness=False)
+        for q in queries:
+            analyzer.analyze(q.ref1, q.nest1, q.ref2, q.nest2)
+        stats = analyzer.stats
+        for test in TEST_ORDER:
+            indep = stats.outcomes.get((test, "independent"), 0)
+            dep = stats.outcomes.get((test, "dependent"), 0)
+            assert indep + dep == stats.decided_by.get(test, 0)

@@ -1,0 +1,101 @@
+"""Tests for the Single Variable Per Constraint test."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deptests.base import Verdict
+from repro.deptests.svpc import SvpcTest
+from repro.oracle.enumerate import solve_system
+from repro.system.constraints import ConstraintSystem
+
+small = st.integers(min_value=-12, max_value=12)
+
+
+def _system(*rows):
+    n = len(rows[0][0])
+    system = ConstraintSystem(tuple(f"t{i}" for i in range(n)))
+    for coeffs, bound in rows:
+        system.add(coeffs, bound)
+    return system
+
+
+class TestApplicability:
+    def test_single_variable_ok(self):
+        system = _system(([1, 0], 5), ([0, -1], 2))
+        assert SvpcTest().applicable(system)
+
+    def test_multi_variable_rejected(self):
+        system = _system(([1, 1], 5))
+        assert not SvpcTest().applicable(system)
+        result = SvpcTest().decide(system)
+        assert result.verdict is Verdict.NOT_APPLICABLE
+
+    def test_empty_system_applicable(self):
+        system = ConstraintSystem(("t0",))
+        assert SvpcTest().applicable(system)
+        assert SvpcTest().decide(system).verdict is Verdict.DEPENDENT
+
+
+class TestDecisions:
+    def test_paper_worked_example(self):
+        # Section 3.2: 1<=t1<=10, 1<=t2<=10, t2+9<=10 (t2<=1), t1-10>=1
+        # (t1>=11): lower bound of t1 exceeds its upper bound.
+        system = _system(
+            ([1, 0], 10),
+            ([-1, 0], -1),
+            ([0, 1], 10),
+            ([0, -1], -1),
+            ([0, 1], 1),
+            ([-1, 0], -11),
+        )
+        assert SvpcTest().decide(system).verdict is Verdict.INDEPENDENT
+
+    def test_dependent_with_witness(self):
+        system = _system(([1, 0], 5), ([-1, 0], -3), ([0, 1], 0))
+        result = SvpcTest().decide(system)
+        assert result.verdict is Verdict.DEPENDENT
+        assert system.evaluate(result.witness)
+
+    def test_contradiction_constant(self):
+        system = _system(([0], -1))
+        assert SvpcTest().decide(system).verdict is Verdict.INDEPENDENT
+
+    def test_scaled_coefficients(self):
+        # 3t <= 7 and -3t <= -7: t <= 2 and t >= 3 -> independent
+        # (no integer in [7/3, 7/3]).
+        system = _system(([3], 7), ([-3], -7))
+        assert SvpcTest().decide(system).verdict is Verdict.INDEPENDENT
+
+    def test_scaled_coefficients_feasible(self):
+        # 3t <= 9 and -3t <= -9: t == 3.
+        system = _system(([3], 9), ([-3], -9))
+        result = SvpcTest().decide(system)
+        assert result.verdict is Verdict.DEPENDENT
+        assert result.witness == (3,)
+
+
+class TestExactness:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), small.filter(lambda x: x != 0), small),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=300)
+    def test_matches_enumeration(self, rows):
+        """SVPC agrees with brute force on random 3-var single-var systems."""
+        system = ConstraintSystem(("t0", "t1", "t2"))
+        for var, coeff, bound in rows:
+            coeffs = [0, 0, 0]
+            coeffs[var] = coeff
+            system.add(coeffs, bound)
+        result = SvpcTest().decide(system)
+        assert result.verdict in (Verdict.DEPENDENT, Verdict.INDEPENDENT)
+        # Solutions, when they exist, include a point with coordinates
+        # bounded by the largest |bound| + 1 (single-var constraints only).
+        radius = max(abs(b) for _, _, b in rows) + 1
+        brute = solve_system(system, -radius, radius)
+        assert (brute is not None) == (result.verdict is Verdict.DEPENDENT)
+        if result.witness is not None:
+            assert system.evaluate(result.witness)

@@ -1,0 +1,112 @@
+"""Symbolic-term tests (paper section 8)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.symbolic import has_symbolic_terms, symbolic_terms
+from repro.ir import builder as B
+from repro.oracle.enumerate import oracle_dependent
+
+
+class TestDetection:
+    def test_symbol_in_subscript(self):
+        nest = B.nest(("i", 1, 10))
+        ref = B.ref("a", [B.v("i") + B.v("n")])
+        assert has_symbolic_terms(ref, nest)
+        assert symbolic_terms(ref, nest) == {"n"}
+
+    def test_symbol_in_bound(self):
+        nest = B.nest(("i", 1, B.v("n")))
+        ref = B.ref("a", [B.v("i")])
+        assert symbolic_terms(ref, nest) == {"n"}
+
+    def test_no_symbols(self):
+        nest = B.nest(("i", 1, 10))
+        assert not has_symbolic_terms(B.ref("a", [B.v("i")]), nest)
+
+
+class TestPaperExample:
+    def test_section8_read_n(self):
+        """read(n); a[i+n] = a[i+2n+1]: i + n = i' + 2n + 1 needs
+        i - i' = n + 1; with 1 <= i, i' <= 10 that is satisfiable for
+        suitable n (e.g. n = 0 is excluded? no: n unknown, any value),
+        so the references must be assumed dependent -- and exactly so,
+        since some n admits a collision."""
+        nest = B.nest(("i", 1, 10))
+        w = B.ref("a", [B.v("i") + B.v("n")], write=True)
+        r = B.ref("a", [B.v("i") + B.v("n") * 2 + 1])
+        result = DependenceAnalyzer().analyze(w, nest, r, nest)
+        assert result.dependent
+        assert result.exact
+        # Cross-check with a concrete witness from the analyzer.
+        if result.witness is not None:
+            i, ip, n = result.witness
+            assert i + n == ip + 2 * n + 1
+            assert 1 <= i <= 10 and 1 <= ip <= 10
+
+    def test_symbolic_shift_too_far_is_not_provable(self):
+        """a[i] vs a[i+n]: without knowledge of n, dependence must be
+        assumed (n = 0 collides)."""
+        nest = B.nest(("i", 1, 10))
+        w = B.ref("a", [B.v("i")], write=True)
+        r = B.ref("a", [B.v("i") + B.v("n")])
+        result = DependenceAnalyzer().analyze(w, nest, r, nest)
+        assert result.dependent
+
+    def test_same_symbolic_shift_both_sides(self):
+        """a[i+n] vs a[i+n+11] with 1 <= i <= 10: the n cancels and the
+        shift of 11 exceeds the iteration range -- exactly independent
+        for every value of n."""
+        nest = B.nest(("i", 1, 10))
+        w = B.ref("a", [B.v("i") + B.v("n")], write=True)
+        r = B.ref("a", [B.v("i") + B.v("n") + 11])
+        result = DependenceAnalyzer().analyze(w, nest, r, nest)
+        assert result.independent
+
+    def test_symbolic_bound(self):
+        """a[i+1] vs a[i] with 1 <= i <= n is dependent (for n >= 2...
+        conservatively any n making the loop non-trivial); the system is
+        satisfiable, e.g. n large."""
+        nest = B.nest(("i", 1, B.v("n")))
+        w = B.ref("a", [B.v("i") + 1], write=True)
+        r = B.ref("a", [B.v("i")])
+        result = DependenceAnalyzer().analyze(w, nest, r, nest)
+        assert result.dependent
+
+    def test_symbolic_bound_impossible(self):
+        """a[i] vs a[i] with 1 <= i <= n, i' in the same loop, subscripts
+        2i vs 2i'+1: parity still proves independence symbolically."""
+        nest = B.nest(("i", 1, B.v("n")))
+        w = B.ref("a", [B.v("i") * 2], write=True)
+        r = B.ref("a", [B.v("i") * 2 + 1])
+        result = DependenceAnalyzer().analyze(w, nest, r, nest)
+        assert result.independent
+        assert result.decided_by == "gcd"
+
+
+class TestSymbolicExactness:
+    @given(
+        st.integers(-2, 2),
+        st.integers(-4, 4),
+        st.integers(0, 2),
+        st.integers(-4, 4),
+        st.integers(-3, 3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_symbolic_agrees_with_any_concrete_n(self, a1, c1, k, c2, n_lo):
+        """If the symbolic analyzer says independent, every concrete
+        value of n in a window must also be independent."""
+        nest = B.nest(("i", 1, 6))
+        w = B.ref("a", [B.v("i") * a1 + B.v("n") + c1], write=True)
+        r = B.ref("a", [B.v("i") + B.v("n") * k + c2])
+        result = DependenceAnalyzer().analyze(w, nest, r, nest)
+        if result.dependent:
+            return
+        for n in range(n_lo - 3, n_lo + 4):
+            env = {"n": n}
+            w_c = B.ref("a", [B.v("i") * a1 + n + c1], write=True)
+            r_c = B.ref("a", [B.v("i") + n * k + c2])
+            assert not oracle_dependent(w_c, nest, r_c, nest), (
+                f"symbolically independent but n={n} collides"
+            )

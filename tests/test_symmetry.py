@@ -1,0 +1,109 @@
+"""Tests for the symmetric memoization optimization (§5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.memo import Memoizer
+from repro.ir import builder as B
+from repro.system.depsystem import build_problem
+
+coef = st.integers(min_value=-3, max_value=3)
+shift = st.integers(min_value=-8, max_value=8)
+
+
+class TestSwappedProblem:
+    def test_swap_involution_key(self):
+        nest = B.nest(("i", 1, 10), ("j", 1, 5))
+        problem = build_problem(
+            B.ref("a", [B.v("i") + 1, B.v("j")], write=True),
+            nest,
+            B.ref("a", [B.v("i"), B.v("j") + 2]),
+            nest,
+        )
+        double = problem.swapped().swapped()
+        assert double.key_vector(True) == problem.key_vector(True)
+
+    def test_swap_matches_reversed_build(self):
+        """problem.swapped() keys like the pair built in reverse order."""
+        nest = B.nest(("i", 1, 10))
+        r1 = B.ref("a", [B.v("i") + 1], write=True)
+        r2 = B.ref("a", [B.v("i")])
+        forward = build_problem(r1, nest, r2, nest)
+        backward = build_problem(r2, nest, r1, nest)
+        assert forward.swapped().key_vector(True) == backward.key_vector(True)
+
+    def test_swap_with_symbolic_bound(self):
+        nest = B.nest(("i", 1, B.v("n")))
+        r1 = B.ref("a", [B.v("i") + 1], write=True)
+        r2 = B.ref("a", [B.v("i")])
+        forward = build_problem(r1, nest, r2, nest)
+        backward = build_problem(r2, nest, r1, nest)
+        assert forward.swapped().key_vector(True) == backward.key_vector(True)
+
+
+class TestSymmetricMemo:
+    def test_swapped_pair_hits(self):
+        """a[i] vs a[i-1] and a[i-1] vs a[i] share one memo slot."""
+        memo = Memoizer(symmetry=True)
+        analyzer = DependenceAnalyzer(memoizer=memo)
+        nest = B.nest(("i", 1, 10))
+        first = analyzer.analyze(
+            B.ref("a", [B.v("i")], write=True), nest,
+            B.ref("a", [B.v("i") - 1]), nest,
+        )
+        second = analyzer.analyze(
+            B.ref("a", [B.v("i") - 1], write=True), nest,
+            B.ref("a", [B.v("i")]), nest,
+        )
+        assert not first.from_memo
+        assert second.from_memo
+        assert first.dependent and second.dependent
+        # distance flips orientation with the pair order: the write
+        # a[i] collides with the read a[i'-1] at i' = i + 1 (d = +1);
+        # swapped, the collision is at i' = i - 1 (d = -1).
+        assert first.distance == (1,)
+        assert second.distance == (-1,)
+
+    def test_without_symmetry_no_sharing(self):
+        memo = Memoizer(symmetry=False)
+        analyzer = DependenceAnalyzer(memoizer=memo)
+        nest = B.nest(("i", 1, 10))
+        analyzer.analyze(
+            B.ref("a", [B.v("i")], write=True), nest,
+            B.ref("a", [B.v("i") - 1]), nest,
+        )
+        second = analyzer.analyze(
+            B.ref("a", [B.v("i") - 1], write=True), nest,
+            B.ref("a", [B.v("i")]), nest,
+        )
+        assert not second.from_memo
+
+    @given(coef, shift, coef, shift, st.integers(1, 8))
+    @settings(max_examples=200, deadline=None)
+    def test_symmetry_never_changes_verdicts(self, a1, c1, a2, c2, n):
+        nest = B.nest(("i", 1, n))
+        r1 = B.ref("a", [B.v("i") * a1 + c1], write=True)
+        r2 = B.ref("a", [B.v("i") * a2 + c2])
+        plain = DependenceAnalyzer()
+        symmetric = DependenceAnalyzer(memoizer=Memoizer(symmetry=True))
+        for x, y in ((r1, r2), (r2, r1), (r1, r2)):
+            expected = plain.analyze(x, nest, y, nest)
+            got = symmetric.analyze(x, nest, y, nest)
+            assert expected.dependent == got.dependent
+            if expected.distance is not None and got.distance is not None:
+                assert expected.distance == got.distance
+
+    def test_2d_symmetry_distance_flip(self):
+        memo = Memoizer(symmetry=True)
+        analyzer = DependenceAnalyzer(memoizer=memo)
+        nest = B.nest(("i", 1, 10), ("j", 1, 10))
+        w = B.ref("a", [B.v("i") + 2, B.v("j") - 1], write=True)
+        r = B.ref("a", [B.v("i"), B.v("j")])
+        first = analyzer.analyze(w, nest, r, nest)
+        second = analyzer.analyze(
+            B.ref("a", [B.v("i"), B.v("j")], write=True), nest,
+            B.ref("a", [B.v("i") + 2, B.v("j") - 1]), nest,
+        )
+        assert first.distance is not None and second.distance is not None
+        assert first.distance == tuple(-d for d in second.distance)

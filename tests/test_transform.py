@@ -1,0 +1,138 @@
+"""Tests for Extended GCD preprocessing and the change of variables."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import builder as B
+from repro.system.depsystem import build_problem
+from repro.system.transform import gcd_transform
+
+small = st.integers(min_value=-6, max_value=6)
+
+
+def _problem(sub1, sub2, lo=1, hi=10, depth=1):
+    loops = [(f"i{k}", lo, hi) for k in range(depth)]
+    nest = B.nest(*loops)
+    return build_problem(
+        B.ref("a", sub1, write=True), nest, B.ref("a", sub2), nest
+    )
+
+
+class TestGcdDecision:
+    def test_gcd_independent(self):
+        # 2i = 2i' + 1 has no integer solution.
+        problem = _problem([B.v("i0") * 2], [B.v("i0") * 2 + 1])
+        assert gcd_transform(problem).independent
+
+    def test_gcd_dependent(self):
+        problem = _problem([B.v("i0")], [B.v("i0") + 10])
+        outcome = gcd_transform(problem)
+        assert not outcome.independent
+
+    def test_classic_gcd_divisibility(self):
+        # 6i = 3i' + 4: gcd(6,3)=3 does not divide 4 -> independent.
+        problem = _problem([B.v("i0") * 6], [B.v("i0") * 3 + 4])
+        assert gcd_transform(problem).independent
+        # 6i = 3i' + 3 is solvable.
+        problem2 = _problem([B.v("i0") * 6], [B.v("i0") * 3 + 3])
+        assert not gcd_transform(problem2).independent
+
+    def test_inconsistent_multidim(self):
+        # Dimensions demand i - i' = 0 and i - i' = 1 simultaneously.
+        problem = _problem(
+            [B.v("i0"), B.v("i0")], [B.v("i0"), B.v("i0") + 1]
+        )
+        assert gcd_transform(problem).independent
+
+
+class TestChangeOfVariables:
+    def test_paper_example_constraints(self):
+        # a[i+10] = a[i], 1 <= i <= 10: (i, i') = (t1, t1 + 10); the
+        # transformed constraints are 1 <= t1 <= 10 and 1 <= t1+10 <= 10.
+        problem = _problem([B.v("i0") + 10], [B.v("i0")])
+        outcome = gcd_transform(problem)
+        transformed = outcome.transformed
+        assert transformed.n_free == 1
+        # Witness check: all x recovered from t satisfy the equations.
+        for t in range(-20, 20):
+            x = transformed.x_value([t])
+            for coeffs, rhs in problem.equations:
+                assert sum(c * v for c, v in zip(coeffs, x)) == rhs
+
+    def test_variable_count_reduction(self):
+        # Each independent equation eliminates one variable.
+        problem = _problem(
+            [B.v("i0"), B.v("i1")],
+            [B.v("i1") + 1, B.v("i0") + 2],
+            depth=2,
+        )
+        outcome = gcd_transform(problem)
+        # 4 variables, 2 independent equations -> 2 free.
+        assert outcome.transformed.n_free == 2
+
+    def test_constraint_count_reduction(self):
+        # The transformed system has exactly 2 * loops constraints;
+        # the equalities are folded away (paper section 3.1).
+        problem = _problem([B.v("i0") + 10], [B.v("i0")])
+        outcome = gcd_transform(problem)
+        assert len(outcome.transformed.system.constraints) == 4
+
+    @given(
+        st.integers(1, 3),
+        small,
+        small,
+        small,
+        small,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_solution_space_parametrization(self, depth, a1, c1, a2, c2):
+        """Every t maps to an x satisfying the equalities (when solvable)."""
+        subs1 = [B.v("i0") * a1 + c1]
+        subs2 = [B.v("i0") * a2 + c2]
+        problem = _problem(subs1, subs2, depth=depth)
+        outcome = gcd_transform(problem)
+        if outcome.independent:
+            # Cross-check: no small integer solution exists.
+            for i in range(-8, 9):
+                for i2 in range(-8, 9):
+                    assert a1 * i + c1 != a2 * i2 + c2, (
+                        f"GCD claimed independent but i={i}, i'={i2} solves it"
+                    )
+            return
+        transformed = outcome.transformed
+        span = 3 if transformed.n_free <= 3 else 1
+        for t_point in _grid(transformed.n_free, -span, span):
+            x = transformed.x_value(list(t_point))
+            for coeffs, rhs in problem.equations:
+                assert sum(c * v for c, v in zip(coeffs, x)) == rhs
+
+    @given(small, small, small)
+    @settings(max_examples=100)
+    def test_transformed_constraints_equivalent(self, shift, lo, hi):
+        """x satisfies the bounds iff its t-preimage satisfies the system."""
+        if lo > hi:
+            lo, hi = hi, lo
+        nest = B.nest(("i", lo, hi))
+        problem = build_problem(
+            B.ref("a", [B.v("i") + shift], write=True),
+            nest,
+            B.ref("a", [B.v("i")]),
+            nest,
+        )
+        outcome = gcd_transform(problem)
+        assert not outcome.independent  # coefficient 1 always solvable
+        transformed = outcome.transformed
+        for t in range(lo - abs(shift) - 2, hi + abs(shift) + 3):
+            x = transformed.x_value([t])
+            assert problem.bounds.evaluate(x) == transformed.system.evaluate(
+                (t,)
+            )
+
+
+def _grid(dims: int, lo: int, hi: int):
+    if dims == 0:
+        yield ()
+        return
+    for head in range(lo, hi + 1):
+        for tail in _grid(dims - 1, lo, hi):
+            yield (head,) + tail

@@ -1,0 +1,150 @@
+"""Tests for loop-transformation legality and parallelism detection."""
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.parallel import analyze_parallelism, carried_levels
+from repro.core.transforms import (
+    gather_dependences,
+    interchange_legal,
+    lexicographic_sign,
+    permutation_legal,
+    reversal_legal,
+)
+from repro.opt import compile_source
+
+
+def _edges(source: str):
+    program = compile_source(source).program
+    return gather_dependences(program), program
+
+
+class TestLexicographicSign:
+    def test_signs(self):
+        assert lexicographic_sign(("=", "<")) == 1
+        assert lexicographic_sign((">",)) == -1
+        assert lexicographic_sign(("=", "=")) == 0
+
+    def test_wildcard_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            lexicographic_sign(("*",))
+
+
+class TestInterchange:
+    def test_legal_interchange(self):
+        # (=, <) dependence: interchange gives (<, =), still positive.
+        edges, _ = _edges(
+            "for i = 1 to 10 do\n"
+            "  for j = 2 to 10 do\n"
+            "    a[i][j] = a[i][j - 1]\n"
+            "  end\n"
+            "end"
+        )
+        assert interchange_legal(edges, 0, 2)
+
+    def test_illegal_interchange(self):
+        # The classic (<, >) dependence makes interchange illegal.
+        edges, _ = _edges(
+            "for i = 2 to 10 do\n"
+            "  for j = 1 to 9 do\n"
+            "    a[i][j] = a[i - 1][j + 1]\n"
+            "  end\n"
+            "end"
+        )
+        assert not interchange_legal(edges, 0, 2)
+
+    def test_jacobi_fully_permutable(self):
+        edges, _ = _edges(
+            "for i = 2 to 99 do\n"
+            "  for j = 2 to 99 do\n"
+            "    a[i][j] = b[i - 1][j] + b[i + 1][j]\n"
+            "  end\n"
+            "end"
+        )
+        assert permutation_legal(edges, [1, 0])
+        assert permutation_legal(edges, [0, 1])
+
+    def test_bad_permutation_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            permutation_legal([], [0, 0])
+
+
+class TestReversal:
+    def test_reversal_illegal_when_carried(self):
+        edges, _ = _edges(
+            "for i = 2 to 10 do\n  a[i] = a[i - 1]\nend"
+        )
+        assert not reversal_legal(edges, 0)
+
+    def test_reversal_legal_when_independent(self):
+        edges, _ = _edges(
+            "for i = 1 to 10 do\n  a[i] = b[i]\nend"
+        )
+        assert reversal_legal(edges, 0)
+
+    def test_reversal_legal_at_inner_equal_level(self):
+        # (<, =): carried at level 0 only; level 1 may reverse.
+        edges, _ = _edges(
+            "for i = 2 to 10 do\n"
+            "  for j = 1 to 10 do\n"
+            "    a[i][j] = a[i - 1][j]\n"
+            "  end\n"
+            "end"
+        )
+        assert not reversal_legal(edges, 0)
+        assert reversal_legal(edges, 1)
+
+
+class TestParallelism:
+    def test_carried_levels(self):
+        analyzer = DependenceAnalyzer()
+        from repro.ir import builder as B
+
+        nest = B.nest(("i", 1, 10), ("j", 1, 10))
+        w = B.ref("a", [B.v("i"), B.v("j")], write=True)
+        r = B.ref("a", [B.v("i") - 1, B.v("j")])
+        result = analyzer.directions(w, nest, r, nest)
+        assert carried_levels(result) == {0}
+
+    def test_program_report(self):
+        program = compile_source(
+            "for i = 1 to 10 do\n"
+            "  x[i] = x[i] + 1\n"
+            "end\n"
+            "for i = 2 to 10 do\n"
+            "  y[i] = y[i - 1]\n"
+            "end"
+        ).program
+        reports = analyze_parallelism(program)
+        by_bounds = {
+            (str(r.loop.lower), str(r.loop.upper)): r.parallel for r in reports
+        }
+        assert by_bounds[("1", "10")] is True
+        assert by_bounds[("2", "10")] is False
+
+    def test_star_carried_conservatively(self):
+        # An unused outer loop gets '*' components; it must be treated
+        # as potentially carrying (conservative for parallelization).
+        program = compile_source(
+            "for k = 1 to 5 do\n"
+            "  for i = 2 to 10 do\n"
+            "    a[i] = a[i - 1]\n"
+            "  end\n"
+            "end"
+        ).program
+        reports = analyze_parallelism(program)
+        by_var = {r.loop.var: r.parallel for r in reports}
+        assert by_var["i"] is False
+        assert by_var["k"] is False  # '*' at level 0 is conservative
+
+    def test_input_dependences_ignored(self):
+        # Two reads never serialize a loop.
+        program = compile_source(
+            "for i = 2 to 10 do\n"
+            "  a[i] = b[i] + b[i - 1]\n"
+            "end"
+        ).program
+        reports = analyze_parallelism(program)
+        assert all(r.parallel for r in reports)

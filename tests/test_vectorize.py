@@ -1,0 +1,157 @@
+"""Tests for loop distribution / vectorization codegen."""
+
+import pytest
+
+from repro.core.vectorize import (
+    ParallelLoop,
+    ScalarStatement,
+    SerialLoop,
+    VectorStatement,
+    vectorize,
+)
+from repro.ir import builder as B
+from repro.opt import compile_source
+
+
+def _vectorize(source: str):
+    return vectorize(compile_source(source).program)
+
+
+class TestSingleStatement:
+    def test_independent_fully_vector(self):
+        result = _vectorize("for i = 1 to 10 do\n  a[i] = b[i]\nend")
+        assert result.count(VectorStatement) == 1
+        assert result.count(SerialLoop) == 0
+
+    def test_recurrence_fully_serial(self):
+        result = _vectorize("for i = 2 to 10 do\n  a[i] = a[i - 1]\nend")
+        assert result.count(SerialLoop) == 1
+        assert result.count(VectorStatement) == 0
+
+    def test_outer_parallel_inner_serial(self):
+        result = _vectorize(
+            "for i = 1 to 10 do\n"
+            "  for j = 2 to 10 do\n"
+            "    u[i][j] = u[i][j - 1]\n"
+            "  end\n"
+            "end"
+        )
+        assert result.count(ParallelLoop) == 1
+        assert result.count(SerialLoop) == 1
+        (outer,) = result.nodes
+        assert isinstance(outer, ParallelLoop) and outer.var == "i"
+        (inner,) = outer.body
+        assert isinstance(inner, SerialLoop) and inner.var == "j"
+
+    def test_outer_serial_inner_vector(self):
+        # carried at i only: serializing i satisfies the edge, j vectorizes
+        result = _vectorize(
+            "for i = 2 to 10 do\n"
+            "  for j = 1 to 10 do\n"
+            "    u[i][j] = u[i - 1][j]\n"
+            "  end\n"
+            "end"
+        )
+        (outer,) = result.nodes
+        assert isinstance(outer, SerialLoop) and outer.var == "i"
+        (leaf,) = outer.body
+        assert isinstance(leaf, VectorStatement)
+        assert leaf.vector_levels == (1,)
+
+
+class TestDistribution:
+    def test_acyclic_statements_distribute(self):
+        result = _vectorize(
+            "for i = 2 to 100 do\n"
+            "  a[i] = b[i] + 1\n"
+            "  c[i] = a[i - 1] + 2\n"
+            "end"
+        )
+        # both statements fully vectorized, in dependence order
+        assert result.count(VectorStatement) == 2
+        assert result.count(SerialLoop) == 0
+        first, second = result.nodes
+        assert first.stmt.write.array == "a"
+        assert second.stmt.write.array == "c"
+
+    def test_distribution_order_respects_dependences(self):
+        # textual order S1 reads what S2 writes at an *earlier* iteration:
+        # the a-producing statement must still come first after distribution.
+        result = _vectorize(
+            "for i = 2 to 100 do\n"
+            "  c[i] = a[i - 1] + 2\n"
+            "  a[i] = b[i] + 1\n"
+            "end"
+        )
+        assert result.count(VectorStatement) == 2
+        first, second = result.nodes
+        assert first.stmt.write.array == "a"
+        assert second.stmt.write.array == "c"
+
+    def test_cycle_stays_fused_and_serial(self):
+        # mutual recurrence: S1 and S2 form one SCC
+        result = _vectorize(
+            "for i = 2 to 100 do\n"
+            "  a[i] = b[i - 1]\n"
+            "  b[i] = a[i - 1]\n"
+            "end"
+        )
+        assert result.count(SerialLoop) == 1
+        (loop,) = result.nodes
+        assert isinstance(loop, SerialLoop)
+        assert len(loop.body) == 2  # both statements inside one loop
+
+    def test_mixed_cycle_and_free_statement(self):
+        result = _vectorize(
+            "for i = 2 to 100 do\n"
+            "  a[i] = b[i - 1]\n"
+            "  b[i] = a[i - 1]\n"
+            "  d[i] = e[i]\n"
+            "end"
+        )
+        assert result.count(SerialLoop) == 1
+        assert result.count(VectorStatement) == 1
+
+
+class TestSameIterationDependences:
+    def test_loop_independent_edge_keeps_order(self):
+        # S1 writes a[i], S2 reads a[i] in the same iteration: both can
+        # vectorize (distributed), S1 first.
+        result = _vectorize(
+            "for i = 1 to 100 do\n"
+            "  a[i] = b[i]\n"
+            "  c[i] = a[i]\n"
+            "end"
+        )
+        assert result.count(VectorStatement) == 2
+        first, second = result.nodes
+        assert first.stmt.write.array == "a"
+
+    def test_self_update_parallel(self):
+        # a[i] = a[i] + 1: loop-independent self edge; the loop is
+        # parallel (emitted as a parallel loop around the statement).
+        result = _vectorize(
+            "for i = 1 to 100 do\n  a[i] = a[i] + 1\nend"
+        )
+        assert result.count(SerialLoop) == 0
+        assert (
+            result.count(ParallelLoop) + result.count(VectorStatement) >= 1
+        )
+
+
+class TestValidation:
+    def test_mismatched_nests_rejected(self):
+        prog = B.program("p")
+        B.assign(prog, B.nest(("i", 1, 5)), ("a", [B.v("i")]), [])
+        B.assign(prog, B.nest(("j", 1, 5)), ("b", [B.v("j")]), [])
+        with pytest.raises(ValueError):
+            vectorize(prog)
+
+    def test_empty_program(self):
+        assert vectorize(B.program("p")).render() == ""
+
+    def test_render_smoke(self):
+        text = _vectorize(
+            "for i = 2 to 10 do\n  a[i] = a[i - 1]\nend"
+        ).render()
+        assert "DO i (serial)" in text
