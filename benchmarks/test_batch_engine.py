@@ -1,0 +1,122 @@
+"""Benchmark: the sharded batch engine vs the serial per-pair driver.
+
+Workload: the full synthetic PERFECT corpus (13 programs, ~18k queries
+at scale 1.0, symbolic cases included) — the multi-program shape the
+paper's last paragraph imagines when it suggests storing the hash table
+across compilations.
+
+Three configurations are timed:
+
+* **serial** — the historical driver: one analyzer with one memoizer,
+  every query analyzed in sequence (memo hits still pay problem
+  construction and key encoding per query);
+* **sharded (cold)** — the batch engine with 2 workers: constant
+  screen, structural + canonical dedup, round-robin shards, map-reduce
+  merge of stats and memo tables;
+* **sharded (warm)** — the same run warm-started from the cold run's
+  merged table.
+
+Emits ``BENCH_batch.json`` at the repository root with the wall-clock
+numbers and the cold/warm with-bounds memo hit rates for the perf
+trajectory.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.engine import analyze_batch, queries_from_suite
+from repro.core.memo import Memoizer
+from repro.core.persist import dumps, loads
+from repro.perfect import load_suite
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+)
+JOBS = 2
+
+
+def _corpus():
+    return queries_from_suite(load_suite(include_symbolic=True, scale=1.0))
+
+
+def test_bench_batch_engine_vs_serial(benchmark, capsys):
+    """Sharded engine beats the serial driver; warm beats cold."""
+    queries = _corpus()
+
+    def serial():
+        analyzer = DependenceAnalyzer(
+            memoizer=Memoizer(), want_witness=False
+        )
+        verdicts = [
+            analyzer.analyze(q.ref1, q.nest1, q.ref2, q.nest2).dependent
+            for q in queries
+        ]
+        return analyzer, verdicts
+
+    def measure():
+        start = time.perf_counter()
+        _, serial_verdicts = serial()
+        t_serial = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cold = analyze_batch(queries, jobs=JOBS, want_directions=False)
+        t_cold = time.perf_counter() - start
+
+        warm_table = loads(dumps(cold.memoizer))
+        start = time.perf_counter()
+        warm = analyze_batch(
+            queries, jobs=JOBS, want_directions=False, warm=warm_table
+        )
+        t_warm = time.perf_counter() - start
+        return t_serial, t_cold, t_warm, serial_verdicts, cold, warm
+
+    t_serial, t_cold, t_warm, serial_verdicts, cold, warm = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    )
+
+    # Determinism: the sharded engine agrees with the serial driver on
+    # every verdict, cold and warm.
+    assert [o.result.dependent for o in cold.outcomes] == serial_verdicts
+    assert [o.result.dependent for o in warm.outcomes] == serial_verdicts
+
+    payload = {
+        "queries": cold.n_queries,
+        "unique_pairs": cold.n_unique_pairs,
+        "unique_problems": cold.n_unique_problems,
+        "constant_screened": cold.n_screened,
+        "jobs": JOBS,
+        "serial_s": round(t_serial, 4),
+        "sharded_cold_s": round(t_cold, 4),
+        "sharded_warm_s": round(t_warm, 4),
+        "speedup_cold_vs_serial": round(t_serial / t_cold, 2),
+        "speedup_warm_vs_serial": round(t_serial / t_warm, 2),
+        "cold_tests_run": sum(cold.stats.decided_by.values()),
+        "warm_tests_run": sum(warm.stats.decided_by.values()),
+        "cold_hit_rate_bounds": round(cold.hit_rate_bounds(), 4),
+        "warm_hit_rate_bounds": round(warm.hit_rate_bounds(), 4),
+        "cold_hit_rate_no_bounds": round(cold.hit_rate_no_bounds(), 4),
+        "warm_hit_rate_no_bounds": round(warm.hit_rate_no_bounds(), 4),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    with capsys.disabled():
+        print()
+        print(
+            f"  serial {1e3 * t_serial:.0f} ms; sharded cold "
+            f"{1e3 * t_cold:.0f} ms ({t_serial / t_cold:.1f}x); warm "
+            f"{1e3 * t_warm:.0f} ms ({t_serial / t_warm:.1f}x)"
+        )
+        print(
+            f"  with-bounds hit rate cold {cold.hit_rate_bounds():.1%} "
+            f"-> warm {warm.hit_rate_bounds():.1%}; tests "
+            f"{payload['cold_tests_run']} -> {payload['warm_tests_run']}"
+        )
+        print(f"  wrote {BENCH_PATH.name}")
+
+    # Acceptance: the sharded engine beats the serial driver with >=2
+    # workers, and warm-start strictly raises the with-bounds hit rate.
+    assert t_cold < t_serial
+    assert warm.hit_rate_bounds() > cold.hit_rate_bounds()
+    assert payload["warm_tests_run"] == 0

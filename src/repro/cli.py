@@ -8,6 +8,11 @@ Subcommands:
 * ``parallelize FILE`` — the same pipeline, summarized as a per-loop
   PARALLEL / serial report with the carrying dependences.
 * ``deps FILE`` — classified dependence edges (flow / anti / output).
+* ``batch [FILE ...]`` — run the sharded batch engine over whole
+  programs (or the synthetic PERFECT corpus when no files are given),
+  with ``--jobs`` worker processes and an optional persistent
+  ``--warm-cache`` memo table (loaded before the run when present,
+  rewritten with the merged table afterwards).
 * ``tables ...`` — forwarded to :mod:`repro.harness` (regenerate the
   paper's tables).
 
@@ -71,8 +76,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_parallelize(args: argparse.Namespace) -> int:
     program = _load_program(args.file)
-    analyzer = DependenceAnalyzer(memoizer=Memoizer())
-    for report in analyze_parallelism(program, analyzer):
+    for report in analyze_parallelism(program, jobs=args.jobs):
         status = "PARALLEL" if report.parallel else "serial  "
         print(f"[{status}] {report.loop}")
         if args.verbose:
@@ -108,6 +112,95 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.core.engine import (
+        analyze_batch,
+        queries_from_program,
+        queries_from_suite,
+    )
+    from repro.core.persist import load_memoizer, save_memoizer
+
+    queries = []
+    for path in args.files:
+        program = _load_program(path)
+        queries.extend(queries_from_program(program))
+    if args.suite or not args.files:
+        from repro.perfect import load_suite
+
+        suite = load_suite(include_symbolic=True, scale=args.scale)
+        queries.extend(queries_from_suite(suite))
+        print(
+            f"corpus: {len(suite)} synthetic PERFECT programs",
+            file=sys.stderr,
+        )
+
+    warm = None
+    if args.warm_cache and Path(args.warm_cache).exists():
+        try:
+            warm = load_memoizer(args.warm_cache)
+        except (ValueError, KeyError, TypeError) as err:
+            print(
+                f"error: cannot load warm cache {args.warm_cache}: {err}",
+                file=sys.stderr,
+            )
+            return 1
+        cached = len(warm.no_bounds) + len(warm.with_bounds)
+        print(
+            f"warm-start: {cached} cached cases from {args.warm_cache}",
+            file=sys.stderr,
+        )
+
+    try:
+        report = analyze_batch(
+            queries,
+            jobs=args.jobs,
+            warm=warm,
+            symmetry=args.symmetry,
+            want_directions=not args.no_directions,
+        )
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+    if args.verbose:
+        for outcome in report.outcomes:
+            verdict = (
+                "DEPENDENT" if outcome.result.dependent else "independent"
+            )
+            line = (
+                f"{outcome.query.ref1} vs {outcome.query.ref2}: "
+                f"{verdict} [{outcome.result.decided_by}]"
+            )
+            if outcome.deduped:
+                line += "  (deduped)"
+            print(line)
+
+    summary = report.summary()
+    dependent = sum(1 for o in report.outcomes if o.result.dependent)
+    print(
+        f"{summary['queries']} queries -> "
+        f"{summary['unique_pairs']} unique pairs -> "
+        f"{summary['unique_problems']} unique problems "
+        f"({summary['screened_constant']} constant-screened), "
+        f"{summary['jobs']} worker(s)"
+    )
+    print(
+        f"{dependent} dependent / {summary['queries'] - dependent} "
+        f"independent; {summary['tests_run']} dependence tests run"
+    )
+    print(
+        f"memo hit rates: no-bounds "
+        f"{summary['memo_hit_rate_no_bounds']:.1%}, with-bounds "
+        f"{summary['memo_hit_rate_bounds']:.1%}; "
+        f"{summary['memo_entries']} merged table entries"
+    )
+
+    for path in filter(None, (args.warm_cache, args.save_cache)):
+        save_memoizer(report.memoizer, path)
+        print(f"saved merged memo table to {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_deps(args: argparse.Namespace) -> int:
     program = _load_program(args.file)
     analyzer = DependenceAnalyzer(memoizer=Memoizer())
@@ -139,12 +232,69 @@ def main(argv: list[str] | None = None) -> int:
 
     p_par = sub.add_parser("parallelize", help="per-loop parallelism report")
     p_par.add_argument("file", help="mini-Fortran source file, or -")
+    p_par.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the batch engine (default 1)",
+    )
     p_par.add_argument("-v", "--verbose", action="store_true")
     p_par.set_defaults(func=_cmd_parallelize)
 
     p_deps = sub.add_parser("deps", help="classified dependence edges")
     p_deps.add_argument("file", help="mini-Fortran source file, or -")
     p_deps.set_defaults(func=_cmd_deps)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="sharded multi-core batch analysis with warm-start caching",
+    )
+    p_batch.add_argument(
+        "files",
+        nargs="*",
+        help="mini-Fortran source files (none: the PERFECT corpus)",
+    )
+    p_batch.add_argument(
+        "--suite",
+        action="store_true",
+        help="include the synthetic PERFECT corpus alongside any files",
+    )
+    p_batch.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="repetition scale for the synthetic corpus (default 1.0)",
+    )
+    p_batch.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: CPU count)",
+    )
+    p_batch.add_argument(
+        "--warm-cache",
+        metavar="PATH",
+        help="persistent memo table: loaded if present, rewritten after",
+    )
+    p_batch.add_argument(
+        "--save-cache",
+        metavar="PATH",
+        help="also write the merged memo table here",
+    )
+    p_batch.add_argument(
+        "--symmetry",
+        action="store_true",
+        help="canonicalize reference-swapped twins onto one memo slot",
+    )
+    p_batch.add_argument(
+        "--no-directions",
+        action="store_true",
+        help="skip direction-vector analysis (verdicts only)",
+    )
+    p_batch.add_argument("-v", "--verbose", action="store_true")
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_vec = sub.add_parser(
         "vectorize", help="distribute + vectorize loops (Allen-Kennedy)"

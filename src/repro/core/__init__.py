@@ -3,11 +3,24 @@
 from repro.core.analyzer import DependenceAnalyzer
 from repro.core.directions import DirectionOptions, refine_directions
 from repro.core.distances import constant_distances, forced_directions
+from repro.core.engine import (
+    BatchReport,
+    PairOutcome,
+    PairQuery,
+    analyze_batch,
+    queries_from_program,
+    queries_from_suite,
+)
 from repro.core.graph import DependenceGraph, build_graph
 from repro.core.kinds import DependenceEdge, DependenceKind, classify_pair
 from repro.core.memo import Memoizer, MemoStats, MemoTable, paper_hash
-from repro.core.parallel import LoopReport, analyze_parallelism, carried_levels
-from repro.core.persist import load_memoizer, save_memoizer
+from repro.core.parallel import (
+    LoopReport,
+    aggregate_loop_reports,
+    analyze_parallelism,
+    carried_levels,
+)
+from repro.core.persist import load_memoizer, merge_memoizers, save_memoizer
 from repro.core.result import DECIDED_CONSTANT, DependenceResult, DirectionResult
 from repro.core.separable import is_separable, separable_directions
 from repro.core.stats import TEST_ORDER, AnalyzerStats
@@ -39,6 +52,14 @@ __all__ = [
     "paper_hash",
     "save_memoizer",
     "load_memoizer",
+    "merge_memoizers",
+    "BatchReport",
+    "PairOutcome",
+    "PairQuery",
+    "analyze_batch",
+    "queries_from_program",
+    "queries_from_suite",
+    "aggregate_loop_reports",
     "AnalyzerStats",
     "TEST_ORDER",
     "has_symbolic_terms",

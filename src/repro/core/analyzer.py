@@ -140,6 +140,17 @@ class DependenceAnalyzer:
     def analyze_sites(self, site1: AccessSite, site2: AccessSite) -> DependenceResult:
         return self.analyze(site1.ref, site1.nest, site2.ref, site2.nest)
 
+    def analyze_problem(self, problem: DependenceProblem) -> DependenceResult:
+        """Analyze a pre-built dependence system.
+
+        The batch engine constructs problems once (to canonicalize and
+        deduplicate them) and hands them over directly; the constant
+        fast path does not apply because constant-only subscript pairs
+        are screened before a problem is ever built.
+        """
+        self.stats.total_queries += 1
+        return self._analyze_problem(problem)
+
     def directions(
         self,
         ref1: ArrayRef,

@@ -1,0 +1,400 @@
+"""Batched whole-program dependence analysis: the sharded driver.
+
+The paper's measurements end at single-query memoization: 5,679 queries
+collapse to 332 actual tests because real programs repeat a handful of
+subscript/bound patterns.  This module turns that observation into a
+whole-program (and multi-program) execution strategy:
+
+1. **Pre-screening** — unequal-constant subscript pairs are answered
+   inline with no dependence system at all (Table 1's first column).
+2. **Deduplication** — remaining pairs are grouped twice before any
+   analysis: structurally (identical ``(ref, nest)`` tuples — exact
+   textual repeats) and canonically (equal
+   :meth:`~repro.system.depsystem.DependenceProblem.key_vector`
+   serializations — alpha-renamed twins).  Each canonical problem is
+   analyzed exactly once, so duplicated queries never even pay for
+   a memo probe.
+3. **Sharding** — unique problems are dealt round-robin across a
+   ``multiprocessing`` worker pool; every worker runs its own
+   :class:`~repro.core.analyzer.DependenceAnalyzer` with a private
+   :class:`~repro.core.memo.Memoizer`.
+4. **Map-reduce merging** — worker verdicts are fanned back out to the
+   original query order, :class:`~repro.core.stats.AnalyzerStats` are
+   summed, and the workers' memo tables are unioned with
+   :func:`~repro.core.persist.merge_memoizers` so the merged table can
+   be persisted and **warm-start** a later run (the paper's "store the
+   hash table across compilations" idea, section 5's last paragraph).
+
+Results are deterministic: the outcome list preserves input order and
+each verdict is computed by exactly one analyzer on one canonical
+problem, so the shard count never changes any answer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.memo import Memoizer
+from repro.core.persist import (
+    dumps as _memo_dumps,
+    load_memoizer,
+    loads as _memo_loads,
+    merge_memoizers,
+)
+from repro.core.result import DependenceResult, DirectionResult
+from repro.core.stats import AnalyzerStats
+from repro.ir.arrays import ArrayRef
+from repro.ir.loops import LoopNest
+from repro.ir.program import Program, reference_pairs
+from repro.system.depsystem import build_problem
+
+__all__ = [
+    "PairQuery",
+    "PairOutcome",
+    "BatchReport",
+    "analyze_batch",
+    "queries_from_program",
+    "queries_from_suite",
+]
+
+
+@dataclass(frozen=True)
+class PairQuery:
+    """One dependence question posed to the batch engine."""
+
+    ref1: ArrayRef
+    nest1: LoopNest
+    ref2: ArrayRef
+    nest2: LoopNest
+    tag: Any = field(default=None, compare=False)
+
+
+@dataclass
+class PairOutcome:
+    """The engine's answer for one input query.
+
+    ``deduped`` marks outcomes that shared another query's analysis
+    (structural or canonical duplicate) rather than being the
+    representative that was actually dispatched.
+    """
+
+    query: PairQuery
+    result: DependenceResult
+    directions: DirectionResult | None
+    deduped: bool = False
+
+
+@dataclass
+class BatchReport:
+    """Everything a batch run produced.
+
+    ``stats`` merges the workers' analyzer counters (plus the inline
+    constant screen); ``memoizer`` is the union of every worker's memo
+    tables, ready for :func:`~repro.core.persist.save_memoizer`.
+    """
+
+    outcomes: list[PairOutcome]
+    stats: AnalyzerStats
+    memoizer: Memoizer
+    jobs: int
+    n_queries: int
+    n_screened: int
+    n_unique_pairs: int
+    n_unique_problems: int
+
+    @property
+    def results(self) -> list[DependenceResult]:
+        return [outcome.result for outcome in self.outcomes]
+
+    def hit_rate_bounds(self) -> float:
+        if self.stats.memo_queries_bounds == 0:
+            return 0.0
+        return self.stats.memo_hits_bounds / self.stats.memo_queries_bounds
+
+    def hit_rate_no_bounds(self) -> float:
+        if self.stats.memo_queries_no_bounds == 0:
+            return 0.0
+        return (
+            self.stats.memo_hits_no_bounds
+            / self.stats.memo_queries_no_bounds
+        )
+
+    def summary(self) -> dict:
+        """Plain-data digest for CLIs and benchmark logs."""
+        return {
+            "queries": self.n_queries,
+            "screened_constant": self.n_screened,
+            "unique_pairs": self.n_unique_pairs,
+            "unique_problems": self.n_unique_problems,
+            "jobs": self.jobs,
+            "tests_run": sum(self.stats.decided_by.values()),
+            "memo_hit_rate_no_bounds": self.hit_rate_no_bounds(),
+            "memo_hit_rate_bounds": self.hit_rate_bounds(),
+            "memo_entries": len(self.memoizer.no_bounds)
+            + len(self.memoizer.with_bounds),
+        }
+
+
+# -- gathering queries ---------------------------------------------------------
+
+
+def queries_from_program(
+    program: Program, include_self_output: bool = False
+) -> list[PairQuery]:
+    """Every testable reference pair of one program, tagged with sites."""
+    return [
+        PairQuery(
+            ref1=site1.ref,
+            nest1=site1.nest,
+            ref2=site2.ref,
+            nest2=site2.nest,
+            tag=(site1, site2),
+        )
+        for site1, site2 in reference_pairs(
+            program, include_self_output=include_self_output
+        )
+    ]
+
+
+def queries_from_suite(suite) -> list[PairQuery]:
+    """Flatten a :func:`repro.perfect.load_suite` corpus into one batch."""
+    out: list[PairQuery] = []
+    for program in suite:
+        for query in program.queries:
+            out.append(
+                PairQuery(
+                    ref1=query.ref1,
+                    nest1=query.nest1,
+                    ref2=query.ref2,
+                    nest2=query.nest2,
+                    tag=(program.name, query.bucket),
+                )
+            )
+    return out
+
+
+def _as_pair(query) -> PairQuery:
+    if isinstance(query, PairQuery):
+        return query
+    return PairQuery(
+        ref1=query.ref1,
+        nest1=query.nest1,
+        ref2=query.ref2,
+        nest2=query.nest2,
+        tag=getattr(query, "bucket", None),
+    )
+
+
+# -- the sharded worker --------------------------------------------------------
+
+
+def _run_shard(payload):
+    """Analyze one shard of unique problems (runs in a worker process).
+
+    ``payload`` is ``(reps, warm_blob, opts)`` where ``reps`` is a list
+    of ``(rep_index, ref1, nest1, ref2, nest2)`` tuples.  Returns the
+    per-representative answers plus this worker's stats and serialized
+    memo tables for the reduce step.
+    """
+    reps, warm_blob, opts = payload
+    if warm_blob is not None:
+        memoizer = _memo_loads(warm_blob)
+    else:
+        memoizer = Memoizer(
+            improved=opts["improved"], symmetry=opts["symmetry"]
+        )
+    analyzer = DependenceAnalyzer(
+        memoizer=memoizer,
+        fm_budget=opts["fm_budget"],
+        want_witness=opts["want_witness"],
+    )
+    answers = []
+    for rep_index, ref1, nest1, ref2, nest2 in reps:
+        result = analyzer.analyze(ref1, nest1, ref2, nest2)
+        directions = None
+        if opts["want_directions"]:
+            if result.dependent:
+                directions = analyzer.directions(ref1, nest1, ref2, nest2)
+            else:
+                directions = DirectionResult(
+                    vectors=frozenset(),
+                    n_common=nest1.common_prefix_depth(nest2),
+                )
+        answers.append((rep_index, result, directions))
+    return answers, analyzer.stats, _memo_dumps(memoizer)
+
+
+def _pool_context():
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# -- the driver ---------------------------------------------------------------
+
+
+def analyze_batch(
+    queries: Iterable,
+    jobs: int | None = None,
+    warm: Memoizer | str | Path | None = None,
+    want_directions: bool = True,
+    want_witness: bool = False,
+    improved: bool = True,
+    symmetry: bool = False,
+    fm_budget: int = 256,
+) -> BatchReport:
+    """Analyze a whole batch of dependence queries, sharded over workers.
+
+    ``queries`` may hold :class:`PairQuery` objects or anything with
+    ``ref1/nest1/ref2/nest2`` attributes (e.g. the synthetic suite's
+    :class:`~repro.perfect.patterns.Query`).  ``jobs`` defaults to the
+    machine's CPU count; ``jobs=1`` runs the identical pipeline
+    in-process (dedup still applies).  ``warm`` pre-loads every worker's
+    memoizer from a previous run's merged table (a
+    :class:`~repro.core.memo.Memoizer` or a path saved by
+    :func:`~repro.core.persist.save_memoizer`); its keying scheme must
+    match ``improved``/``symmetry``.
+    """
+    items = [_as_pair(query) for query in queries]
+    n_queries = len(items)
+    outcomes: list[PairOutcome | None] = [None] * n_queries
+    screen_stats = AnalyzerStats()
+
+    if warm is not None and not isinstance(warm, Memoizer):
+        warm = load_memoizer(warm)
+    if warm is not None and (
+        warm.improved != improved or warm.symmetry != symmetry
+    ):
+        raise ValueError(
+            "warm-start memoizer uses a different keying scheme "
+            f"(improved={warm.improved}, symmetry={warm.symmetry})"
+        )
+
+    # Stage 1: constant screen + structural dedup.  Unequal-constant
+    # subscripts are independent with no system at all; identical
+    # (ref, nest) tuples collapse before any problem is built.
+    structural: dict[tuple, int] = {}
+    unique_items: list[PairQuery] = []
+    owners: list[list[int]] = []
+    n_screened = 0
+    for idx, item in enumerate(items):
+        constant = DependenceAnalyzer._constant_fast_path(
+            item.ref1, item.ref2
+        )
+        if constant is not None and not constant.dependent:
+            screen_stats.total_queries += 1
+            screen_stats.constant_cases += 1
+            directions = None
+            if want_directions:
+                directions = DirectionResult(
+                    vectors=frozenset(),
+                    n_common=item.nest1.common_prefix_depth(item.nest2),
+                )
+            outcomes[idx] = PairOutcome(
+                query=item, result=constant, directions=directions
+            )
+            n_screened += 1
+            continue
+        key = (item.ref1, item.nest1, item.ref2, item.nest2)
+        position = structural.get(key)
+        if position is None:
+            position = len(unique_items)
+            structural[key] = position
+            unique_items.append(item)
+            owners.append([])
+        owners[position].append(idx)
+
+    # Stage 2: canonical dedup.  Problems serializing to the same full
+    # key vector are the same integer system (alpha-renamed twins), so
+    # one analysis answers them all.  The key is computed on the *full*
+    # problem — reduced-key merging stays the memoizer's job because
+    # direction lifting depends on each query's own loop structure.
+    canonical: dict[tuple[int, ...], int] = {}
+    reps: list[PairQuery] = []
+    rep_owners: list[list[int]] = []
+    for position, item in enumerate(unique_items):
+        problem = build_problem(item.ref1, item.nest1, item.ref2, item.nest2)
+        key = problem.key_vector(with_bounds=True)
+        rep_position = canonical.get(key)
+        if rep_position is None:
+            rep_position = len(reps)
+            canonical[key] = rep_position
+            reps.append(item)
+            rep_owners.append([])
+        rep_owners[rep_position].append(position)
+
+    if jobs is None or jobs <= 0:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, max(1, len(reps))))
+
+    warm_blob = _memo_dumps(warm) if warm is not None else None
+    opts = {
+        "improved": improved,
+        "symmetry": symmetry,
+        "fm_budget": fm_budget,
+        "want_witness": want_witness,
+        "want_directions": want_directions,
+    }
+
+    # Stage 3: deterministic round-robin sharding and fan-out.
+    shards: list[list[tuple]] = [[] for _ in range(jobs)]
+    for rep_index, item in enumerate(reps):
+        shards[rep_index % jobs].append(
+            (rep_index, item.ref1, item.nest1, item.ref2, item.nest2)
+        )
+    payloads = [
+        (shard, warm_blob, opts) for shard in shards if shard
+    ]
+    if len(payloads) <= 1 or jobs == 1:
+        shard_outputs = [_run_shard(payload) for payload in payloads]
+    else:
+        context = _pool_context()
+        with context.Pool(processes=len(payloads)) as pool:
+            shard_outputs = pool.map(_run_shard, payloads)
+
+    # Stage 4: reduce.  Merge stats and memo tables; fan each
+    # representative's answer back out to every query it stands for.
+    merged_stats = AnalyzerStats.merged(
+        [screen_stats] + [stats for _, stats, _ in shard_outputs]
+    )
+    worker_memos = [_memo_loads(blob) for _, _, blob in shard_outputs]
+    if worker_memos:
+        merged_memo = merge_memoizers(worker_memos)
+    elif warm is not None:
+        merged_memo = warm
+    else:
+        merged_memo = Memoizer(improved=improved, symmetry=symmetry)
+
+    rep_answers: dict[int, tuple[DependenceResult, DirectionResult | None]] = {}
+    for answers, _, _ in shard_outputs:
+        for rep_index, result, directions in answers:
+            rep_answers[rep_index] = (result, directions)
+    for rep_index, positions in enumerate(rep_owners):
+        result, directions = rep_answers[rep_index]
+        first = True
+        for position in positions:
+            for idx in owners[position]:
+                outcomes[idx] = PairOutcome(
+                    query=items[idx],
+                    result=result,
+                    directions=directions,
+                    deduped=not first,
+                )
+                first = False
+
+    assert all(outcome is not None for outcome in outcomes)
+    return BatchReport(
+        outcomes=outcomes,  # type: ignore[arg-type]
+        stats=merged_stats,
+        memoizer=merged_memo,
+        jobs=jobs,
+        n_queries=n_queries,
+        n_screened=n_screened,
+        n_unique_pairs=len(unique_items),
+        n_unique_problems=len(reps),
+    )

@@ -16,6 +16,12 @@ symmetrical or partially symmetrical references do not collide; the
 table is a simple open-hashing scheme (buckets of entries, full-key
 comparison on probe).
 
+The paper fixes the table at 4096 slots, which degrades linearly once a
+whole-program (or multi-program) workload pushes the load factor past
+one.  By default the table now doubles and rehashes when its load
+factor exceeds ``max_load`` (0.75); ``fixed_size=True`` preserves the
+published fixed-slot scheme for the reproduction tables (Tables 2-3).
+
 The *improved* scheme additionally drops the bound constraints of
 unused loop indices before keying, merging cases that differ only in
 irrelevant surrounding loops; see
@@ -30,7 +36,7 @@ comparing ``a[i-1]`` to ``a[i]``); :class:`MemoTable` supports this via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 __all__ = ["MemoTable", "MemoStats", "paper_hash"]
 
@@ -66,16 +72,36 @@ class MemoStats:
 
 
 class MemoTable:
-    """Open-hashing memo table keyed on integer problem vectors."""
+    """Open-hashing memo table keyed on integer problem vectors.
 
-    def __init__(self, size: int = 4096):
+    ``fixed_size=True`` reproduces the paper's published scheme exactly
+    (a fixed slot count, buckets growing without bound); the default
+    doubles the slot count and rehashes whenever the load factor
+    exceeds ``max_load``, keeping probes O(1) at whole-program scale.
+    """
+
+    def __init__(
+        self,
+        size: int = 4096,
+        fixed_size: bool = False,
+        max_load: float = 0.75,
+    ):
         if size <= 0:
             raise ValueError("table size must be positive")
+        if max_load <= 0:
+            raise ValueError("max_load must be positive")
         self.size = size
+        self.fixed_size = fixed_size
+        self.max_load = max_load
         self._buckets: list[list[tuple[tuple[int, ...], Any]]] = [
             [] for _ in range(size)
         ]
+        self._count = 0
         self.stats = MemoStats()
+
+    @property
+    def load_factor(self) -> float:
+        return self._count / self.size
 
     def lookup(self, key: tuple[int, ...]) -> tuple[bool, Any]:
         """Return ``(hit, value)``; counts the query."""
@@ -88,26 +114,54 @@ class MemoTable:
             self.stats.probe_collisions += 1
         return False, None
 
-    def insert(self, key: tuple[int, ...], value: Any) -> None:
+    def _store(self, key: tuple[int, ...], value: Any) -> bool:
+        """Insert or overwrite; returns True when the key was new."""
         bucket = self._buckets[paper_hash(key, self.size)]
         for i, (stored_key, _) in enumerate(bucket):
             if stored_key == key:
                 bucket[i] = (key, value)
-                return
+                return False
         bucket.append((key, value))
-        self.stats.inserts += 1
+        self._count += 1
+        if not self.fixed_size and self._count > self.max_load * self.size:
+            self.resize(self.size * 2)
+        return True
+
+    def insert(self, key: tuple[int, ...], value: Any) -> None:
+        if self._store(key, value):
+            self.stats.inserts += 1
 
     def update(self, key: tuple[int, ...], value: Any) -> None:
         """Overwrite the value without counting a fresh unique insert."""
-        bucket = self._buckets[paper_hash(key, self.size)]
-        for i, (stored_key, _) in enumerate(bucket):
-            if stored_key == key:
-                bucket[i] = (key, value)
-                return
-        bucket.append((key, value))
+        self._store(key, value)
+
+    def resize(self, new_size: int) -> None:
+        """Rehash every entry into ``new_size`` slots."""
+        if new_size <= 0:
+            raise ValueError("table size must be positive")
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        self.size = new_size
+        self._buckets = [[] for _ in range(new_size)]
+        for key, value in entries:
+            self._buckets[paper_hash(key, new_size)].append((key, value))
+
+    def items(self) -> Iterator[tuple[tuple[int, ...], Any]]:
+        """All ``(key, value)`` entries, in bucket order."""
+        for bucket in self._buckets:
+            yield from bucket
+
+    def merge_from(self, other: "MemoTable") -> None:
+        """Adopt every entry of ``other`` (map-reduce merge step).
+
+        Entries already present keep the incoming value — memo values
+        for equal keys are equal by construction, so the choice is
+        immaterial; hit statistics are left untouched.
+        """
+        for key, value in other.items():
+            self.update(key, value)
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._buckets)
+        return self._count
 
 
 @dataclass
@@ -126,3 +180,35 @@ class Memoizer:
     # (distances are re-oriented on retrieval); direction-vector queries
     # keep orientation-specific entries.
     symmetry: bool = False
+
+    @classmethod
+    def paper(cls, improved: bool = True) -> "Memoizer":
+        """The published scheme: fixed 4096-slot tables (Tables 2-3)."""
+        return cls(
+            no_bounds=MemoTable(fixed_size=True),
+            with_bounds=MemoTable(fixed_size=True),
+            improved=improved,
+        )
+
+    def compatible_with(self, other: "Memoizer") -> bool:
+        """Same keying scheme — a prerequisite for merging tables."""
+        return (
+            self.improved == other.improved
+            and self.symmetry == other.symmetry
+        )
+
+    def merge_from(self, other: "Memoizer") -> "Memoizer":
+        """Adopt every entry of ``other``'s tables; returns ``self``.
+
+        Both memoizers must use the same keying scheme (``improved`` /
+        ``symmetry``), otherwise their key vectors are incomparable.
+        """
+        if not self.compatible_with(other):
+            raise ValueError(
+                "cannot merge memoizers with different keying schemes: "
+                f"improved={self.improved}/{other.improved} "
+                f"symmetry={self.symmetry}/{other.symmetry}"
+            )
+        self.no_bounds.merge_from(other.no_bounds)
+        self.with_bounds.merge_from(other.with_bounds)
+        return self

@@ -22,7 +22,13 @@ from typing import Any
 from repro.core.analyzer import _CachedDirections, _CachedVerdict, _GcdCacheEntry
 from repro.core.memo import Memoizer, MemoTable
 
-__all__ = ["save_memoizer", "load_memoizer", "dumps", "loads"]
+__all__ = [
+    "save_memoizer",
+    "load_memoizer",
+    "dumps",
+    "loads",
+    "merge_memoizers",
+]
 
 _FORMAT_VERSION = 1
 
@@ -32,9 +38,14 @@ def _encode_value(value: Any) -> dict:
         return {
             "kind": "gcd",
             "independent": value.independent,
-            "x_offset": list(value.x_offset) if value.x_offset else None,
+            # `is not None`, not truthiness: a *dependent* entry may
+            # legitimately carry an empty basis (unique solution) or an
+            # empty offset, which must survive the round trip.
+            "x_offset": list(value.x_offset)
+            if value.x_offset is not None
+            else None,
             "x_basis": [list(row) for row in value.x_basis]
-            if value.x_basis
+            if value.x_basis is not None
             else None,
         }
     if isinstance(value, _CachedVerdict):
@@ -62,9 +73,11 @@ def _decode_value(blob: dict) -> Any:
     if kind == "gcd":
         return _GcdCacheEntry(
             independent=blob["independent"],
-            x_offset=tuple(blob["x_offset"]) if blob["x_offset"] else None,
+            x_offset=tuple(blob["x_offset"])
+            if blob["x_offset"] is not None
+            else None,
             x_basis=tuple(tuple(row) for row in blob["x_basis"])
-            if blob["x_basis"]
+            if blob["x_basis"] is not None
             else None,
         )
     if kind == "verdict":
@@ -87,14 +100,19 @@ def _decode_value(blob: dict) -> Any:
 
 def _encode_table(table: MemoTable) -> dict:
     entries = []
-    for bucket in table._buckets:
-        for key, value in bucket:
-            entries.append({"key": list(key), "value": _encode_value(value)})
-    return {"size": table.size, "entries": entries}
+    for key, value in table.items():
+        entries.append({"key": list(key), "value": _encode_value(value)})
+    return {
+        "size": table.size,
+        "fixed_size": table.fixed_size,
+        "entries": entries,
+    }
 
 
 def _decode_table(blob: dict) -> MemoTable:
-    table = MemoTable(size=blob["size"])
+    table = MemoTable(
+        size=blob["size"], fixed_size=blob.get("fixed_size", False)
+    )
     for entry in blob["entries"]:
         table.update(tuple(entry["key"]), _decode_value(entry["value"]))
     return table
@@ -124,6 +142,27 @@ def loads(text: str) -> Memoizer:
         improved=blob["improved"],
         symmetry=blob["symmetry"],
     )
+
+
+def merge_memoizers(memoizers) -> Memoizer:
+    """Union many memoizers' tables into one fresh memoizer.
+
+    The map-reduce step of the batch engine: each worker fills its own
+    tables; the merged table answers every case any worker saw and can
+    be persisted to warm-start the next compilation.  All inputs must
+    share one keying scheme; values for duplicate keys are equal by
+    construction, so last-in wins without affecting answers.  Hit
+    statistics start fresh in the merged memoizer.
+    """
+    memoizers = list(memoizers)
+    if not memoizers:
+        return Memoizer()
+    merged = Memoizer(
+        improved=memoizers[0].improved, symmetry=memoizers[0].symmetry
+    )
+    for memoizer in memoizers:
+        merged.merge_from(memoizer)
+    return merged
 
 
 def save_memoizer(memoizer: Memoizer, path: str | Path) -> None:

@@ -57,6 +57,19 @@ class AnalyzerStats:
     def unique_cases_bounds(self) -> int:
         return self.memo_queries_bounds - self.memo_hits_bounds
 
+    @classmethod
+    def merged(cls, runs: "list[AnalyzerStats] | tuple[AnalyzerStats, ...]") -> "AnalyzerStats":
+        """Fold many runs' counters into a fresh total (map-reduce step).
+
+        Every counter is a sum, so the fold is associative and
+        order-independent — sharded runs merge to the same totals no
+        matter how the work was split.
+        """
+        total = cls()
+        for run in runs:
+            total.merge(run)
+        return total
+
     def merge(self, other: "AnalyzerStats") -> None:
         """Accumulate another run's counters into this one."""
         self.total_queries += other.total_queries

@@ -17,7 +17,7 @@ are shared between both sides (section 8).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.ir.affine import AffineExpr
 from repro.ir.arrays import ArrayRef
@@ -66,6 +66,14 @@ class DependenceProblem:
     n2: int
     n_common: int
     symbols: tuple[str, ...]
+    # Per-instance cache of the two serializations.  The analyzer probes
+    # key_vector up to three times per query (symmetry canonicalization,
+    # the no-bounds table and the with-bounds table); the encoding walks
+    # every equation and bound, so recomputing it dominated the memo-hit
+    # fast path.  Instances are never mutated after construction.
+    _key_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     # -- variable indexing ----------------------------------------------------
 
@@ -134,6 +142,9 @@ class DependenceProblem:
         identically.  The no-bounds key determines the equation matrix
         completely — a hit allows reusing the GCD factorization.
         """
+        cached = self._key_cache.get(with_bounds)
+        if cached is not None:
+            return cached
         vec: list[int] = [
             self.n1,
             self.n2,
@@ -157,7 +168,9 @@ class DependenceProblem:
                 vec.append(len(entries))
                 for j, c in entries:
                     vec.extend((j, c))
-        return tuple(vec)
+        key = tuple(vec)
+        self._key_cache[with_bounds] = key
+        return key
 
     def swapped(self) -> "DependenceProblem":
         """The same dependence question with the two references swapped.

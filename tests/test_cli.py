@@ -21,6 +21,55 @@ def source_file(tmp_path):
     return str(path)
 
 
+class TestBatchCommand:
+    def test_batch_on_source_file(self, source_file, capsys):
+        assert repro_main(["batch", source_file, "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "unique problems" in out
+        assert "memo hit rates" in out
+
+    def test_batch_warm_cache_round_trip(self, source_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache.json")
+        assert repro_main(
+            ["batch", source_file, "--jobs", "1", "--warm-cache", cache]
+        ) == 0
+        cold = capsys.readouterr().out
+        assert "dependence tests run" in cold
+        # Second run warm-starts from the saved table: zero tests.
+        assert repro_main(
+            ["batch", source_file, "--jobs", "1", "--warm-cache", cache]
+        ) == 0
+        warm = capsys.readouterr().out
+        assert "0 dependence tests run" in warm
+
+    def test_batch_corrupt_warm_cache(self, source_file, tmp_path, capsys):
+        cache = tmp_path / "bad.json"
+        cache.write_text('{"garbage": true')
+        assert repro_main(
+            ["batch", source_file, "--warm-cache", str(cache)]
+        ) == 1
+        assert "cannot load warm cache" in capsys.readouterr().err
+
+    def test_batch_sharded_suite(self, capsys):
+        assert repro_main(
+            ["batch", "--scale", "0.05", "--jobs", "2", "--no-directions"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 worker(s)" in out
+
+    def test_batch_verbose_marks_dedup(self, tmp_path, capsys):
+        path = tmp_path / "dup.loop"
+        path.write_text(
+            "for i = 1 to 10 do\n"
+            "  a[i+1] = a[i]\n"
+            "  a[i+1] = a[i]\n"
+            "end\n"
+        )
+        assert repro_main(["batch", str(path), "--jobs", "1", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "(deduped)" in out
+
+
 class TestAnalyzeCommand:
     def test_analyze(self, source_file, capsys):
         assert repro_main(["analyze", source_file]) == 0

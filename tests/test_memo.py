@@ -62,6 +62,121 @@ class TestMemoTable:
         assert table.stats.unique_fraction == 0.25
 
 
+class TestResize:
+    def test_grows_past_load_factor(self):
+        table = MemoTable(size=4)
+        for k in range(16):
+            table.insert((k,), k)
+        assert table.size > 4
+        assert table.load_factor <= 0.75
+        assert len(table) == 16
+        for k in range(16):
+            assert table.lookup((k,)) == (True, k)
+
+    def test_growth_doubles(self):
+        table = MemoTable(size=4)
+        seen = {table.size}
+        for k in range(40):
+            table.insert((k,), k)
+            seen.add(table.size)
+        assert seen == {4, 8, 16, 32, 64}
+
+    def test_fixed_size_preserves_paper_scheme(self):
+        table = MemoTable(size=4, fixed_size=True)
+        for k in range(100):
+            table.insert((k,), k)
+        assert table.size == 4  # never grows
+        assert len(table) == 100
+        for k in range(100):
+            assert table.lookup((k,)) == (True, k)
+
+    def test_resize_preserves_unique_insert_count(self):
+        table = MemoTable(size=2)
+        for k in range(10):
+            table.insert((k,), k)
+        assert table.stats.inserts == 10
+
+    def test_update_triggers_growth_without_insert_count(self):
+        table = MemoTable(size=2)
+        for k in range(10):
+            table.update((k,), k)
+        assert table.stats.inserts == 0
+        assert table.size > 2
+        assert len(table) == 10
+
+    def test_paper_memoizer_is_fixed_4096(self):
+        memo = Memoizer.paper()
+        assert memo.no_bounds.fixed_size
+        assert memo.with_bounds.fixed_size
+        assert memo.no_bounds.size == 4096
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_resizable_agrees_with_fixed(self, key):
+        """Growth never loses or corrupts an entry."""
+        growing = MemoTable(size=1)
+        fixed = MemoTable(size=1, fixed_size=True)
+        for shift in range(20):
+            k = tuple(z + shift for z in key)
+            growing.insert(k, shift)
+            fixed.insert(k, shift)
+        for shift in range(20):
+            k = tuple(z + shift for z in key)
+            assert growing.lookup(k) == fixed.lookup(k)
+
+
+class TestSymmetricCanonicalization:
+    """The paper's further optimization: a problem and its
+    reference-swapped twin (a[i] vs a[i-1] and a[i-1] vs a[i]) occupy a
+    single memo slot, with distances re-oriented on retrieval."""
+
+    def _pair(self):
+        nest = B.nest(("i", 1, 10))
+        fwd = B.ref("a", [B.v("i")], write=True)
+        back = B.ref("a", [B.v("i") - 1])
+        return fwd, back, nest
+
+    def test_swapped_twins_share_one_slot(self):
+        fwd, back, nest = self._pair()
+        memo = Memoizer(symmetry=True)
+        analyzer = DependenceAnalyzer(memoizer=memo)
+        first = analyzer.analyze(fwd, nest, back, nest)
+        second = analyzer.analyze(back, nest, fwd, nest)
+        assert not first.from_memo
+        assert second.from_memo
+        assert len(memo.with_bounds) == 1
+        assert memo.with_bounds.stats.hits == 1
+        # only one actual test ran for both orientations
+        assert sum(analyzer.stats.decided_by.values()) == 1
+
+    def test_distances_reverse_on_swapped_retrieval(self):
+        fwd, back, nest = self._pair()
+        analyzer = DependenceAnalyzer(memoizer=Memoizer(symmetry=True))
+        first = analyzer.analyze(fwd, nest, back, nest)
+        second = analyzer.analyze(back, nest, fwd, nest)
+        # a[i] vs a[i-1]: i = i' - 1, so i' - i == 1; swapped == -1.
+        assert first.dependent and second.dependent
+        assert first.distance == (1,)
+        assert second.distance == (-1,)
+
+    def test_direction_vectors_consistent_across_orientations(self):
+        fwd, back, nest = self._pair()
+        analyzer = DependenceAnalyzer(memoizer=Memoizer(symmetry=True))
+        forward = analyzer.directions(fwd, nest, back, nest)
+        backward = analyzer.directions(back, nest, fwd, nest)
+        assert forward.vectors == frozenset({("<",)})
+        assert backward.vectors == frozenset({(">",)})
+
+    def test_without_symmetry_twins_use_two_slots(self):
+        fwd, back, nest = self._pair()
+        memo = Memoizer()  # symmetry off (the published default)
+        analyzer = DependenceAnalyzer(memoizer=memo)
+        analyzer.analyze(fwd, nest, back, nest)
+        second = analyzer.analyze(back, nest, fwd, nest)
+        assert not second.from_memo
+        assert len(memo.with_bounds) == 2
+
+
 class TestAnalyzerMemoization:
     def _run(self, analyzer, n=10):
         nest = B.nest(("i", 1, n))

@@ -84,6 +84,26 @@ class TestRoundTrip:
         assert result.independent
         assert result.from_memo
 
+    def test_empty_basis_survives_round_trip(self):
+        """Regression: a dependent GCD entry with an *empty* basis
+        (unique solution, e.g. a[i] vs a[5]) must not decay to None in
+        JSON — rebuilding the factorization after a no-bounds hit
+        asserted on the corrupted entry."""
+        nest = B.nest(("i", 1, 10))
+        w = B.ref("a", [B.v("i")], write=True)
+        r = B.ref("a", [B.c(5)])
+        memo = Memoizer()
+        analyzer = DependenceAnalyzer(memoizer=memo)
+        original = analyzer.analyze(w, nest, r, nest)
+        assert original.dependent
+
+        warmed = DependenceAnalyzer(memoizer=loads(dumps(memo)))
+        # Different bounds: with-bounds key misses, the no-bounds hit
+        # re-applies the cached (empty-basis) factorization.
+        nest2 = B.nest(("i", 1, 20))
+        result = warmed.analyze(w, nest2, r, nest2)
+        assert result.dependent
+
     def test_version_check(self):
         import json
 
