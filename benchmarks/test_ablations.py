@@ -49,12 +49,12 @@ def test_bench_cascade_vs_fm_only(benchmark, capsys):
         start = time.perf_counter()
         for _ in range(50):
             for system in systems:
-                analyzer._decide_system(system, record=False)
+                analyzer._run_cascade(system, record=False)
         t_cascade = time.perf_counter() - start
         start = time.perf_counter()
         for _ in range(50):
             for system in systems:
-                fm.decide(system)
+                fm.run(system)
         t_fm = time.perf_counter() - start
         return t_cascade, t_fm
 

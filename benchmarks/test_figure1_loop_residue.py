@@ -22,7 +22,7 @@ def _figure1_system() -> ConstraintSystem:
 def test_bench_figure1(benchmark, capsys):
     system = _figure1_system()
     test = LoopResidueTest()
-    result = benchmark(lambda: test.decide(system))
+    result = benchmark(lambda: test.run(system))
     graph = build_residue_graph(system)
     with capsys.disabled():
         print()

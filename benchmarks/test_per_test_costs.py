@@ -31,7 +31,7 @@ def test_bench_single_test(benchmark, name):
 
     def run():
         for system in systems:
-            test.decide(system)
+            test.run(system)
 
     benchmark(run)
 
@@ -47,7 +47,7 @@ def test_bench_fm_is_most_expensive(benchmark, capsys):
             start = time.perf_counter()
             for _ in range(100):
                 for system in systems:
-                    test.decide(system)
+                    test.run(system)
             out[name] = time.perf_counter() - start
         return out
 

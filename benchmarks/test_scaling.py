@@ -66,7 +66,7 @@ def test_bench_fm_dense(benchmark, n_vars):
     fm = FourierMotzkinTest()
 
     def run():
-        return fm.decide(system)
+        return fm.run(system)
 
     result = benchmark(run)
     assert result.verdict is not None

@@ -41,7 +41,7 @@ def show(title, bound_for_t1_t3):
             f"     {graph.node_name(src, system.names)} -> "
             f"{graph.node_name(dst, system.names)}   {value:+d}"
         )
-    result = LoopResidueTest().decide(system)
+    result = LoopResidueTest().run(system)
     if result.verdict is Verdict.INDEPENDENT:
         print("   negative cycle -> INDEPENDENT\n")
     else:

@@ -10,20 +10,26 @@ prepass optimizations, inexact baselines, and a synthetic
 PERFECT-Club-shaped workload with the experiment harness that
 regenerates every table in the paper).
 
-Quickstart::
+Quickstart (the stable facade)::
 
-    from repro import DependenceAnalyzer, builder as B
+    from repro import AnalysisConfig, AnalysisSession, builder as B
 
     nest = B.nest(("i", 1, 10))
-    analyzer = DependenceAnalyzer()
+    session = AnalysisSession(AnalysisConfig())
     write = B.ref("a", [B.v("i") + 1], write=True)
     read = B.ref("a", [B.v("i")])
-    result = analyzer.analyze(write, nest, read, nest)
-    assert result.dependent
-    dirs = analyzer.directions(write, nest, read, nest)
-    assert ("<",) in dirs.vectors
+    report = session.analyze(write, nest, read, nest, want_directions=True)
+    assert report.dependent
+    assert ("<",) in report.directions
 """
 
+from repro.api import (
+    AnalysisConfig,
+    AnalysisSession,
+    DependenceReport,
+    ExplainResult,
+    ProgramReport,
+)
 from repro.core.analyzer import DependenceAnalyzer
 from repro.core.memo import Memoizer, MemoTable
 from repro.core.result import DependenceResult, DirectionResult
@@ -33,11 +39,23 @@ from repro.ir.affine import AffineExpr, const, var
 from repro.ir.arrays import AccessKind, ArrayRef
 from repro.ir.loops import Loop, LoopNest
 from repro.ir.program import Program, Statement, reference_pairs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import CollectingSink, NullSink, StreamingSink, TraceSink
 from repro.system.depsystem import Direction, build_problem
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisConfig",
+    "AnalysisSession",
+    "DependenceReport",
+    "ProgramReport",
+    "ExplainResult",
+    "MetricsRegistry",
+    "TraceSink",
+    "NullSink",
+    "CollectingSink",
+    "StreamingSink",
     "DependenceAnalyzer",
     "DependenceResult",
     "DirectionResult",

@@ -1,0 +1,362 @@
+"""repro.api — the stable public facade.
+
+One import surface for the whole analyzer.  Instead of juggling
+:class:`~repro.core.result.DependenceResult`,
+:class:`~repro.core.result.DirectionResult`, engine batch records and
+deep imports from ``repro.core.*`` / ``repro.system.*``, callers build
+an :class:`AnalysisConfig`, open an :class:`AnalysisSession`, and get
+every per-query answer as one unified :class:`DependenceReport`::
+
+    from repro.api import AnalysisConfig, AnalysisSession
+
+    session = AnalysisSession(AnalysisConfig(symmetry=True))
+    report = session.analyze(ref1, nest1, ref2, nest2)
+    if report.dependent:
+        print(report.decided_by, report.directions)
+
+    program_report = session.analyze_program(program)   # batch engine
+    for pair in program_report.pairs:                   # DependenceReports
+        ...
+
+The session owns the memoizer and the statistics registry, so repeated
+queries share memo tables, ``session.registry`` accumulates the metrics
+every harness table is derived from, and ``session.explain(...)``
+captures one query's full decision trace (the ``repro explain`` CLI is
+a thin wrapper over it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.memo import Memoizer
+from repro.core.result import DependenceResult, DirectionResult
+from repro.core.stats import AnalyzerStats
+from repro.ir.arrays import ArrayRef
+from repro.ir.loops import LoopNest
+from repro.ir.program import AccessSite, Program
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.render import format_trace
+from repro.obs.sinks import NULL_SINK, CollectingSink, TraceSink
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisSession",
+    "DependenceReport",
+    "ProgramReport",
+    "ExplainResult",
+]
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Everything a session can be configured with.
+
+    Attributes:
+        memo: keep a memo table across the session's queries (the
+            paper's section-5 scheme; on by default).
+        improved: use the reduced-problem memo keying (improved scheme).
+        symmetry: share one memo slot between reference-swapped twins.
+        fm_budget: Fourier-Motzkin branch-and-bound node budget.
+        eliminate_unused: drop loop variables no subscript mentions.
+        want_witness: lift an integer witness for dependent answers.
+        jobs: worker processes for :meth:`AnalysisSession.analyze_program`
+            (None: CPU count).
+        sink: trace sink receiving every query's decision events
+            (None: tracing off, the zero-overhead default).
+    """
+
+    memo: bool = True
+    improved: bool = True
+    symmetry: bool = False
+    fm_budget: int = 256
+    eliminate_unused: bool = True
+    want_witness: bool = True
+    jobs: int | None = None
+    sink: TraceSink | None = None
+
+
+@dataclass
+class DependenceReport:
+    """The unified answer to one dependence query.
+
+    Produced by every facade entry point — plain queries, direction
+    queries and each pair of a whole-program batch — so callers handle
+    one shape.  ``directions`` is None when direction vectors were not
+    requested (a plain ``analyze``), an empty frozenset when the pair
+    is independent.
+    """
+
+    ref1: str
+    ref2: str
+    dependent: bool
+    decided_by: str
+    exact: bool = True
+    from_memo: bool = False
+    distance: tuple[int | None, ...] | None = None
+    witness: tuple[int, ...] | None = None
+    directions: frozenset[tuple[str, ...]] | None = None
+    n_common: int = 0
+    deduped: bool = False
+    tag: Any = None
+
+    @classmethod
+    def from_results(
+        cls,
+        ref1: str,
+        ref2: str,
+        result: DependenceResult | None,
+        directions: DirectionResult | None,
+        deduped: bool = False,
+        tag: Any = None,
+    ) -> "DependenceReport":
+        """Fuse the legacy result pair into one report."""
+        if result is None:
+            assert directions is not None
+            return cls(
+                ref1=ref1,
+                ref2=ref2,
+                dependent=bool(directions.vectors),
+                decided_by="directions",
+                exact=directions.exact,
+                from_memo=directions.from_memo,
+                directions=directions.vectors,
+                n_common=directions.n_common,
+                deduped=deduped,
+                tag=tag,
+            )
+        return cls(
+            ref1=ref1,
+            ref2=ref2,
+            dependent=result.dependent,
+            decided_by=result.decided_by,
+            exact=result.exact if directions is None else (
+                result.exact and directions.exact
+            ),
+            from_memo=result.from_memo,
+            distance=result.distance,
+            witness=result.witness,
+            directions=None if directions is None else directions.vectors,
+            n_common=0 if directions is None else directions.n_common,
+            deduped=deduped,
+            tag=tag,
+        )
+
+    def elementary_directions(self) -> list[tuple[str, ...]]:
+        """Wildcard-free vectors, sorted (empty when none were computed)."""
+        if not self.directions:
+            return []
+        out: set[tuple[str, ...]] = set()
+        for vector in self.directions:
+            out.update(_expand_wildcards(vector))
+        return sorted(out)
+
+
+def _expand_wildcards(vector: tuple[str, ...]) -> Iterator[tuple[str, ...]]:
+    from repro.system.depsystem import Direction
+
+    if "*" not in vector:
+        yield vector
+        return
+    idx = vector.index("*")
+    for direction in Direction.ALL:
+        replaced = vector[:idx] + (direction,) + vector[idx + 1 :]
+        yield from _expand_wildcards(replaced)
+
+
+@dataclass
+class ProgramReport:
+    """A whole program's dependence analysis, one report per pair."""
+
+    pairs: list[DependenceReport]
+    stats: AnalyzerStats
+    summary: dict = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[DependenceReport]:
+        return iter(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def dependent_pairs(self) -> list[DependenceReport]:
+        return [pair for pair in self.pairs if pair.dependent]
+
+
+@dataclass
+class ExplainResult:
+    """One query's answer together with its full decision trace."""
+
+    report: DependenceReport
+    events: list[Any]
+
+    def render(self) -> str:
+        return format_trace(self.events)
+
+
+class AnalysisSession:
+    """A configured analyzer with persistent memo tables and metrics.
+
+    The session wraps one :class:`DependenceAnalyzer` (so its memoizer
+    and statistics accumulate across calls) and the batch engine (for
+    whole programs, sharded over ``config.jobs`` workers with the memo
+    and metrics folded back into the session).
+    """
+
+    def __init__(
+        self,
+        config: AnalysisConfig | None = None,
+        memoizer: Memoizer | None = None,
+    ):
+        self.config = config if config is not None else AnalysisConfig()
+        if memoizer is not None:
+            self.memoizer: Memoizer | None = memoizer
+        elif self.config.memo:
+            self.memoizer = Memoizer(
+                improved=self.config.improved, symmetry=self.config.symmetry
+            )
+        else:
+            self.memoizer = None
+        self.analyzer = DependenceAnalyzer(
+            memoizer=self.memoizer,
+            fm_budget=self.config.fm_budget,
+            eliminate_unused=self.config.eliminate_unused,
+            want_witness=self.config.want_witness,
+            sink=self.config.sink,
+        )
+
+    @property
+    def stats(self) -> AnalyzerStats:
+        return self.analyzer.stats
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The session's metrics registry (stats are a view over it)."""
+        return self.analyzer.stats.registry
+
+    # -- single queries ----------------------------------------------------
+
+    def analyze(
+        self,
+        ref1: ArrayRef,
+        nest1: LoopNest,
+        ref2: ArrayRef,
+        nest2: LoopNest,
+        want_directions: bool = False,
+    ) -> DependenceReport:
+        """Is a dependence possible between the two references?"""
+        result = self.analyzer.analyze(ref1, nest1, ref2, nest2)
+        directions = None
+        if want_directions and result.dependent:
+            directions = self.analyzer.directions(ref1, nest1, ref2, nest2)
+        return DependenceReport.from_results(
+            str(ref1), str(ref2), result, directions
+        )
+
+    def analyze_sites(
+        self, site1: AccessSite, site2: AccessSite, want_directions: bool = False
+    ) -> DependenceReport:
+        return self.analyze(
+            site1.ref, site1.nest, site2.ref, site2.nest, want_directions
+        )
+
+    def directions(
+        self,
+        ref1: ArrayRef,
+        nest1: LoopNest,
+        ref2: ArrayRef,
+        nest2: LoopNest,
+        **options: Any,
+    ) -> DependenceReport:
+        """The pair's direction vectors (options as in the analyzer)."""
+        directions = self.analyzer.directions(ref1, nest1, ref2, nest2, **options)
+        return DependenceReport.from_results(
+            str(ref1), str(ref2), None, directions
+        )
+
+    # -- whole programs ----------------------------------------------------
+
+    def analyze_program(
+        self,
+        program: Program,
+        want_directions: bool = True,
+        include_self_output: bool = False,
+    ) -> ProgramReport:
+        """Analyze every testable pair of a program via the batch engine.
+
+        The sharded run warm-starts from the session's memo table and
+        folds the merged table and worker metrics back into the
+        session, so later queries (and ``session.registry``) see the
+        batch's work.
+        """
+        from repro.core.engine import analyze_batch, queries_from_program
+
+        report = analyze_batch(
+            queries_from_program(
+                program, include_self_output=include_self_output
+            ),
+            jobs=self.config.jobs,
+            warm=self.memoizer,
+            want_directions=want_directions,
+            want_witness=self.config.want_witness,
+            improved=self.config.improved,
+            symmetry=self.config.symmetry,
+            fm_budget=self.config.fm_budget,
+            sink=self.config.sink,
+        )
+        self.stats.merge(report.stats)
+        if self.memoizer is not None:
+            self.memoizer.merge_from(report.memoizer)
+        pairs = [
+            DependenceReport.from_results(
+                str(outcome.query.ref1),
+                str(outcome.query.ref2),
+                outcome.result,
+                outcome.directions,
+                deduped=outcome.deduped,
+                tag=outcome.query.tag,
+            )
+            for outcome in report.outcomes
+        ]
+        return ProgramReport(
+            pairs=pairs, stats=report.stats, summary=report.summary()
+        )
+
+    # -- tracing -----------------------------------------------------------
+
+    def explain(
+        self,
+        ref1: ArrayRef,
+        nest1: LoopNest,
+        ref2: ArrayRef,
+        nest2: LoopNest,
+        want_directions: bool = True,
+    ) -> ExplainResult:
+        """Answer one query and capture its full decision trace.
+
+        Works regardless of the session's configured sink: events are
+        collected locally (and forwarded to the configured sink too,
+        when one is active).
+        """
+        collector = CollectingSink()
+        outer = self.analyzer.sink
+        self.analyzer.sink = collector
+        try:
+            report = self.analyze(
+                ref1, nest1, ref2, nest2, want_directions=want_directions
+            )
+        finally:
+            self.analyzer.sink = outer
+        if outer is not NULL_SINK and getattr(outer, "enabled", False):
+            for event in collector.events:
+                outer.emit(event)
+        return ExplainResult(report=report, events=collector.events)
+
+    def explain_sites(
+        self, site1: AccessSite, site2: AccessSite, want_directions: bool = True
+    ) -> ExplainResult:
+        return self.explain(
+            site1.ref, site1.nest, site2.ref, site2.nest, want_directions
+        )

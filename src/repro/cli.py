@@ -10,9 +10,13 @@ Subcommands:
 * ``deps FILE`` — classified dependence edges (flow / anti / output).
 * ``batch [FILE ...]`` — run the sharded batch engine over whole
   programs (or the synthetic PERFECT corpus when no files are given),
-  with ``--jobs`` worker processes and an optional persistent
+  with ``--jobs`` worker processes, an optional persistent
   ``--warm-cache`` memo table (loaded before the run when present,
-  rewritten with the merged table afterwards).
+  rewritten with the merged table afterwards), and an optional
+  ``--trace`` JSONL dump of every query's decision events.
+* ``explain FILE --pair N`` — pretty-print one reference pair's full
+  decision trace (EGCD -> memo -> cascade stages -> verdict).
+* ``stats [FILE ...]`` — run a corpus and dump the metrics registry.
 * ``tables ...`` — forwarded to :mod:`repro.harness` (regenerate the
   paper's tables).
 
@@ -22,9 +26,11 @@ Reads from stdin when ``FILE`` is ``-``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro.api import AnalysisSession
 from repro.core.analyzer import DependenceAnalyzer
 from repro.core.kinds import classify_pair
 from repro.core.memo import Memoizer
@@ -51,26 +57,84 @@ def _load_program(path: str) -> Program:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     program = _load_program(args.file)
-    analyzer = DependenceAnalyzer(memoizer=Memoizer())
+    session = AnalysisSession()
     pairs = reference_pairs(program)
     if not pairs:
         print("no testable reference pairs")
         return 0
     for site1, site2 in pairs:
-        result = analyzer.analyze_sites(site1, site2)
-        verdict = "DEPENDENT" if result.dependent else "independent"
-        line = f"{site1.ref} vs {site2.ref}: {verdict} [{result.decided_by}]"
-        if result.dependent:
-            directions = analyzer.directions(
-                site1.ref, site1.nest, site2.ref, site2.nest
-            )
+        report = session.analyze_sites(site1, site2, want_directions=True)
+        verdict = "DEPENDENT" if report.dependent else "independent"
+        line = f"{report.ref1} vs {report.ref2}: {verdict} [{report.decided_by}]"
+        if report.dependent:
             vectors = " ".join(
-                "(" + " ".join(v) + ")" for v in sorted(directions.vectors)
+                "(" + " ".join(v) + ")" for v in sorted(report.directions)
             )
             line += f"  directions {vectors}"
-            if result.distance and any(d is not None for d in result.distance):
-                line += f"  distance {result.distance}"
+            if report.distance and any(d is not None for d in report.distance):
+                line += f"  distance {report.distance}"
         print(line)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.events import write_jsonl
+
+    program = _load_program(args.file)
+    pairs = reference_pairs(program)
+    if not pairs:
+        print("no testable reference pairs")
+        return 0
+    if args.list or args.pair is None:
+        for index, (site1, site2) in enumerate(pairs):
+            print(f"[{index}] {site1.ref} vs {site2.ref}")
+        if args.pair is None and not args.list:
+            print("(pick one with --pair N)", file=sys.stderr)
+        return 0
+    if not 0 <= args.pair < len(pairs):
+        print(
+            f"error: --pair {args.pair} out of range (0..{len(pairs) - 1})",
+            file=sys.stderr,
+        )
+        return 1
+    site1, site2 = pairs[args.pair]
+    session = AnalysisSession()
+    explained = session.explain_sites(
+        site1, site2, want_directions=not args.no_directions
+    )
+    print(explained.render())
+    if args.jsonl:
+        count = write_jsonl(explained.events, args.jsonl)
+        print(f"wrote {count} events to {args.jsonl}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.core.engine import (
+        analyze_batch,
+        queries_from_program,
+        queries_from_suite,
+    )
+
+    queries = []
+    for path in args.files:
+        program = _load_program(path)
+        queries.extend(queries_from_program(program))
+    if args.suite or not args.files:
+        from repro.perfect import load_suite
+
+        suite = load_suite(include_symbolic=True, scale=args.scale)
+        queries.extend(queries_from_suite(suite))
+        print(
+            f"corpus: {len(suite)} synthetic PERFECT programs",
+            file=sys.stderr,
+        )
+    report = analyze_batch(queries, jobs=args.jobs)
+    registry = report.stats.registry
+    if args.json:
+        print(json.dumps(registry.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(registry.render())
     return 0
 
 
@@ -150,6 +214,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    stream = None
+    if args.trace:
+        from repro.obs.sinks import StreamingSink
+
+        stream = StreamingSink(args.trace)
     try:
         report = analyze_batch(
             queries,
@@ -157,10 +226,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             warm=warm,
             symmetry=args.symmetry,
             want_directions=not args.no_directions,
+            sink=stream,
         )
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
+    finally:
+        if stream is not None:
+            stream.close()
+    if stream is not None:
+        print(
+            f"wrote {stream.emitted} trace events to {args.trace}",
+            file=sys.stderr,
+        )
 
     if args.verbose:
         for outcome in report.outcomes:
@@ -293,8 +371,69 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip direction-vector analysis (verdicts only)",
     )
+    p_batch.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="stream every query's decision events to a JSONL file",
+    )
     p_batch.add_argument("-v", "--verbose", action="store_true")
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_explain = sub.add_parser(
+        "explain", help="pretty-print one pair's full decision trace"
+    )
+    p_explain.add_argument("file", help="mini-Fortran source file, or -")
+    p_explain.add_argument(
+        "--pair",
+        type=int,
+        default=None,
+        help="pair index to explain (omit or --list to enumerate)",
+    )
+    p_explain.add_argument(
+        "--list", action="store_true", help="list pair indices and exit"
+    )
+    p_explain.add_argument(
+        "--no-directions",
+        action="store_true",
+        help="skip the direction-refinement part of the trace",
+    )
+    p_explain.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="also dump the raw events as JSONL",
+    )
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_stats = sub.add_parser(
+        "stats", help="run a corpus and dump the metrics registry"
+    )
+    p_stats.add_argument(
+        "files",
+        nargs="*",
+        help="mini-Fortran source files (none: the PERFECT corpus)",
+    )
+    p_stats.add_argument(
+        "--suite",
+        action="store_true",
+        help="include the synthetic PERFECT corpus alongside any files",
+    )
+    p_stats.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="repetition scale for the synthetic corpus (default 1.0)",
+    )
+    p_stats.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default 1)",
+    )
+    p_stats.add_argument(
+        "--json", action="store_true", help="dump as JSON instead of text"
+    )
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_vec = sub.add_parser(
         "vectorize", help="distribute + vectorize loops (Allen-Kennedy)"

@@ -24,6 +24,7 @@ which the experiment harness regenerates the paper's tables.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.core.memo import Memoizer
@@ -34,6 +35,15 @@ from repro.deptests.base import TestResult, Verdict
 from repro.deptests.fourier_motzkin import FourierMotzkinTest
 from repro.deptests.loop_residue import LoopResidueTest
 from repro.deptests.svpc import SvpcTest
+from repro.obs.events import (
+    CascadeStage,
+    ConstantScreen,
+    EgcdResolved,
+    MemoLookup,
+    QueryEnd,
+    QueryStart,
+)
+from repro.obs.sinks import NULL_SINK, QueryScopedSink, TraceSink
 from repro.ir.arrays import ArrayRef
 from repro.ir.loops import LoopNest
 from repro.ir.program import AccessSite
@@ -109,15 +119,55 @@ class DependenceAnalyzer:
         fm_budget: int = 256,
         eliminate_unused: bool = True,
         want_witness: bool = True,
+        sink: TraceSink | None = None,
     ):
         self.memoizer = memoizer
         self.stats = stats if stats is not None else AnalyzerStats()
         self.eliminate_unused = eliminate_unused
         self.want_witness = want_witness
+        self.sink = sink if sink is not None else NULL_SINK
+        self._trace_qid = 0
         self._svpc = SvpcTest()
         self._acyclic = AcyclicTest()
         self._residue = LoopResidueTest()
         self._fm = FourierMotzkinTest(max_branch_nodes=fm_budget)
+        # The cascade, cheapest first.  Each member implements the
+        # uniform run(system, sink) protocol; Acyclic's NOT_APPLICABLE
+        # results carry the residual system the next member should take.
+        self._cascade = (self._svpc, self._acyclic, self._residue, self._fm)
+
+    # -- tracing ------------------------------------------------------------
+
+    def _begin_trace(
+        self, op: str, ref1: str, ref2: str, n_common: int
+    ) -> tuple[TraceSink, int]:
+        """Open a query scope on the sink; no-op when tracing is off."""
+        if not self.sink.enabled:
+            return NULL_SINK, 0
+        qid = self._trace_qid
+        self._trace_qid += 1
+        qsink = QueryScopedSink(self.sink, qid)
+        qsink.emit(QueryStart(op=op, ref1=ref1, ref2=ref2, n_common=n_common))
+        return qsink, time.perf_counter_ns()
+
+    @staticmethod
+    def _end_trace(
+        qsink: TraceSink,
+        start_ns: int,
+        dependent: bool,
+        decided_by: str,
+        exact: bool,
+        n_vectors: int | None = None,
+    ) -> None:
+        qsink.emit(
+            QueryEnd(
+                dependent=dependent,
+                decided_by=decided_by,
+                exact=exact,
+                elapsed_ns=time.perf_counter_ns() - start_ns,
+                n_vectors=n_vectors,
+            )
+        )
 
     # -- public entry points ------------------------------------------------
 
@@ -130,26 +180,59 @@ class DependenceAnalyzer:
     ) -> DependenceResult:
         """Can the two references touch the same element? (section 2)"""
         self.stats.total_queries += 1
+        qsink, start = (
+            self._begin_trace(
+                "analyze", str(ref1), str(ref2), nest1.common_prefix_depth(nest2)
+            )
+            if self.sink.enabled
+            else (NULL_SINK, 0)
+        )
         constant = self._constant_fast_path(ref1, ref2)
         if constant is not None:
             self.stats.constant_cases += 1
+            if qsink.enabled:
+                qsink.emit(ConstantScreen(independent=not constant.dependent))
+                self._end_trace(
+                    qsink, start, constant.dependent, constant.decided_by, True
+                )
             return constant
         problem = build_problem(ref1, nest1, ref2, nest2)
-        return self._analyze_problem(problem)
+        result = self._analyze_problem(problem, qsink)
+        if qsink.enabled:
+            self._end_trace(
+                qsink, start, result.dependent, result.decided_by, result.exact
+            )
+        return result
 
     def analyze_sites(self, site1: AccessSite, site2: AccessSite) -> DependenceResult:
         return self.analyze(site1.ref, site1.nest, site2.ref, site2.nest)
 
-    def analyze_problem(self, problem: DependenceProblem) -> DependenceResult:
+    def analyze_problem(
+        self,
+        problem: DependenceProblem,
+        ref1: str = "?",
+        ref2: str = "?",
+    ) -> DependenceResult:
         """Analyze a pre-built dependence system.
 
         The batch engine constructs problems once (to canonicalize and
         deduplicate them) and hands them over directly; the constant
         fast path does not apply because constant-only subscript pairs
-        are screened before a problem is ever built.
+        are screened before a problem is ever built.  ``ref1``/``ref2``
+        only label the trace (the problem itself has no source refs).
         """
         self.stats.total_queries += 1
-        return self._analyze_problem(problem)
+        qsink, start = (
+            self._begin_trace("analyze", ref1, ref2, problem.n_common)
+            if self.sink.enabled
+            else (NULL_SINK, 0)
+        )
+        result = self._analyze_problem(problem, qsink)
+        if qsink.enabled:
+            self._end_trace(
+                qsink, start, result.dependent, result.decided_by, result.exact
+            )
+        return result
 
     def directions(
         self,
@@ -180,11 +263,21 @@ class DependenceAnalyzer:
         )
         self.stats.total_queries += 1
         n_common_full = nest1.common_prefix_depth(nest2)
+        qsink, start = (
+            self._begin_trace("directions", str(ref1), str(ref2), n_common_full)
+            if self.sink.enabled
+            else (NULL_SINK, 0)
+        )
 
         constant = self._constant_fast_path(ref1, ref2)
         if constant is not None and constant.independent:
             # Unequal constants: no dependence under any direction.
             self.stats.constant_cases += 1
+            if qsink.enabled:
+                qsink.emit(ConstantScreen(independent=True))
+                self._end_trace(
+                    qsink, start, False, DECIDED_CONSTANT, True, n_vectors=0
+                )
             return DirectionResult(
                 vectors=frozenset(), n_common=n_common_full
             )
@@ -195,6 +288,8 @@ class DependenceAnalyzer:
             # refinement for an exact answer.  The plain analyzer still
             # reports these as constant cases without testing.
             self.stats.constant_cases += 1
+            if qsink.enabled:
+                qsink.emit(ConstantScreen(independent=False))
 
         problem = build_problem(ref1, nest1, ref2, nest2)
         work = problem
@@ -208,17 +303,24 @@ class DependenceAnalyzer:
         nb_entry = _MISS
         if memo is not None:
             key_source = work if memo.improved else problem
-            nb_entry = self._nb_lookup(key_source)
+            nb_entry = self._nb_lookup(key_source, qsink)
             if nb_entry is not _MISS and nb_entry.independent:
+                if qsink.enabled:
+                    qsink.emit(
+                        EgcdResolved(independent=True, reused=True, elapsed_ns=0)
+                    )
+                    self._end_trace(qsink, start, False, "gcd", True, n_vectors=0)
                 return DirectionResult(
                     vectors=frozenset(),
                     n_common=n_common_full,
                     from_memo=True,
                 )
 
-        outcome = self._gcd_outcome(work, key_source, nb_entry)
+        outcome = self._gcd_outcome(work, key_source, nb_entry, qsink)
         if outcome.independent:
             self.stats.gcd_independent += 1
+            if qsink.enabled:
+                self._end_trace(qsink, start, False, "gcd", True, n_vectors=0)
             return DirectionResult(
                 vectors=frozenset(), n_common=n_common_full
             )
@@ -232,13 +334,25 @@ class DependenceAnalyzer:
             )
             self.stats.memo_queries_bounds += 1
             hit, cached = memo.with_bounds.lookup(memo_key)
+            if qsink.enabled:
+                qsink.emit(MemoLookup(table="with_bounds", hit=hit))
             if hit:
                 self.stats.memo_hits_bounds += 1
                 entry: _CachedDirections = cached
+                lifted = self._lift_vectors(
+                    entry.vectors_reduced, surviving, n_common_full
+                )
+                if qsink.enabled:
+                    self._end_trace(
+                        qsink,
+                        start,
+                        bool(lifted),
+                        "memo",
+                        entry.exact,
+                        n_vectors=len(lifted),
+                    )
                 return DirectionResult(
-                    vectors=self._lift_vectors(
-                        entry.vectors_reduced, surviving, n_common_full
-                    ),
+                    vectors=lifted,
                     n_common=n_common_full,
                     exact=entry.exact,
                     from_memo=True,
@@ -250,13 +364,15 @@ class DependenceAnalyzer:
         transformed = outcome.transformed
         assert transformed is not None
         reduced_result = None
+        decided_by = "refinement"
         if options.dimension_by_dimension:
             from repro.core.separable import is_separable, separable_directions
 
             if is_separable(work):
-                reduced_result = separable_directions(self, work)
+                reduced_result = separable_directions(self, work, qsink)
+                decided_by = "separable"
         if reduced_result is None:
-            reduced_result = _refine(self, work, transformed, options)
+            reduced_result = _refine(self, work, transformed, options, qsink)
         result = DirectionResult(
             vectors=self._lift_vectors(
                 reduced_result.vectors, surviving, n_common_full
@@ -274,6 +390,15 @@ class DependenceAnalyzer:
                     exact=reduced_result.exact,
                     reduced_n_common=reduced_result.n_common,
                 ),
+            )
+        if qsink.enabled:
+            self._end_trace(
+                qsink,
+                start,
+                bool(result.vectors),
+                decided_by,
+                result.exact,
+                n_vectors=result.count_elementary(),
             )
         return result
 
@@ -317,7 +442,9 @@ class DependenceAnalyzer:
 
     # -- problem-level pipeline ------------------------------------------------------
 
-    def _analyze_problem(self, problem: DependenceProblem) -> DependenceResult:
+    def _analyze_problem(
+        self, problem: DependenceProblem, qsink: TraceSink = NULL_SINK
+    ) -> DependenceResult:
         work = problem
         surviving = list(range(problem.n_common))
         if self.eliminate_unused:
@@ -345,8 +472,12 @@ class DependenceAnalyzer:
         nb_entry = _MISS
         if memo is not None:
             key_source = work if memo.improved else problem
-            nb_entry = self._nb_lookup(key_source)
+            nb_entry = self._nb_lookup(key_source, qsink)
             if nb_entry is not _MISS and nb_entry.independent:
+                if qsink.enabled:
+                    qsink.emit(
+                        EgcdResolved(independent=True, reused=True, elapsed_ns=0)
+                    )
                 return DependenceResult(
                     dependent=False, decided_by="gcd", from_memo=True
                 )
@@ -354,7 +485,7 @@ class DependenceAnalyzer:
         # Resolve the equalities before touching the with-bounds table:
         # GCD-independent cases never consult it (Table 2's with-bounds
         # totals count only the cases that reach the inequality tests).
-        outcome = self._gcd_outcome(work, key_source, nb_entry)
+        outcome = self._gcd_outcome(work, key_source, nb_entry, qsink)
         if outcome.independent:
             self.stats.gcd_independent += 1
             return DependenceResult(dependent=False, decided_by="gcd")
@@ -364,6 +495,8 @@ class DependenceAnalyzer:
             key_bounds = key_source.key_vector(with_bounds=True)
             self.stats.memo_queries_bounds += 1
             hit, cached = memo.with_bounds.lookup(key_bounds)
+            if qsink.enabled:
+                qsink.emit(MemoLookup(table="with_bounds", hit=hit))
             if hit:
                 self.stats.memo_hits_bounds += 1
                 entry: _CachedVerdict = cached
@@ -380,7 +513,7 @@ class DependenceAnalyzer:
 
         transformed = outcome.transformed
         assert transformed is not None
-        decision = self._decide_system(transformed.system, record=True)
+        decision = self._run_cascade(transformed.system, record=True, sink=qsink)
         verdict = decision.result.verdict
         dependent = verdict in (Verdict.DEPENDENT, Verdict.UNKNOWN)
         distance_reduced = None
@@ -438,13 +571,17 @@ class DependenceAnalyzer:
             return oriented
         return self._lift_distances(problem, surviving, oriented)
 
-    def _nb_lookup(self, key_source: DependenceProblem):
+    def _nb_lookup(
+        self, key_source: DependenceProblem, qsink: TraceSink = NULL_SINK
+    ):
         """Consult the no-bounds table; returns the entry or _MISS."""
         memo = self.memoizer
         assert memo is not None
         key = key_source.key_vector(with_bounds=False)
         self.stats.memo_queries_no_bounds += 1
         hit, cached = memo.no_bounds.lookup(key)
+        if qsink.enabled:
+            qsink.emit(MemoLookup(table="no_bounds", hit=hit))
         if hit:
             self.stats.memo_hits_no_bounds += 1
             return cached
@@ -455,14 +592,38 @@ class DependenceAnalyzer:
         work: DependenceProblem,
         key_source: DependenceProblem | None,
         nb_entry,
+        qsink: TraceSink = NULL_SINK,
     ) -> GcdOutcome:
         """Extended GCD, reusing a cached factorization when available."""
         if nb_entry is not _MISS:
             entry: _GcdCacheEntry = nb_entry
             if entry.independent:
+                if qsink.enabled:
+                    qsink.emit(
+                        EgcdResolved(independent=True, reused=True, elapsed_ns=0)
+                    )
                 return GcdOutcome(independent=True)
-            return self._rebuild_transform(work, entry)
+            start = time.perf_counter_ns() if qsink.enabled else 0
+            rebuilt = self._rebuild_transform(work, entry)
+            if qsink.enabled:
+                qsink.emit(
+                    EgcdResolved(
+                        independent=False,
+                        reused=True,
+                        elapsed_ns=time.perf_counter_ns() - start,
+                    )
+                )
+            return rebuilt
+        start = time.perf_counter_ns() if qsink.enabled else 0
         outcome = gcd_transform(work)
+        if qsink.enabled:
+            qsink.emit(
+                EgcdResolved(
+                    independent=outcome.independent,
+                    reused=False,
+                    elapsed_ns=time.perf_counter_ns() - start,
+                )
+            )
         memo = self.memoizer
         if memo is not None and key_source is not None:
             key = key_source.key_vector(with_bounds=False)
@@ -501,49 +662,48 @@ class DependenceAnalyzer:
 
     # -- the inequality cascade ------------------------------------------------------
 
-    def _decide_system(
-        self, system: ConstraintSystem, record: bool
+    def _run_cascade(
+        self,
+        system: ConstraintSystem,
+        record: bool,
+        sink: TraceSink = NULL_SINK,
     ) -> CascadeDecision:
         """Run SVPC -> Acyclic -> Loop Residue -> Fourier-Motzkin.
 
         Per the paper, the cascade checks applicability cheapest-first
         and applies exactly one test (plus Acyclic's free partial
-        simplification of cyclic systems).
+        simplification of cyclic systems).  Every member speaks the
+        same ``run(system, sink) -> TestResult`` protocol; a member
+        that cannot decide returns NOT_APPLICABLE, optionally carrying
+        a simplified ``residual`` (and the witness-lifting
+        ``completion``) the next member takes instead.
         """
-        if self._svpc.applicable(system):
-            result = self._svpc.decide(system)
-            self._record(result, record)
-            return CascadeDecision(result, result.witness)
-
-        elimination = self._acyclic.eliminate(system)
-        if elimination.verdict is Verdict.INDEPENDENT:
-            result = TestResult(Verdict.INDEPENDENT, self._acyclic.name)
-            self._record(result, record)
-            return CascadeDecision(result, None)
-        if elimination.verdict is Verdict.DEPENDENT:
-            witness = elimination.complete_witness(None)
-            result = TestResult(
-                Verdict.DEPENDENT, self._acyclic.name, witness=witness
-            )
-            self._record(result, record)
-            return CascadeDecision(result, witness)
-
-        residual = elimination.residual
-        assert residual is not None
-        if self._residue.applicable(residual):
-            result = self._residue.decide(residual)
-            self._record(result, record)
-            witness = None
-            if result.verdict is Verdict.DEPENDENT:
-                witness = elimination.complete_witness(result.witness)
-                result = TestResult(result.verdict, result.test_name, witness=witness)
-            return CascadeDecision(result, witness)
-
-        result = self._fm.decide(residual)
+        current = system
+        completions = []
+        result = None
+        for test in self._cascade:
+            result = test.run(current, sink)
+            self.stats.observe_stage_ns(test.name, result.elapsed_ns)
+            if sink.enabled:
+                sink.emit(
+                    CascadeStage(
+                        stage=test.name,
+                        verdict=result.verdict.value,
+                        elapsed_ns=result.elapsed_ns,
+                    )
+                )
+            if result.verdict is not Verdict.NOT_APPLICABLE:
+                break
+            if result.residual is not None:
+                current = result.residual
+                if result.completion is not None:
+                    completions.append(result.completion)
+        assert result is not None  # Fourier-Motzkin always answers
         self._record(result, record)
-        witness = None
-        if result.verdict is Verdict.DEPENDENT:
-            witness = elimination.complete_witness(result.witness)
+        witness = result.witness
+        if witness is not None and completions:
+            for completion in reversed(completions):
+                witness = completion(witness)
             result = TestResult(result.verdict, result.test_name, witness=witness)
         return CascadeDecision(result, witness)
 

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 
 from repro.core.result import DirectionResult
 from repro.deptests.base import Verdict
+from repro.obs.events import DirectionNode
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.system.constraints import LinearConstraint
 from repro.system.depsystem import DependenceProblem, Direction
 from repro.system.transform import TransformedSystem
@@ -56,6 +58,7 @@ def refine_directions(
     problem: DependenceProblem,
     transformed: TransformedSystem,
     options: DirectionOptions,
+    sink: TraceSink = NULL_SINK,
 ) -> DirectionResult:
     """Hierarchical direction-vector refinement over a transformed system.
 
@@ -77,8 +80,11 @@ def refine_directions(
     ]
     refinable = [lvl for lvl in range(n_common) if lvl not in forced]
 
+    if sink.enabled and forced:
+        sink.emit(DirectionNode(vector=tuple(template), action="forced"))
+
     leaves: set[tuple[str, ...]] = set()
-    state = _RefineState(analyzer, problem, transformed)
+    state = _RefineState(analyzer, problem, transformed, sink)
 
     def recurse(vector: list[str], next_refinable: int) -> None:
         verdict, exact = state.test(tuple(vector))
@@ -118,10 +124,11 @@ def lift_vector(
 class _RefineState:
     """Shared bookkeeping for one refinement run."""
 
-    def __init__(self, analyzer, problem, transformed):
+    def __init__(self, analyzer, problem, transformed, sink: TraceSink = NULL_SINK):
         self.analyzer = analyzer
         self.problem = problem
         self.transformed = transformed
+        self.sink = sink
         self.tests = 0
         self.exact = True
         self._cache: dict[tuple[str, ...], tuple[Verdict, bool]] = {}
@@ -129,16 +136,26 @@ class _RefineState:
     def test(self, vector: tuple[str, ...]) -> tuple[Verdict, bool]:
         """Run the cascade under the vector's direction constraints."""
         if vector in self._cache:
+            if self.sink.enabled:
+                self.sink.emit(DirectionNode(vector=vector, action="cached"))
             return self._cache[vector]
         extra: list[LinearConstraint] = []
         for level, direction in enumerate(vector):
             extra.extend(self.problem.direction_constraints(level, direction))
         system = self.transformed.with_extra_constraints(extra)
-        decision = self.analyzer._decide_system(system, record=False)
+        decision = self.analyzer._run_cascade(system, record=False, sink=self.sink)
         result = decision.result
         self.tests += 1
         independent = result.verdict is Verdict.INDEPENDENT
         self.analyzer.stats.record_direction_test(result.test_name, independent)
+        if self.sink.enabled:
+            self.sink.emit(
+                DirectionNode(
+                    vector=vector,
+                    action="tested",
+                    verdict=result.verdict.value,
+                )
+            )
         outcome = (result.verdict, result.exact)
         self._cache[vector] = outcome
         return outcome

@@ -49,6 +49,8 @@ from repro.core.persist import (
 from repro.core.result import DependenceResult, DirectionResult
 from repro.core.stats import AnalyzerStats
 from repro.ir.arrays import ArrayRef
+from repro.obs.events import ConstantScreen, QueryEnd, QueryStart
+from repro.obs.sinks import CollectingSink, TraceSink, merge_event_streams
 from repro.ir.loops import LoopNest
 from repro.ir.program import Program, reference_pairs
 from repro.system.depsystem import build_problem
@@ -198,8 +200,9 @@ def _run_shard(payload):
 
     ``payload`` is ``(reps, warm_blob, opts)`` where ``reps`` is a list
     of ``(rep_index, ref1, nest1, ref2, nest2)`` tuples.  Returns the
-    per-representative answers plus this worker's stats and serialized
-    memo tables for the reduce step.
+    per-representative answers plus this worker's stats, serialized
+    memo tables, and (when tracing) collected trace events for the
+    reduce step.
     """
     reps, warm_blob, opts = payload
     if warm_blob is not None:
@@ -208,10 +211,12 @@ def _run_shard(payload):
         memoizer = Memoizer(
             improved=opts["improved"], symmetry=opts["symmetry"]
         )
+    shard_sink = CollectingSink() if opts.get("trace") else None
     analyzer = DependenceAnalyzer(
         memoizer=memoizer,
         fm_budget=opts["fm_budget"],
         want_witness=opts["want_witness"],
+        sink=shard_sink,
     )
     answers = []
     for rep_index, ref1, nest1, ref2, nest2 in reps:
@@ -226,7 +231,8 @@ def _run_shard(payload):
                     n_common=nest1.common_prefix_depth(nest2),
                 )
         answers.append((rep_index, result, directions))
-    return answers, analyzer.stats, _memo_dumps(memoizer)
+    events = shard_sink.events if shard_sink is not None else []
+    return answers, analyzer.stats, _memo_dumps(memoizer), events
 
 
 def _pool_context():
@@ -247,6 +253,7 @@ def analyze_batch(
     improved: bool = True,
     symmetry: bool = False,
     fm_budget: int = 256,
+    sink: TraceSink | None = None,
 ) -> BatchReport:
     """Analyze a whole batch of dependence queries, sharded over workers.
 
@@ -259,11 +266,19 @@ def analyze_batch(
     :class:`~repro.core.memo.Memoizer` or a path saved by
     :func:`~repro.core.persist.save_memoizer`); its keying scheme must
     match ``improved``/``symmetry``.
+
+    With a ``sink``, every worker collects its queries' trace events
+    and the reduce step replays them into the sink in deterministic
+    round-robin shard order with globally renumbered query ids —
+    sharding never changes the trace (timings aside).
     """
     items = [_as_pair(query) for query in queries]
     n_queries = len(items)
     outcomes: list[PairOutcome | None] = [None] * n_queries
     screen_stats = AnalyzerStats()
+    trace = sink is not None and sink.enabled
+    screen_events: list = []
+    screen_qid = 0
 
     if warm is not None and not isinstance(warm, Memoizer):
         warm = load_memoizer(warm)
@@ -289,6 +304,30 @@ def analyze_batch(
         if constant is not None and not constant.dependent:
             screen_stats.total_queries += 1
             screen_stats.constant_cases += 1
+            if trace:
+                n_common = item.nest1.common_prefix_depth(item.nest2)
+                screen_events.append(
+                    QueryStart(
+                        op="analyze",
+                        ref1=str(item.ref1),
+                        ref2=str(item.ref2),
+                        n_common=n_common,
+                        query_id=screen_qid,
+                    )
+                )
+                screen_events.append(
+                    ConstantScreen(independent=True, query_id=screen_qid)
+                )
+                screen_events.append(
+                    QueryEnd(
+                        dependent=False,
+                        decided_by=constant.decided_by,
+                        exact=True,
+                        elapsed_ns=0,
+                        query_id=screen_qid,
+                    )
+                )
+                screen_qid += 1
             directions = None
             if want_directions:
                 directions = DirectionResult(
@@ -339,6 +378,7 @@ def analyze_batch(
         "fm_budget": fm_budget,
         "want_witness": want_witness,
         "want_directions": want_directions,
+        "trace": trace,
     }
 
     # Stage 3: deterministic round-robin sharding and fan-out.
@@ -360,9 +400,9 @@ def analyze_batch(
     # Stage 4: reduce.  Merge stats and memo tables; fan each
     # representative's answer back out to every query it stands for.
     merged_stats = AnalyzerStats.merged(
-        [screen_stats] + [stats for _, stats, _ in shard_outputs]
+        [screen_stats] + [stats for _, stats, _, _ in shard_outputs]
     )
-    worker_memos = [_memo_loads(blob) for _, _, blob in shard_outputs]
+    worker_memos = [_memo_loads(blob) for _, _, blob, _ in shard_outputs]
     if worker_memos:
         merged_memo = merge_memoizers(worker_memos)
     elif warm is not None:
@@ -370,8 +410,16 @@ def analyze_batch(
     else:
         merged_memo = Memoizer(improved=improved, symmetry=symmetry)
 
+    if trace:
+        # Shards are dealt round-robin and pool.map preserves payload
+        # order, so this replay order is a pure function of the input.
+        streams = [screen_events]
+        streams.extend(events for _, _, _, events in shard_outputs)
+        for event in merge_event_streams(streams):
+            sink.emit(event)
+
     rep_answers: dict[int, tuple[DependenceResult, DirectionResult | None]] = {}
-    for answers, _, _ in shard_outputs:
+    for answers, _, _, _ in shard_outputs:
         for rep_index, result, directions in answers:
             rep_answers[rep_index] = (result, directions)
     for rep_index, positions in enumerate(rep_owners):

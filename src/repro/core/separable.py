@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from repro.core.result import DirectionResult
 from repro.deptests.base import Verdict
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.system.constraints import ConstraintSystem, LinearConstraint
 from repro.system.depsystem import DependenceProblem, Direction
 from repro.system.transform import gcd_transform
@@ -96,7 +97,7 @@ def _level_problem(
 
 
 def separable_directions(
-    analyzer, problem: DependenceProblem
+    analyzer, problem: DependenceProblem, sink: TraceSink = NULL_SINK
 ) -> DirectionResult:
     """Per-level direction sets, combined as a Cartesian product.
 
@@ -127,7 +128,7 @@ def separable_directions(
         for direction in Direction.ALL:
             extra = sub.direction_constraints(0, direction)
             system = outcome.transformed.with_extra_constraints(extra)
-            decision = analyzer._decide_system(system, record=False)
+            decision = analyzer._run_cascade(system, record=False, sink=sink)
             tests += 1
             independent = decision.result.verdict is Verdict.INDEPENDENT
             analyzer.stats.record_direction_test(

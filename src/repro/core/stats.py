@@ -5,41 +5,89 @@ cases each test decided (Table 1), how memoization collapses repeats
 (Tables 2-3), how many test invocations direction vectors cost
 (Tables 4-5, 7), and per-test independent/dependent outcome splits
 (section 7's discussion numbers).
+
+Since the observability layer landed, :class:`AnalyzerStats` is itself
+a *view* over a :class:`repro.obs.metrics.MetricsRegistry`: every
+attribute reads and writes a named registry entry, so the registry is
+the single source of truth, ``merged()`` folds registries, and cascade
+stage timings (histograms) ride along with the counters through the
+batch engine's map-reduce shard merge.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["AnalyzerStats", "TEST_ORDER"]
 
-# Canonical column order used by the tables.
+# Canonical column order used by the tables.  Extra (future) test names
+# still merge and still appear in *_counts(); the tables pick their
+# columns at render time.
 TEST_ORDER = ("svpc", "acyclic", "loop_residue", "fourier_motzkin")
 
 
-@dataclass
+def _scalar(name: str, doc: str) -> property:
+    def fget(self: "AnalyzerStats") -> int:
+        return self.registry.get(name)
+
+    def fset(self: "AnalyzerStats", value: int) -> None:
+        self.registry.put(name, value)
+
+    return property(fget, fset, doc=doc)
+
+
+def _family(name: str, doc: str) -> property:
+    def fget(self: "AnalyzerStats") -> Counter:
+        return self.registry.family(name)
+
+    return property(fget, doc=doc)
+
+
 class AnalyzerStats:
-    """Mutable counters accumulated by one analyzer run."""
+    """Mutable counters accumulated by one analyzer run.
+
+    A thin view: all state lives in :attr:`registry`.  The attribute
+    API (``stats.total_queries += 1``, ``stats.decided_by["svpc"]``)
+    is unchanged from the pre-registry dataclass.
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     # -- plain dependence queries (Tables 1 and 3) -------------------------
-    total_queries: int = 0
-    constant_cases: int = 0
-    gcd_independent: int = 0
-    decided_by: Counter = field(default_factory=Counter)
+    total_queries = _scalar("queries.total", "Dependence queries received.")
+    constant_cases = _scalar("queries.constant", "Constant fast-path cases.")
+    gcd_independent = _scalar(
+        "queries.gcd_independent", "Queries Extended GCD proved independent."
+    )
+    decided_by = _family("tests.decided_by", "Cascade test -> queries decided.")
 
     # -- memoization (Tables 2 and 3) ----------------------------------------
-    memo_queries_no_bounds: int = 0
-    memo_hits_no_bounds: int = 0
-    memo_queries_bounds: int = 0
-    memo_hits_bounds: int = 0
+    memo_queries_no_bounds = _scalar(
+        "memo.no_bounds.queries", "No-bounds memo probes."
+    )
+    memo_hits_no_bounds = _scalar("memo.no_bounds.hits", "No-bounds memo hits.")
+    memo_queries_bounds = _scalar(
+        "memo.bounds.queries", "With-bounds memo probes."
+    )
+    memo_hits_bounds = _scalar("memo.bounds.hits", "With-bounds memo hits.")
 
     # -- direction vectors (Tables 4, 5 and 7) ---------------------------------
-    direction_tests: Counter = field(default_factory=Counter)
-    direction_vectors_found: int = 0
+    direction_tests = _family(
+        "tests.direction", "Cascade test -> direction-refinement invocations."
+    )
+    direction_vectors_found = _scalar(
+        "directions.vectors_found", "Direction vectors reported."
+    )
 
     # -- per-test outcomes (section 7 discussion) --------------------------------
-    outcomes: Counter = field(default_factory=Counter)  # (test, "independent"/"dependent")
+    outcomes = _family(
+        "tests.outcomes", '(test, "independent"/"dependent") -> count.'
+    )
 
     def record_decision(self, test_name: str, independent: bool) -> None:
         self.decided_by[test_name] += 1
@@ -48,6 +96,10 @@ class AnalyzerStats:
     def record_direction_test(self, test_name: str, independent: bool) -> None:
         self.direction_tests[test_name] += 1
         self.outcomes[(test_name, "independent" if independent else "dependent")] += 1
+
+    def observe_stage_ns(self, test_name: str, elapsed_ns: int) -> None:
+        """Attribute one cascade stage's wall time to its test's timer."""
+        self.registry.observe(f"time.cascade.{test_name}", elapsed_ns)
 
     @property
     def unique_cases_no_bounds(self) -> int:
@@ -63,7 +115,8 @@ class AnalyzerStats:
 
         Every counter is a sum, so the fold is associative and
         order-independent — sharded runs merge to the same totals no
-        matter how the work was split.
+        matter how the work was split.  All keys of every family are
+        kept, including test names outside ``TEST_ORDER``.
         """
         total = cls()
         for run in runs:
@@ -71,22 +124,32 @@ class AnalyzerStats:
         return total
 
     def merge(self, other: "AnalyzerStats") -> None:
-        """Accumulate another run's counters into this one."""
-        self.total_queries += other.total_queries
-        self.constant_cases += other.constant_cases
-        self.gcd_independent += other.gcd_independent
-        self.decided_by.update(other.decided_by)
-        self.memo_queries_no_bounds += other.memo_queries_no_bounds
-        self.memo_hits_no_bounds += other.memo_hits_no_bounds
-        self.memo_queries_bounds += other.memo_queries_bounds
-        self.memo_hits_bounds += other.memo_hits_bounds
-        self.direction_tests.update(other.direction_tests)
-        self.direction_vectors_found += other.direction_vectors_found
-        self.outcomes.update(other.outcomes)
+        """Accumulate another run's registry into this one."""
+        self.registry.merge(other.registry)
+
+    def _ordered_counts(self, counter: Counter) -> dict[str, int]:
+        counts = {name: counter.get(name, 0) for name in TEST_ORDER}
+        for name in sorted(counter):
+            if name not in counts:
+                counts[name] = counter[name]
+        return counts
 
     def test_counts(self) -> dict[str, int]:
-        """Plain-query decision counts in table column order."""
-        return {name: self.decided_by.get(name, 0) for name in TEST_ORDER}
+        """Plain-query decision counts, table column order first.
+
+        Keys beyond ``TEST_ORDER`` follow in sorted order — nothing is
+        dropped; renderers select the columns they print.
+        """
+        return self._ordered_counts(self.decided_by)
 
     def direction_test_counts(self) -> dict[str, int]:
-        return {name: self.direction_tests.get(name, 0) for name in TEST_ORDER}
+        return self._ordered_counts(self.direction_tests)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AnalyzerStats):
+            return NotImplemented
+        return self.registry == other.registry
+
+    def __repr__(self) -> str:
+        snapshot = self.registry.counter_snapshot()
+        return f"AnalyzerStats({snapshot['scalars']!r}, {snapshot['families']!r})"

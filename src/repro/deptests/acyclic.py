@@ -26,8 +26,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.deptests.base import TestResult, Verdict
+from repro.deptests.base import CascadeTest, TestResult, Verdict
 from repro.linalg.gcdext import floor_div
+from repro.obs.sinks import TraceSink
 from repro.system.constraints import (
     NEG_INF,
     POS_INF,
@@ -141,7 +142,7 @@ class AcyclicElimination:
         return tuple(values)
 
 
-class AcyclicTest:
+class AcyclicTest(CascadeTest):
     """Acyclic constraint-graph test — exact when the graph has no cycle."""
 
     name = "acyclic"
@@ -226,11 +227,17 @@ class AcyclicTest:
                 return var, False
         return None
 
-    def decide(self, system: ConstraintSystem) -> TestResult:
+    def _decide(self, system: ConstraintSystem, sink: TraceSink) -> TestResult:
         elimination = self.eliminate(system)
         if elimination.verdict is Verdict.INDEPENDENT:
             return TestResult(Verdict.INDEPENDENT, self.name)
         if elimination.verdict is Verdict.DEPENDENT:
             witness = elimination.complete_witness(None)
             return TestResult(Verdict.DEPENDENT, self.name, witness=witness)
-        return TestResult(Verdict.NOT_APPLICABLE, self.name)
+        # Cycle: hand the simplified system and the witness lift forward.
+        return TestResult(
+            Verdict.NOT_APPLICABLE,
+            self.name,
+            residual=elimination.residual,
+            completion=elimination.complete_witness,
+        )

@@ -9,18 +9,31 @@ branch-and-bound budget — returns UNKNOWN.
 
 All tests share the same input form (the paper lists this as a design
 criterion for choosing the suite), so the cascade never converts data
-between representations.
+between representations.  They also share one *calling* form: every
+test is invoked as ``test.run(system, sink)`` and every result carries
+the same provenance fields (``name``, ``exact``, ``elapsed_ns``), so
+the analyzer's cascade is a plain loop with no per-test special cases.
+A NOT_APPLICABLE result may still carry work forward: the Acyclic test
+hands its partially-eliminated ``residual`` system and a ``completion``
+callback (lifting a residual witness over the eliminated variables) to
+whichever later test finishes the job.
+
+The pre-observability entry point ``test.decide(system)`` survives as
+a deprecation shim on :class:`CascadeTest`.
 """
 
 from __future__ import annotations
 
 import enum
+import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Callable, Protocol
 
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.system.constraints import ConstraintSystem
 
-__all__ = ["Verdict", "TestResult", "DependenceTest"]
+__all__ = ["Verdict", "TestResult", "CascadeTest", "DependenceTest"]
 
 
 class Verdict(enum.Enum):
@@ -48,16 +61,68 @@ class TestResult:
         exact: False only for an UNKNOWN forced out of Fourier-Motzkin
             by the branch-and-bound budget; such answers are treated as
             dependent but flagged.
+        elapsed_ns: wall time :meth:`CascadeTest.run` spent producing
+            this result.
+        residual: for a NOT_APPLICABLE that made partial progress (the
+            Acyclic test hitting a cycle), the simplified system the
+            next cascade stage should decide instead of the original.
+        completion: paired with ``residual`` — lifts a witness for the
+            residual system into one for the original system.
     """
 
     verdict: Verdict
     test_name: str
     witness: tuple[int, ...] | None = None
     exact: bool = True
+    elapsed_ns: int = 0
+    residual: ConstraintSystem | None = None
+    completion: Callable[[tuple[int, ...] | None], tuple[int, ...]] | None = None
 
     def __post_init__(self) -> None:
         if self.verdict is Verdict.DEPENDENT and self.witness is None:
             raise ValueError("DEPENDENT results must carry a witness")
+
+    @property
+    def name(self) -> str:
+        """Uniform provenance alias for ``test_name``."""
+        return self.test_name
+
+
+class CascadeTest:
+    """Base class giving every dependence test one uniform entry point.
+
+    Subclasses implement ``_decide(system, sink)`` (returning
+    NOT_APPLICABLE themselves when they cannot handle the system) and
+    inherit ``run``, which times the attempt and stamps ``elapsed_ns``.
+    """
+
+    name = "cascade-test"
+
+    def applicable(self, system: ConstraintSystem) -> bool:
+        """Cheap structural check: can this test decide ``system`` exactly?"""
+        raise NotImplementedError
+
+    def _decide(self, system: ConstraintSystem, sink: TraceSink) -> TestResult:
+        raise NotImplementedError
+
+    def run(
+        self, system: ConstraintSystem, sink: TraceSink | None = None
+    ) -> TestResult:
+        """Attempt the system; the result carries uniform provenance."""
+        start = time.perf_counter_ns()
+        result = self._decide(system, sink if sink is not None else NULL_SINK)
+        result.elapsed_ns = time.perf_counter_ns() - start
+        return result
+
+    def decide(self, system: ConstraintSystem) -> TestResult:
+        """Deprecated pre-observability entry point; use :meth:`run`."""
+        warnings.warn(
+            f"{type(self).__name__}.decide() is deprecated; "
+            "use run(system, sink=None)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(system)
 
 
 class DependenceTest(Protocol):
@@ -69,7 +134,9 @@ class DependenceTest(Protocol):
         """Cheap structural check: can this test decide ``system`` exactly?"""
         ...
 
-    def decide(self, system: ConstraintSystem) -> TestResult:
+    def run(
+        self, system: ConstraintSystem, sink: TraceSink | None = None
+    ) -> TestResult:
         """Decide the system, or report NOT_APPLICABLE."""
         ...
 

@@ -32,7 +32,9 @@ import math
 from dataclasses import dataclass
 from fractions import Fraction
 
-from repro.deptests.base import TestResult, Verdict
+from repro.deptests.base import CascadeTest, TestResult, Verdict
+from repro.obs.events import FmBranch, FmSample
+from repro.obs.sinks import NULL_SINK, TraceSink
 from repro.system.constraints import ConstraintSystem, LinearConstraint
 
 __all__ = ["FourierMotzkinTest"]
@@ -50,7 +52,7 @@ class _Elimination:
     uppers: list[LinearConstraint]  # coeff of var > 0: var <= .../...
 
 
-class FourierMotzkinTest:
+class FourierMotzkinTest(CascadeTest):
     """Exact real elimination + integer heuristics + branch-and-bound."""
 
     name = "fourier_motzkin"
@@ -61,10 +63,10 @@ class FourierMotzkinTest:
     def applicable(self, system: ConstraintSystem) -> bool:
         return True
 
-    def decide(self, system: ConstraintSystem) -> TestResult:
+    def _decide(self, system: ConstraintSystem, sink: TraceSink) -> TestResult:
         budget = [self.max_branch_nodes]
         verdict, witness = self._solve(
-            list(system.constraints), system.n_vars, budget
+            list(system.constraints), system.n_vars, budget, sink
         )
         if verdict is Verdict.DEPENDENT:
             return TestResult(verdict, self.name, witness=witness)
@@ -79,6 +81,8 @@ class FourierMotzkinTest:
         constraints: list[LinearConstraint],
         n_vars: int,
         budget: list[int],
+        sink: TraceSink = NULL_SINK,
+        depth: int = 0,
     ) -> tuple[Verdict, tuple[int, ...] | None]:
         eliminations, infeasible = self._eliminate_all(constraints, n_vars)
         if infeasible:
@@ -93,11 +97,19 @@ class FourierMotzkinTest:
             if int_lo > int_hi:
                 if self._bounds_are_constant(step, assigned_order):
                     # No integer in a constant range: exactly independent.
+                    if sink.enabled:
+                        sink.emit(
+                            FmSample(var=step.var, outcome="empty_constant_range")
+                        )
                     return Verdict.INDEPENDENT, None
                 return self._branch(
-                    constraints, n_vars, step.var, lo, hi, budget
+                    constraints, n_vars, step.var, lo, hi, budget, sink, depth
                 )
             mid = _middle(lo, hi, int_lo, int_hi)
+            if sink.enabled:
+                sink.emit(
+                    FmSample(var=step.var, outcome="integer_picked", value=mid)
+                )
             values[step.var] = mid
             assigned_order.append(step.var)
 
@@ -200,6 +212,8 @@ class FourierMotzkinTest:
         lo: Fraction,
         hi: Fraction,
         budget: list[int],
+        sink: TraceSink = NULL_SINK,
+        depth: int = 0,
     ) -> tuple[Verdict, tuple[int, ...] | None]:
         """Branch-and-bound on a variable whose range holds no integer."""
         if budget[0] <= 0:
@@ -207,12 +221,23 @@ class FourierMotzkinTest:
         budget[0] -= 1
         split = (lo + hi) / 2
         floor_val = math.floor(split)
+        if sink.enabled:
+            sink.emit(
+                FmBranch(
+                    var=var,
+                    depth=depth,
+                    split_floor=floor_val,
+                    budget_left=budget[0],
+                )
+            )
         unknown_seen = False
         for extra in (
             _upper_bound_constraint(n_vars, var, floor_val),
             _lower_bound_constraint(n_vars, var, floor_val + 1),
         ):
-            verdict, witness = self._solve(constraints + [extra], n_vars, budget)
+            verdict, witness = self._solve(
+                constraints + [extra], n_vars, budget, sink, depth + 1
+            )
             if verdict is Verdict.DEPENDENT:
                 return verdict, witness
             if verdict is Verdict.UNKNOWN:

@@ -8,6 +8,7 @@ statistics machinery can count "GCD returned independent" cases
 
 from __future__ import annotations
 
+from repro.obs.sinks import TraceSink
 from repro.system.depsystem import DependenceProblem
 from repro.system.transform import GcdOutcome, gcd_transform
 
@@ -19,5 +20,7 @@ class ExtendedGcdTest:
 
     name = "gcd"
 
-    def run(self, problem: DependenceProblem) -> GcdOutcome:
+    def run(
+        self, problem: DependenceProblem, sink: TraceSink | None = None
+    ) -> GcdOutcome:
         return gcd_transform(problem)

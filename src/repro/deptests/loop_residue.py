@@ -22,8 +22,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.deptests.base import TestResult, Verdict
+from repro.deptests.base import CascadeTest, TestResult, Verdict
 from repro.linalg.gcdext import floor_div
+from repro.obs.sinks import TraceSink
 from repro.system.constraints import ConstraintSystem, LinearConstraint
 
 __all__ = ["LoopResidueTest", "ResidueGraph", "build_residue_graph"]
@@ -89,7 +90,7 @@ def build_residue_graph(system: ConstraintSystem) -> ResidueGraph | None:
     return ResidueGraph(system.n_vars, arcs)
 
 
-class LoopResidueTest:
+class LoopResidueTest(CascadeTest):
     """Exact negative-cycle test for (scaled) difference constraints."""
 
     name = "loop_residue"
@@ -97,7 +98,7 @@ class LoopResidueTest:
     def applicable(self, system: ConstraintSystem) -> bool:
         return build_residue_graph(system) is not None
 
-    def decide(self, system: ConstraintSystem) -> TestResult:
+    def _decide(self, system: ConstraintSystem, sink: TraceSink) -> TestResult:
         graph = build_residue_graph(system)
         if graph is None:
             return TestResult(Verdict.NOT_APPLICABLE, self.name)

@@ -15,13 +15,14 @@ subscript patterns.  It decides the overwhelming majority of real cases
 
 from __future__ import annotations
 
-from repro.deptests.base import TestResult, Verdict
+from repro.deptests.base import CascadeTest, TestResult, Verdict
+from repro.obs.sinks import TraceSink
 from repro.system.constraints import ConstraintSystem
 
 __all__ = ["SvpcTest"]
 
 
-class SvpcTest:
+class SvpcTest(CascadeTest):
     """Single Variable Per Constraint — the cheapest exact test."""
 
     name = "svpc"
@@ -29,7 +30,7 @@ class SvpcTest:
     def applicable(self, system: ConstraintSystem) -> bool:
         return system.max_vars_per_constraint() <= 1
 
-    def decide(self, system: ConstraintSystem) -> TestResult:
+    def _decide(self, system: ConstraintSystem, sink: TraceSink) -> TestResult:
         if not self.applicable(system):
             return TestResult(Verdict.NOT_APPLICABLE, self.name)
         if system.has_contradiction():

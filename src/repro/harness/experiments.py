@@ -23,16 +23,19 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.api import AnalysisConfig, AnalysisSession
 from repro.baselines import BaselineAnalyzer
-from repro.core.analyzer import DependenceAnalyzer
 from repro.core.memo import Memoizer
 from repro.core.stats import TEST_ORDER, AnalyzerStats
 from repro.harness.tables import render_table
+from repro.obs.metrics import MetricsRegistry
 from repro.perfect.programs import PROGRAM_SPECS
 from repro.perfect.suite import SuiteProgram, load_suite
 
 __all__ = [
     "TableResult",
+    "collect_table1",
+    "render_table1",
     "run_table1",
     "run_table2",
     "run_table3",
@@ -84,26 +87,47 @@ def _suite(include_symbolic: bool = False, scale: float = 1.0):
 
 
 def _run_plain(program: SuiteProgram, memoizer: Memoizer | None) -> AnalyzerStats:
-    analyzer = DependenceAnalyzer(memoizer=memoizer, want_witness=False)
+    session = AnalysisSession(
+        AnalysisConfig(memo=memoizer is not None, want_witness=False),
+        memoizer=memoizer,
+    )
     for query in program.queries:
-        analyzer.analyze(query.ref1, query.nest1, query.ref2, query.nest2)
-    return analyzer.stats
+        session.analyze(query.ref1, query.nest1, query.ref2, query.nest2)
+    return session.stats
 
 
-def run_table1(scale: float = 1.0) -> TableResult:
-    """Table 1: how many times each test decided a case, per program."""
+def collect_table1(
+    scale: float = 1.0,
+) -> list[tuple[str, int, MetricsRegistry]]:
+    """Table 1's raw material: one metrics registry per program.
+
+    Registries round-trip through ``to_dict``/``from_dict``, so the
+    rendered table regenerates bit-identically from serialized metrics
+    (no re-analysis needed).
+    """
+    collected: list[tuple[str, int, MetricsRegistry]] = []
+    for program in _suite(scale=scale):
+        stats = _run_plain(program, memoizer=None)
+        collected.append((program.name, program.lines, stats.registry))
+    return collected
+
+
+def render_table1(
+    collected: list[tuple[str, int, MetricsRegistry]],
+) -> TableResult:
+    """Render Table 1 from collected registries; pure, no analysis."""
     headers = [
         "Program", "#Lines", "Constant", "GCD",
         "SVPC", "Acyclic", "Loop Residue", "Fourier-Motzkin",
     ]
     rows: list[list[object]] = []
     totals = [0] * 6
-    for program in _suite(scale=scale):
-        stats = _run_plain(program, memoizer=None)
+    for name, lines, registry in collected:
+        stats = AnalyzerStats(registry)
         counts = stats.test_counts()
         row = [
-            program.name,
-            program.lines,
+            name,
+            lines,
             stats.constant_cases,
             stats.gcd_independent,
             counts["svpc"],
@@ -124,6 +148,11 @@ def run_table1(scale: float = 1.0) -> TableResult:
     return TableResult("table1", headers, rows, text)
 
 
+def run_table1(scale: float = 1.0) -> TableResult:
+    """Table 1: how many times each test decided a case, per program."""
+    return render_table1(collect_table1(scale=scale))
+
+
 def run_table2(scale: float = 1.0) -> TableResult:
     """Table 2: % unique cases under memoization, simple vs improved."""
     headers = [
@@ -137,13 +166,16 @@ def run_table2(scale: float = 1.0) -> TableResult:
         cells: dict[str, float] = {}
         for improved in (False, True):
             memo = Memoizer(improved=improved)
-            analyzer = DependenceAnalyzer(
+            session = AnalysisSession(
+                AnalysisConfig(
+                    improved=improved,
+                    want_witness=False,
+                    eliminate_unused=improved,
+                ),
                 memoizer=memo,
-                want_witness=False,
-                eliminate_unused=improved,
             )
             for query in program.queries:
-                analyzer.analyze(query.ref1, query.nest1, query.ref2, query.nest2)
+                session.analyze(query.ref1, query.nest1, query.ref2, query.nest2)
             label = "improved" if improved else "simple"
             cells[f"nb_total_{label}"] = memo.no_bounds.stats.queries
             cells[f"nb_unique_{label}"] = memo.no_bounds.stats.unique
@@ -229,14 +261,11 @@ def _run_directions(
     prune: bool,
     include_symbolic_stats: bool = False,
 ) -> AnalyzerStats:
-    memo = Memoizer(improved=True)
-    analyzer = DependenceAnalyzer(
-        memoizer=memo,
-        want_witness=False,
-        eliminate_unused=prune,
+    session = AnalysisSession(
+        AnalysisConfig(want_witness=False, eliminate_unused=prune)
     )
     for query in program.queries:
-        analyzer.directions(
+        session.directions(
             query.ref1,
             query.nest1,
             query.ref2,
@@ -244,7 +273,7 @@ def _run_directions(
             prune_unused=prune,
             prune_distance=prune,
         )
-    return analyzer.stats
+    return session.stats
 
 
 def _direction_table(
@@ -391,9 +420,7 @@ def run_outcomes(scale: float = 1.0) -> TableResult:
 
 def run_baseline_comparison(scale: float = 1.0) -> TableResult:
     """Section 7: inexact GCD+Banerjee baseline vs the exact cascade."""
-    exact_analyzer = DependenceAnalyzer(
-        memoizer=Memoizer(improved=True), want_witness=False
-    )
+    exact_session = AnalysisSession(AnalysisConfig(want_witness=False))
     baseline = BaselineAnalyzer()
     seen: set[tuple] = set()
     independent_exact = 0
@@ -413,24 +440,24 @@ def run_baseline_comparison(scale: float = 1.0) -> TableResult:
             seen.add(key)
             if query.bucket == "constant":
                 continue
-            exact = exact_analyzer.analyze(
+            exact = exact_session.analyze(
                 query.ref1, query.nest1, query.ref2, query.nest2
             )
             base_dep = baseline.analyze(
                 query.ref1, query.nest1, query.ref2, query.nest2
             )
-            if exact.independent:
+            if not exact.dependent:
                 independent_exact += 1
                 if not base_dep:
                     independent_baseline += 1
             if exact.dependent or not base_dep:
-                ex_dirs = exact_analyzer.directions(
+                ex_dirs = exact_session.directions(
                     query.ref1, query.nest1, query.ref2, query.nest2
                 )
                 base_dirs = baseline.directions(
                     query.ref1, query.nest1, query.ref2, query.nest2
                 )
-                vectors_exact += len(ex_dirs.vectors)
+                vectors_exact += len(ex_dirs.directions)
                 vectors_baseline += len(base_dirs.vectors)
     missed = independent_exact - independent_baseline
     miss_pct = _pct(missed, independent_exact)

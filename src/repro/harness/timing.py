@@ -69,7 +69,7 @@ def time_tests(repeats: int = 200) -> list[TestTiming]:
         start = time.perf_counter()
         for _ in range(repeats):
             for system in systems:
-                test.decide(system)
+                test.run(system)
         elapsed = time.perf_counter() - start
         measured[name] = 1e6 * elapsed / (repeats * len(systems))
     base = measured["svpc"] or 1.0

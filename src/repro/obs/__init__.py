@@ -1,0 +1,73 @@
+"""repro.obs — the cascade observability layer.
+
+Three pieces, all optional and all zero-cost when unused:
+
+* :mod:`repro.obs.events` — typed trace events covering every decision
+  point of a dependence query (constant screen, memo probes, Extended
+  GCD, each cascade stage with its verdict and elapsed nanoseconds,
+  Fourier-Motzkin branch-and-bound, direction-refinement tree nodes),
+  plus a JSONL exporter/importer.
+* :mod:`repro.obs.sinks` — the pluggable :class:`TraceSink` protocol
+  with a null sink (the default: a single predicate check per decision
+  point), a collecting sink, and a streaming JSONL sink; per-shard
+  event streams merge deterministically via
+  :func:`merge_event_streams`.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  labeled counter families and histograms/timers.
+  :class:`repro.core.stats.AnalyzerStats` is a view over one of these,
+  so every harness table is (transitively) a view over the registry
+  and sharded registries merge with the same map-reduce fold.
+"""
+
+from repro.obs.events import (
+    CascadeStage,
+    ConstantScreen,
+    DirectionNode,
+    EgcdResolved,
+    FmBranch,
+    FmSample,
+    MemoLookup,
+    QueryEnd,
+    QueryStart,
+    event_from_dict,
+    event_to_dict,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.render import format_trace
+from repro.obs.sinks import (
+    NULL_SINK,
+    CollectingSink,
+    NullSink,
+    QueryScopedSink,
+    StreamingSink,
+    TraceSink,
+    merge_event_streams,
+)
+
+__all__ = [
+    "QueryStart",
+    "ConstantScreen",
+    "MemoLookup",
+    "EgcdResolved",
+    "CascadeStage",
+    "FmBranch",
+    "FmSample",
+    "DirectionNode",
+    "QueryEnd",
+    "event_to_dict",
+    "event_from_dict",
+    "write_jsonl",
+    "read_jsonl",
+    "TraceSink",
+    "NullSink",
+    "NULL_SINK",
+    "CollectingSink",
+    "StreamingSink",
+    "QueryScopedSink",
+    "merge_event_streams",
+    "MetricsRegistry",
+    "Histogram",
+    "format_trace",
+]

@@ -1,0 +1,256 @@
+"""The metrics registry: counters, labeled families, histograms/timers.
+
+One :class:`MetricsRegistry` holds everything a run measures:
+
+* **scalar counters** — plain named integers (``queries.total``);
+* **families** — :class:`collections.Counter` keyed by label, for
+  per-test breakdowns (``tests.decided_by``) where the label set is
+  open-ended (the merge keeps *every* key, known or not — column
+  selection is the table renderer's job, not the registry's);
+* **histograms** — count/total/min/max aggregates, used both for value
+  distributions and as monotonic timers (observations in nanoseconds
+  from ``time.perf_counter_ns``).
+
+Merging is associative and order-independent across all three kinds,
+so sharded registries fold exactly like the analyzer stats they back
+(:class:`repro.core.stats.AnalyzerStats` is a view over a registry).
+``counter_snapshot`` deliberately excludes histograms: counters are
+bit-deterministic across shardings, wall times are not.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+
+class Histogram:
+    """Count/total/min/max aggregate of observed values (e.g. ns)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(
+        self,
+        count: int = 0,
+        total: int = 0,
+        min_value: int | None = None,
+        max_value: int | None = None,
+    ):
+        self.count = count
+        self.total = total
+        self.min = min_value
+        self.max = max_value
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        return cls(
+            count=payload["count"],
+            total=payload["total"],
+            min_value=payload["min"],
+            max_value=payload["max"],
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self.total == other.total
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, total={self.total}, "
+            f"min={self.min}, max={self.max})"
+        )
+
+
+class MetricsRegistry:
+    """Counters, labeled counter families and histograms under one roof."""
+
+    __slots__ = ("scalars", "families", "histograms")
+
+    def __init__(self) -> None:
+        self.scalars: dict[str, int] = {}
+        self.families: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- scalar counters ---------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.scalars[name] = self.scalars.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.scalars.get(name, 0)
+
+    def put(self, name: str, value: int) -> None:
+        self.scalars[name] = value
+
+    # -- labeled families --------------------------------------------------
+
+    def family(self, name: str) -> Counter:
+        """The live Counter for a label family (created on demand)."""
+        counter = self.families.get(name)
+        if counter is None:
+            counter = Counter()
+            self.families[name] = counter
+        return counter
+
+    # -- histograms / timers -----------------------------------------------
+
+    def histogram(self, name: str) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram()
+            self.histograms[name] = hist
+        return hist
+
+    def observe(self, name: str, value: int) -> None:
+        self.histogram(name).observe(value)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Monotonic timer: records elapsed ns into the named histogram."""
+        start = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter_ns() - start)
+
+    # -- map-reduce fold ---------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Accumulate another registry; keeps every key of both sides."""
+        for name, value in other.scalars.items():
+            self.scalars[name] = self.scalars.get(name, 0) + value
+        for name, counter in other.families.items():
+            self.family(name).update(counter)
+        for name, hist in other.histograms.items():
+            self.histogram(name).merge(hist)
+
+    # -- snapshots & serialization ----------------------------------------
+
+    def counter_snapshot(self) -> dict[str, dict]:
+        """The deterministic part: scalars + families, zeros dropped.
+
+        Family keys are flattened to strings (tuple labels join on
+        ``"|"``) so snapshots compare and serialize cleanly.  Histograms
+        are excluded on purpose — wall-clock observations differ run to
+        run even when the computation is identical.
+        """
+        scalars = {k: v for k, v in self.scalars.items() if v}
+        families = {}
+        for name, counter in self.families.items():
+            flat = {
+                _flat_key(key): value for key, value in counter.items() if value
+            }
+            if flat:
+                families[name] = flat
+        return {"scalars": scalars, "families": families}
+
+    def to_dict(self) -> dict:
+        """Full JSON-safe dump (``repro stats --json`` and round trips)."""
+        out = self.counter_snapshot()
+        out["histograms"] = {
+            name: hist.to_dict()
+            for name, hist in sorted(self.histograms.items())
+            if hist.count
+        }
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsRegistry":
+        registry = cls()
+        registry.scalars.update(payload.get("scalars", {}))
+        for name, flat in payload.get("families", {}).items():
+            counter = registry.family(name)
+            for key, value in flat.items():
+                counter[_unflat_key(key)] = value
+        for name, hist in payload.get("histograms", {}).items():
+            registry.histograms[name] = Histogram.from_dict(hist)
+        return registry
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        if self.counter_snapshot() != other.counter_snapshot():
+            return False
+        mine = {k: h for k, h in self.histograms.items() if h.count}
+        theirs = {k: h for k, h in other.histograms.items() if h.count}
+        return mine == theirs
+
+    def render(self) -> str:
+        """Sorted plain-text dump (the ``repro stats`` default output)."""
+        lines: list[str] = []
+        snapshot = self.counter_snapshot()
+        for name in sorted(snapshot["scalars"]):
+            lines.append(f"{name:<40s} {snapshot['scalars'][name]:>12,}")
+        for family in sorted(snapshot["families"]):
+            for key in sorted(snapshot["families"][family]):
+                label = f"{family}[{key}]"
+                lines.append(f"{label:<40s} {snapshot['families'][family][key]:>12,}")
+        timed = [
+            (name, hist)
+            for name, hist in sorted(self.histograms.items())
+            if hist.count
+        ]
+        if timed:
+            lines.append("")
+            lines.append(
+                f"{'timer':<28s} {'count':>9s} {'total_ms':>10s} "
+                f"{'mean_us':>9s} {'max_us':>9s}"
+            )
+            for name, hist in timed:
+                lines.append(
+                    f"{name:<28s} {hist.count:>9,} "
+                    f"{hist.total / 1e6:>10.2f} "
+                    f"{hist.mean / 1e3:>9.1f} "
+                    f"{(hist.max or 0) / 1e3:>9.1f}"
+                )
+        return "\n".join(lines)
+
+
+def _flat_key(key: Any) -> str:
+    if isinstance(key, tuple):
+        return "|".join(str(part) for part in key)
+    return str(key)
+
+
+def _unflat_key(key: str) -> Any:
+    if "|" in key:
+        return tuple(key.split("|"))
+    return key

@@ -60,7 +60,7 @@ class TestDecisions:
             ([0, 0, 1], 10),
             ([0, 0, -1], -1),
         )
-        result = AcyclicTest().decide(system)
+        result = AcyclicTest().run(system)
         assert result.verdict is Verdict.DEPENDENT
         assert system.evaluate(result.witness)
 
@@ -72,7 +72,7 @@ class TestDecisions:
             ([1, -1], 0),
             ([0, 1], 3),
         )
-        result = AcyclicTest().decide(system)
+        result = AcyclicTest().run(system)
         assert result.verdict is Verdict.INDEPENDENT
 
     def test_deferred_unbounded_variable(self):
@@ -80,20 +80,20 @@ class TestDecisions:
         # No: t0 <= t1 bounds t0 above through t1... t1 only appears with
         # negative sign so it may float high: always satisfiable.
         system = _system(2, ([1, -1], 0), ([-1, 0], -1), ([1, 0], 10))
-        result = AcyclicTest().decide(system)
+        result = AcyclicTest().run(system)
         assert result.verdict is Verdict.DEPENDENT
         assert system.evaluate(result.witness)
 
     def test_deferred_low_variable(self):
         # t0 only bounded above (by t1 and constant); no lower bound.
         system = _system(2, ([1, -1], -3), ([0, 1], 4), ([0, -1], 0))
-        result = AcyclicTest().decide(system)
+        result = AcyclicTest().run(system)
         assert result.verdict is Verdict.DEPENDENT
         assert system.evaluate(result.witness)
 
     def test_cycle_reports_not_applicable(self):
         system = _system(2, ([1, -1], -1), ([-1, 1], -1))
-        result = AcyclicTest().decide(system)
+        result = AcyclicTest().run(system)
         assert result.verdict is Verdict.NOT_APPLICABLE
 
     def test_partial_elimination_residual(self):
@@ -135,7 +135,7 @@ class TestExactnessAgainstOracle:
             system.add(lo_row, 6)  # t >= -6
             system.add(hi_row, 6)  # t <= 6
         test = AcyclicTest()
-        result = test.decide(system)
+        result = test.run(system)
         if result.verdict is Verdict.NOT_APPLICABLE:
             return
         brute = solve_system(system, -6, 6)

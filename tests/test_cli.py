@@ -146,6 +146,84 @@ class TestDotCommand:
         assert "flow" in out
 
 
+class TestExplainCommand:
+    def test_list_pairs(self, source_file, capsys):
+        assert repro_main(["explain", source_file, "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "[0] a[i][j] vs a[i - 1][j]" in out
+
+    def test_no_pair_hints_at_indices(self, source_file, capsys):
+        assert repro_main(["explain", source_file]) == 0
+        captured = capsys.readouterr()
+        assert "[0]" in captured.out
+        assert "--pair" in captured.err
+
+    def test_explain_renders_decision_path(self, source_file, capsys):
+        assert repro_main(["explain", source_file, "--pair", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "query[0] analyze: a[i][j] vs a[i - 1][j]" in out
+        assert "memo[no_bounds]: miss" in out
+        assert "egcd: solvable" in out
+        assert "cascade svpc: dependent" in out
+        assert "=> dependent [svpc]" in out
+        assert "direction vector" in out  # refinement part
+
+    def test_explain_no_directions(self, source_file, capsys):
+        assert repro_main(
+            ["explain", source_file, "--pair", "0", "--no-directions"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "=> dependent [svpc]" in out
+        assert "directions:" not in out
+
+    def test_explain_jsonl_dump(self, source_file, tmp_path, capsys):
+        from repro.obs.events import read_jsonl
+
+        dump = str(tmp_path / "trace.jsonl")
+        assert repro_main(
+            ["explain", source_file, "--pair", "0", "--jsonl", dump]
+        ) == 0
+        events = list(read_jsonl(dump))
+        kinds = [type(e).__name__ for e in events]
+        assert kinds[0] == "QueryStart" and kinds[-1] == "QueryEnd"
+        assert f"wrote {len(events)} events" in capsys.readouterr().err
+
+    def test_pair_out_of_range(self, source_file, capsys):
+        assert repro_main(["explain", source_file, "--pair", "9"]) == 1
+        assert "out of range" in capsys.readouterr().err
+
+
+class TestStatsCommand:
+    def test_stats_text_dump(self, source_file, capsys):
+        assert repro_main(["stats", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "queries.total" in out
+        assert "tests.decided_by[svpc]" in out
+        assert "time.cascade.svpc" in out
+
+    def test_stats_json_dump(self, source_file, capsys):
+        import json
+
+        assert repro_main(["stats", source_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scalars"]["queries.total"] == 2
+        assert "histograms" in payload
+
+
+class TestBatchTrace:
+    def test_batch_trace_writes_jsonl(self, source_file, tmp_path, capsys):
+        from repro.obs.events import read_jsonl
+
+        trace = str(tmp_path / "batch.jsonl")
+        assert repro_main(
+            ["batch", source_file, "--jobs", "1", "--trace", trace]
+        ) == 0
+        events = list(read_jsonl(trace))
+        assert events, "trace file must not be empty"
+        captured = capsys.readouterr()
+        assert f"wrote {len(events)} trace events" in captured.err
+
+
 class TestHarnessCli:
     def test_single_experiment(self, capsys):
         assert harness_main(["table1", "--scale", "0.02"]) == 0

@@ -50,8 +50,8 @@ class TestSvpcVsFourierMotzkin:
             coeffs[var] = coeff
             system.add(coeffs, bound)
         system = _boxed(system)
-        svpc = SvpcTest().decide(system)
-        fm = FourierMotzkinTest().decide(system)
+        svpc = SvpcTest().run(system)
+        fm = FourierMotzkinTest().run(system)
         assert svpc.verdict is not Verdict.NOT_APPLICABLE
         assert svpc.verdict == fm.verdict
 
@@ -76,8 +76,8 @@ class TestResidueVsFourierMotzkin:
         for coeffs, bound in rows:
             system.add(list(coeffs), bound)
         system = _boxed(system)
-        residue = LoopResidueTest().decide(system)
-        fm = FourierMotzkinTest().decide(system)
+        residue = LoopResidueTest().run(system)
+        fm = FourierMotzkinTest().run(system)
         assert residue.verdict is not Verdict.NOT_APPLICABLE
         assert residue.verdict == fm.verdict
 
@@ -99,10 +99,10 @@ class TestAcyclicVsFourierMotzkin:
         for coeffs, bound in rows:
             system.add(list(coeffs), bound)
         system = _boxed(system)
-        acyclic = AcyclicTest().decide(system)
+        acyclic = AcyclicTest().run(system)
         if acyclic.verdict is Verdict.NOT_APPLICABLE:
             return
-        fm = FourierMotzkinTest().decide(system)
+        fm = FourierMotzkinTest().run(system)
         assert acyclic.verdict == fm.verdict
 
     @given(
@@ -125,8 +125,8 @@ class TestAcyclicVsFourierMotzkin:
         elimination = AcyclicTest().eliminate(system)
         if elimination.residual is None:
             return
-        fm_full = FourierMotzkinTest().decide(system)
-        fm_residual = FourierMotzkinTest().decide(elimination.residual)
+        fm_full = FourierMotzkinTest().run(system)
+        fm_residual = FourierMotzkinTest().run(elimination.residual)
         assert fm_full.verdict == fm_residual.verdict
         if fm_residual.verdict is Verdict.DEPENDENT:
             witness = elimination.complete_witness(fm_residual.witness)

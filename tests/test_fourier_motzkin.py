@@ -24,7 +24,7 @@ class TestBasics:
 
     def test_simple_feasible(self):
         system = _system(2, ([1, 1], 10), ([-1, 0], 0), ([0, -1], 0))
-        result = FourierMotzkinTest().decide(system)
+        result = FourierMotzkinTest().run(system)
         assert result.verdict is Verdict.DEPENDENT
         assert system.evaluate(result.witness)
 
@@ -32,18 +32,18 @@ class TestBasics:
         # t0 + t1 <= 0 and t0 + t1 >= 5.
         system = _system(2, ([1, 1], 0), ([-1, -1], -5))
         assert (
-            FourierMotzkinTest().decide(system).verdict is Verdict.INDEPENDENT
+            FourierMotzkinTest().run(system).verdict is Verdict.INDEPENDENT
         )
 
     def test_unbounded_system(self):
         system = _system(3, ([1, 1, 1], 100))
-        result = FourierMotzkinTest().decide(system)
+        result = FourierMotzkinTest().run(system)
         assert result.verdict is Verdict.DEPENDENT
         assert system.evaluate(result.witness)
 
     def test_empty_system(self):
         system = _system(2)
-        result = FourierMotzkinTest().decide(system)
+        result = FourierMotzkinTest().run(system)
         assert result.verdict is Verdict.DEPENDENT
 
 
@@ -53,7 +53,7 @@ class TestIntegerGaps:
         # tightens this away (2t <= 5 -> t <= 2; -2t <= -5 -> t >= 3).
         system = _system(1, ([2], 5), ([-2], -5))
         assert (
-            FourierMotzkinTest().decide(system).verdict is Verdict.INDEPENDENT
+            FourierMotzkinTest().run(system).verdict is Verdict.INDEPENDENT
         )
 
     def test_paper_special_case_constant_range(self):
@@ -62,7 +62,7 @@ class TestIntegerGaps:
         # After normalization: t0 + t1 >= 1 and t0 + t1 <= 0 -> infeasible.
         system = _system(2, ([-10, -10], -5), ([10, 10], 7))
         assert (
-            FourierMotzkinTest().decide(system).verdict is Verdict.INDEPENDENT
+            FourierMotzkinTest().run(system).verdict is Verdict.INDEPENDENT
         )
 
     def test_branch_and_bound_gap(self):
@@ -71,7 +71,7 @@ class TestIntegerGaps:
         # 2t0 - 2t1 >= 1 and 2t0 - 2t1 <= 1 normalize to t0-t1 >= 1, <= 0.
         system = _system(2, ([2, -2], 1), ([-2, 2], -1))
         assert (
-            FourierMotzkinTest().decide(system).verdict is Verdict.INDEPENDENT
+            FourierMotzkinTest().run(system).verdict is Verdict.INDEPENDENT
         )
 
     def test_true_branch_and_bound(self):
@@ -83,7 +83,7 @@ class TestIntegerGaps:
         # 2x + 2y <= 1, -2x - 2y <= -1 -> tightened to x+y <= 0, >= 1.
         system = _system(2, ([2, 2], 1), ([-2, -2], -1))
         assert (
-            FourierMotzkinTest().decide(system).verdict is Verdict.INDEPENDENT
+            FourierMotzkinTest().run(system).verdict is Verdict.INDEPENDENT
         )
 
     def test_budget_exhaustion_unknown(self):
@@ -98,13 +98,13 @@ class TestIntegerGaps:
             ([0, 1], 1),  # t1 <= 1  => t1 = 1, t0 = 0.5
         )
         strict = FourierMotzkinTest(max_branch_nodes=0)
-        result = strict.decide(system)
+        result = strict.run(system)
         assert result.verdict in (Verdict.UNKNOWN, Verdict.INDEPENDENT)
         if result.verdict is Verdict.UNKNOWN:
             assert not result.exact
         # With budget the same system is settled exactly.
         assert (
-            FourierMotzkinTest().decide(system).verdict
+            FourierMotzkinTest().run(system).verdict
             is Verdict.INDEPENDENT
         )
 
@@ -130,7 +130,7 @@ class TestExactnessAgainstOracle:
             hi[var] = 1
             system.add(lo, 5)
             system.add(hi, 5)
-        result = FourierMotzkinTest().decide(system)
+        result = FourierMotzkinTest().run(system)
         brute = solve_system(system, -5, 5)
         assert result.verdict is not Verdict.NOT_APPLICABLE
         if result.verdict is Verdict.UNKNOWN:

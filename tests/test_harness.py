@@ -3,6 +3,8 @@
 import pytest
 
 from repro.harness.experiments import (
+    collect_table1,
+    render_table1,
     run_baseline_comparison,
     run_outcomes,
     run_table1,
@@ -12,6 +14,7 @@ from repro.harness.experiments import (
     run_table5,
     run_table7,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.harness.tables import render_table
 from repro.harness.timing import representative_system, time_tests
 
@@ -45,6 +48,20 @@ class TestTable1:
         result = run_table1(scale=0.05)
         assert len(result.rows) == 13
         assert result.rows[0][0] == "AP"
+
+    def test_regenerates_bit_identically_from_registries(self):
+        """Acceptance: tables rebuild from serialized metrics alone."""
+        collected = collect_table1(scale=0.05)
+        rendered = render_table1(collected)
+        round_tripped = render_table1(
+            [
+                (name, lines, MetricsRegistry.from_dict(registry.to_dict()))
+                for name, lines, registry in collected
+            ]
+        )
+        assert round_tripped.text == rendered.text
+        assert round_tripped.rows == rendered.rows
+        assert rendered.text == run_table1(scale=0.05).text
 
 
 class TestTable2:
@@ -115,14 +132,14 @@ class TestTimings:
         from repro.deptests.svpc import SvpcTest
 
         assert (
-            SvpcTest().decide(representative_system("svpc")).verdict.decided
+            SvpcTest().run(representative_system("svpc")).verdict.decided
         )
         assert (
             LoopResidueTest()
-            .decide(representative_system("loop_residue"))
+            .run(representative_system("loop_residue"))
             .verdict.decided
         )
-        fm = FourierMotzkinTest().decide(
+        fm = FourierMotzkinTest().run(
             representative_system("fourier_motzkin")
         )
         assert fm.verdict is not Verdict.NOT_APPLICABLE

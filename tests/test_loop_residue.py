@@ -27,7 +27,7 @@ class TestApplicability:
         system = _system(2, ([2, -1], 3))
         assert not LoopResidueTest().applicable(system)
         assert (
-            LoopResidueTest().decide(system).verdict is Verdict.NOT_APPLICABLE
+            LoopResidueTest().run(system).verdict is Verdict.NOT_APPLICABLE
         )
 
     def test_same_sign_rejected(self):
@@ -65,7 +65,7 @@ class TestFigure1:
         assert (1, -1, 4) in arcs  # t3 -> n0 value 4
         assert (0, 1, -4) in arcs  # t1 -> t3 value -4
         # cycle value: -4 + 4 + (-1) = -1 < 0 -> independent
-        assert LoopResidueTest().decide(system).verdict is Verdict.INDEPENDENT
+        assert LoopResidueTest().run(system).verdict is Verdict.INDEPENDENT
 
     def test_exact_division_extension(self):
         # 2t0 <= 2t1 + 5  ==>  t0 - t1 <= floor(5/2) = 2 (exact for ints).
@@ -83,29 +83,29 @@ class TestDecisions:
             ([0, 0, 1], 10),  # t2 <= 10
             ([-1, 0, 0], -1),  # t0 >= 1
         )
-        result = LoopResidueTest().decide(system)
+        result = LoopResidueTest().run(system)
         assert result.verdict is Verdict.DEPENDENT
         assert system.evaluate(result.witness)
 
     def test_infeasible_tight_cycle(self):
         # t0 <= t1 - 1 and t1 <= t0 - 1: cycle value -2.
         system = _system(2, ([1, -1], -1), ([-1, 1], -1))
-        assert LoopResidueTest().decide(system).verdict is Verdict.INDEPENDENT
+        assert LoopResidueTest().run(system).verdict is Verdict.INDEPENDENT
 
     def test_zero_cycle_feasible(self):
         # t0 <= t1 and t1 <= t0 (equality through a zero-value cycle).
         system = _system(2, ([1, -1], 0), ([-1, 1], 0))
-        result = LoopResidueTest().decide(system)
+        result = LoopResidueTest().run(system)
         assert result.verdict is Verdict.DEPENDENT
         assert result.witness[0] == result.witness[1]
 
     def test_constant_contradiction(self):
         system = _system(1, ([0], -2))
-        assert LoopResidueTest().decide(system).verdict is Verdict.INDEPENDENT
+        assert LoopResidueTest().run(system).verdict is Verdict.INDEPENDENT
 
     def test_unconstrained_variable_witness(self):
         system = _system(2, ([1, -1], 0))
-        result = LoopResidueTest().decide(system)
+        result = LoopResidueTest().run(system)
         assert result.verdict is Verdict.DEPENDENT
         assert system.evaluate(result.witness)
 
@@ -131,7 +131,7 @@ class TestExactnessAgainstOracle:
         system.add([-1, 0], 8)
         system.add([0, 1], 8)
         system.add([0, -1], 8)
-        result = LoopResidueTest().decide(system)
+        result = LoopResidueTest().run(system)
         assert result.verdict in (Verdict.DEPENDENT, Verdict.INDEPENDENT)
         brute = solve_system(system, -8, 8)
         assert (brute is not None) == (result.verdict is Verdict.DEPENDENT)

@@ -27,13 +27,13 @@ class TestApplicability:
     def test_multi_variable_rejected(self):
         system = _system(([1, 1], 5))
         assert not SvpcTest().applicable(system)
-        result = SvpcTest().decide(system)
+        result = SvpcTest().run(system)
         assert result.verdict is Verdict.NOT_APPLICABLE
 
     def test_empty_system_applicable(self):
         system = ConstraintSystem(("t0",))
         assert SvpcTest().applicable(system)
-        assert SvpcTest().decide(system).verdict is Verdict.DEPENDENT
+        assert SvpcTest().run(system).verdict is Verdict.DEPENDENT
 
 
 class TestDecisions:
@@ -48,28 +48,28 @@ class TestDecisions:
             ([0, 1], 1),
             ([-1, 0], -11),
         )
-        assert SvpcTest().decide(system).verdict is Verdict.INDEPENDENT
+        assert SvpcTest().run(system).verdict is Verdict.INDEPENDENT
 
     def test_dependent_with_witness(self):
         system = _system(([1, 0], 5), ([-1, 0], -3), ([0, 1], 0))
-        result = SvpcTest().decide(system)
+        result = SvpcTest().run(system)
         assert result.verdict is Verdict.DEPENDENT
         assert system.evaluate(result.witness)
 
     def test_contradiction_constant(self):
         system = _system(([0], -1))
-        assert SvpcTest().decide(system).verdict is Verdict.INDEPENDENT
+        assert SvpcTest().run(system).verdict is Verdict.INDEPENDENT
 
     def test_scaled_coefficients(self):
         # 3t <= 7 and -3t <= -7: t <= 2 and t >= 3 -> independent
         # (no integer in [7/3, 7/3]).
         system = _system(([3], 7), ([-3], -7))
-        assert SvpcTest().decide(system).verdict is Verdict.INDEPENDENT
+        assert SvpcTest().run(system).verdict is Verdict.INDEPENDENT
 
     def test_scaled_coefficients_feasible(self):
         # 3t <= 9 and -3t <= -9: t == 3.
         system = _system(([3], 9), ([-3], -9))
-        result = SvpcTest().decide(system)
+        result = SvpcTest().run(system)
         assert result.verdict is Verdict.DEPENDENT
         assert result.witness == (3,)
 
@@ -90,7 +90,7 @@ class TestExactness:
             coeffs = [0, 0, 0]
             coeffs[var] = coeff
             system.add(coeffs, bound)
-        result = SvpcTest().decide(system)
+        result = SvpcTest().run(system)
         assert result.verdict in (Verdict.DEPENDENT, Verdict.INDEPENDENT)
         # Solutions, when they exist, include a point with coordinates
         # bounded by the largest |bound| + 1 (single-var constraints only).
