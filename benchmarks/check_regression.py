@@ -1,0 +1,128 @@
+"""Compare fresh benchmark results against committed baselines.
+
+CI regenerates ``BENCH_batch.json`` / ``BENCH_obs.json`` and this
+script diffs them against ``benchmarks/baselines/``.  Only *ratio*
+metrics are gated (speedups, memo hit rates, tracing overhead): raw
+wall-clock seconds vary wildly across shared runners, but the ratios
+are computed within one run and stay stable.  A metric regresses when
+it moves more than ``TOLERANCE`` in its bad direction — higher-better
+metrics may drop at most 25%, lower-better metrics may rise at most
+25%.  Improvements never fail the gate.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        [--fresh-dir .] [--baseline-dir benchmarks/baselines] [--tolerance 0.25]
+
+Exit status 0 when every gated metric is within tolerance, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TOLERANCE = 0.25
+
+# (file, metric, direction): direction "higher" means bigger is better.
+GATED_METRICS: tuple[tuple[str, str, str], ...] = (
+    ("BENCH_batch.json", "speedup_cold_vs_serial", "higher"),
+    ("BENCH_batch.json", "speedup_warm_vs_serial", "higher"),
+    ("BENCH_batch.json", "cold_hit_rate_bounds", "higher"),
+    ("BENCH_batch.json", "warm_hit_rate_bounds", "higher"),
+    ("BENCH_batch.json", "cold_hit_rate_no_bounds", "higher"),
+    ("BENCH_batch.json", "warm_hit_rate_no_bounds", "higher"),
+    ("BENCH_obs.json", "collecting_ratio", "lower"),
+)
+
+# Exact workload invariants: the benchmark must still measure the same
+# thing, so these must match the baseline bit-for-bit.
+EXACT_METRICS: tuple[tuple[str, str], ...] = (
+    ("BENCH_batch.json", "queries"),
+    ("BENCH_batch.json", "unique_pairs"),
+    ("BENCH_batch.json", "unique_problems"),
+    ("BENCH_batch.json", "constant_screened"),
+    ("BENCH_obs.json", "queries"),
+)
+
+
+def _load(directory: Path, name: str) -> dict:
+    path = directory / name
+    if not path.exists():
+        raise SystemExit(f"missing benchmark file: {path}")
+    return json.loads(path.read_text())
+
+
+def check(fresh_dir: Path, baseline_dir: Path, tolerance: float) -> list[str]:
+    """All regression messages (empty when the gate passes)."""
+    failures: list[str] = []
+    cache: dict[tuple[str, str], dict] = {}
+
+    def load(kind: str, directory: Path, name: str) -> dict:
+        key = (kind, name)
+        if key not in cache:
+            cache[key] = _load(directory, name)
+        return cache[key]
+
+    for name, metric in EXACT_METRICS:
+        fresh = load("fresh", fresh_dir, name).get(metric)
+        base = load("base", baseline_dir, name).get(metric)
+        if fresh != base:
+            failures.append(
+                f"{name}:{metric} workload drifted: baseline {base}, fresh {fresh}"
+            )
+
+    for name, metric, direction in GATED_METRICS:
+        fresh = load("fresh", fresh_dir, name).get(metric)
+        base = load("base", baseline_dir, name).get(metric)
+        if fresh is None or base is None:
+            failures.append(f"{name}:{metric} missing (baseline {base}, fresh {fresh})")
+            continue
+        if direction == "higher":
+            floor = base * (1.0 - tolerance)
+            ok = fresh >= floor
+            verdict = f"must stay >= {floor:.4g}"
+        else:
+            ceiling = base * (1.0 + tolerance)
+            ok = fresh <= ceiling
+            verdict = f"must stay <= {ceiling:.4g}"
+        status = "ok" if ok else "REGRESSION"
+        print(
+            f"  {status:>10}  {name}:{metric}  baseline={base:.4g}"
+            f"  fresh={fresh:.4g}  ({verdict})"
+        )
+        if not ok:
+            failures.append(
+                f"{name}:{metric} regressed: baseline {base:.4g}, "
+                f"fresh {fresh:.4g} ({verdict})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh-dir", type=Path, default=Path("."))
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=Path("benchmarks/baselines")
+    )
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE)
+    args = parser.parse_args(argv)
+
+    print(
+        f"bench-regression gate (tolerance {args.tolerance:.0%}, "
+        f"baselines from {args.baseline_dir})"
+    )
+    failures = check(args.fresh_dir, args.baseline_dir, args.tolerance)
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,7 +5,6 @@ direction-vector cost back down (paper: ~12,500 -> ~900 tests).  Also
 prints the section-7 per-test outcome splits collected from this run.
 """
 
-from repro.core.stats import TEST_ORDER
 from repro.harness.experiments import run_table4, run_table5
 
 

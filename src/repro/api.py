@@ -47,7 +47,21 @@ __all__ = [
     "DependenceReport",
     "ProgramReport",
     "ExplainResult",
+    "run_fuzz",
 ]
+
+
+def run_fuzz(*args: Any, **kwargs: Any):
+    """Run a differential-fuzzing campaign (see :mod:`repro.fuzz`).
+
+    Thin lazy forwarder to :func:`repro.fuzz.harness.run_fuzz` so
+    facade users don't need a second import surface (and so importing
+    ``repro.api`` never pulls in the fuzzing stack, which itself calls
+    back into this module for the end-to-end source check).
+    """
+    from repro.fuzz.harness import run_fuzz as _run_fuzz
+
+    return _run_fuzz(*args, **kwargs)
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,9 @@ Subcommands:
 * ``explain FILE --pair N`` — pretty-print one reference pair's full
   decision trace (EGCD -> memo -> cascade stages -> verdict).
 * ``stats [FILE ...]`` — run a corpus and dump the metrics registry.
+* ``fuzz`` — differential fuzzing of the exact cascade against the
+  enumeration oracle (``--seed --iterations --tier --time-budget
+  --shrink --corpus``), or deterministic corpus replay (``--replay``).
 * ``tables ...`` — forwarded to :mod:`repro.harness` (regenerate the
   paper's tables).
 
@@ -434,6 +437,10 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="dump as JSON instead of text"
     )
     p_stats.set_defaults(func=_cmd_stats)
+
+    from repro.fuzz.runner import add_fuzz_parser
+
+    add_fuzz_parser(sub)
 
     p_vec = sub.add_parser(
         "vectorize", help="distribute + vectorize loops (Allen-Kennedy)"

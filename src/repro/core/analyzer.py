@@ -49,7 +49,7 @@ from repro.ir.loops import LoopNest
 from repro.ir.program import AccessSite
 from repro.linalg.gcdext import floor_div
 from repro.system.constraints import ConstraintSystem
-from repro.system.depsystem import DependenceProblem, build_problem
+from repro.system.depsystem import DependenceProblem, Direction, build_problem
 from repro.system.transform import (
     GcdOutcome,
     TransformedSystem,
@@ -294,8 +294,10 @@ class DependenceAnalyzer:
         problem = build_problem(ref1, nest1, ref2, nest2)
         work = problem
         surviving = list(range(problem.n_common))
+        forced_dropped = None
         if options.prune_unused:
-            work, surviving = problem.eliminate_unused()
+            extra_keep, forced_dropped = self._direction_safe_keep(problem, nest1)
+            work, surviving = problem.eliminate_unused(extra_keep)
 
         memo = self.memoizer
         memo_key = None
@@ -340,7 +342,7 @@ class DependenceAnalyzer:
                 self.stats.memo_hits_bounds += 1
                 entry: _CachedDirections = cached
                 lifted = self._lift_vectors(
-                    entry.vectors_reduced, surviving, n_common_full
+                    entry.vectors_reduced, surviving, n_common_full, forced_dropped
                 )
                 if qsink.enabled:
                     self._end_trace(
@@ -375,7 +377,7 @@ class DependenceAnalyzer:
             reduced_result = _refine(self, work, transformed, options, qsink)
         result = DirectionResult(
             vectors=self._lift_vectors(
-                reduced_result.vectors, surviving, n_common_full
+                reduced_result.vectors, surviving, n_common_full, forced_dropped
             ),
             n_common=n_common_full,
             exact=reduced_result.exact,
@@ -407,13 +409,70 @@ class DependenceAnalyzer:
         vectors_reduced: frozenset[tuple[str, ...]],
         surviving: list[int],
         n_common_full: int,
+        forced: dict[int, str] | None = None,
     ) -> frozenset[tuple[str, ...]]:
         from repro.core.directions import lift_vector
 
-        return frozenset(
+        lifted = frozenset(
             lift_vector(vector, surviving, n_common_full)
             for vector in vectors_reduced
         )
+        if forced:
+            lifted = frozenset(
+                tuple(
+                    forced.get(level, component)
+                    for level, component in enumerate(vector)
+                )
+                for vector in lifted
+            )
+        return lifted
+
+    @staticmethod
+    def _direction_safe_keep(
+        problem: DependenceProblem, nest1: LoopNest
+    ) -> tuple[set[int], dict[int, str] | None]:
+        """Which variables direction refinement must keep, and the exact
+        components for common levels it may still drop.
+
+        Unused-variable elimination is sound for *verdicts*, but the
+        direction constraints (``i <= i' - 1`` etc.) couple each common
+        level's two variables to each other and, through the bounds, to
+        the rest of the system — so a dropped level lifted as ``*`` is
+        only exact when (differential fuzzing found each of these):
+
+        * *both* of the level's variables are unused — if either is
+          used, the direction constraint links the dropped variable to
+          the live system and some directions may be infeasible;
+        * the level's loop has constant bounds — bounds referencing an
+          outer (dropped) variable shift the level's range between the
+          two iterations being compared, which rules out combinations
+          across levels (e.g. ``(<, >)`` needs slack the shifted range
+          may not have);
+        * the loop has at least two iterations — a provably
+          single-iteration level only pairs an iteration with itself,
+          so its component is forced to ``=`` (still droppable).
+
+        Returns the force-keep variable set (closure over bounds is
+        done by ``eliminate_unused``) and the forced component map for
+        droppable single-iteration levels.
+        """
+        used = problem.used_variable_closure()
+        keep: set[int] = set()
+        forced: dict[int, str] = {}
+        for level in range(problem.n_common):
+            v1, v2 = level, problem.n1 + level
+            if v1 in used or v2 in used:
+                keep.update((v1, v2))
+                continue
+            loop = nest1.loops[level]
+            if loop.lower.is_constant and loop.upper.is_constant:
+                if loop.upper.constant <= loop.lower.constant:
+                    # Single iteration (empty loops are out of contract:
+                    # non-empty assumption, section 5).
+                    forced[level] = Direction.EQ
+            else:
+                keep.update((v1, v2))
+        return keep, forced or None
 
     # -- constant fast path ------------------------------------------------------
 
@@ -712,7 +771,7 @@ class DependenceAnalyzer:
             independent = result.verdict is Verdict.INDEPENDENT
             self.stats.record_decision(result.test_name, independent)
 
-    # -- witness/distance lifting ----------------------------------------------------------
+    # -- witness/distance lifting ------------------------------------------
 
     def _lift_witness(
         self,

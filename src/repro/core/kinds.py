@@ -18,7 +18,7 @@ direction vectors and the sites' order in the program.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.analyzer import DependenceAnalyzer
 from repro.core.result import DirectionResult

@@ -110,7 +110,9 @@ class AnalyzerStats:
         return self.memo_queries_bounds - self.memo_hits_bounds
 
     @classmethod
-    def merged(cls, runs: "list[AnalyzerStats] | tuple[AnalyzerStats, ...]") -> "AnalyzerStats":
+    def merged(
+        cls, runs: "list[AnalyzerStats] | tuple[AnalyzerStats, ...]"
+    ) -> "AnalyzerStats":
         """Fold many runs' counters into a fresh total (map-reduce step).
 
         Every counter is a sum, so the fold is associative and

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.analyzer import DependenceAnalyzer
-from repro.core.kinds import DependenceEdge, classify_pair
+from repro.core.kinds import classify_pair
 from repro.ir.program import Program, Statement, reference_pairs
 from repro.system.depsystem import Direction
 

@@ -113,7 +113,9 @@ class AcyclicElimination:
     steps: list[tuple[str, int, object]] = field(default_factory=list)
     base_values: dict[int, int] = field(default_factory=dict)
 
-    def complete_witness(self, residual_witness: tuple[int, ...] | None) -> tuple[int, ...]:
+    def complete_witness(
+        self, residual_witness: tuple[int, ...] | None
+    ) -> tuple[int, ...]:
         """Fill in eliminated variables around a witness for the residual."""
         values = list(residual_witness or [0] * self.n_vars)
         if len(values) != self.n_vars:

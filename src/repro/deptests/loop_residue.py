@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from repro.deptests.base import CascadeTest, TestResult, Verdict
 from repro.linalg.gcdext import floor_div
 from repro.obs.sinks import TraceSink
-from repro.system.constraints import ConstraintSystem, LinearConstraint
+from repro.system.constraints import ConstraintSystem
 
 __all__ = ["LoopResidueTest", "ResidueGraph", "build_residue_graph"]
 

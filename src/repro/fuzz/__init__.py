@@ -1,0 +1,51 @@
+"""Differential fuzzing for the exact dependence analyzer.
+
+The paper's central claim is *exactness*: every test in the cascade is
+exact on the inputs it accepts.  This package stress-tests that claim
+systematically instead of relying on hand-picked unit cases:
+
+* :mod:`repro.fuzz.generator` — a seeded, reproducible generator of
+  random-but-valid dependence problems at several difficulty tiers
+  (constant bounds, coupled subscripts, triangular nests, symbolic
+  unknowns, degenerate/empty systems);
+* :mod:`repro.fuzz.harness` — the differential harness that
+  cross-checks the cascade against the enumeration oracle and the
+  inexact baselines, plus metamorphic invariants (memo hit must equal
+  recompute, sharded engine must equal serial, unused-variable
+  elimination and reference swapping must preserve verdicts);
+* :mod:`repro.fuzz.shrink` — greedy minimization of any failing case
+  (drop loops/dimensions, shrink coefficients and bounds);
+* :mod:`repro.fuzz.corpus` — committed regression corpus I/O with
+  stable fingerprint filenames (``tests/corpus/``);
+* :mod:`repro.fuzz.runner` — the ``repro fuzz`` CLI entry point.
+"""
+
+from repro.fuzz.corpus import fingerprint, load_corpus, save_case
+from repro.fuzz.generator import TIERS, FuzzCase, generate_case, generate_cases
+from repro.fuzz.harness import (
+    CaseOutcome,
+    Discrepancy,
+    FuzzConfig,
+    FuzzReport,
+    check_case,
+    run_fuzz,
+)
+from repro.fuzz.shrink import case_cost, shrink_case
+
+__all__ = [
+    "TIERS",
+    "FuzzCase",
+    "generate_case",
+    "generate_cases",
+    "CaseOutcome",
+    "Discrepancy",
+    "FuzzConfig",
+    "FuzzReport",
+    "check_case",
+    "run_fuzz",
+    "case_cost",
+    "shrink_case",
+    "fingerprint",
+    "load_corpus",
+    "save_case",
+]

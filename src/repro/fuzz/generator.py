@@ -1,0 +1,560 @@
+"""Seeded, tiered generation of random-but-valid dependence problems.
+
+Every case is derived from a single integer seed through
+:class:`random.Random` only — no global state, no string hashing — so
+the same ``(seed, iterations, tiers)`` triple always produces the
+identical case list, in the same order, in any process.  Difficulty
+tiers (:data:`TIERS`):
+
+``constant``
+    Rectangular nests with small constant bounds and simple one- or
+    two-variable subscripts — the bread-and-butter SVPC/GCD territory.
+``coupled``
+    Rank-2/3 references whose dimensions share loop variables
+    (``a[i+j][i-j]``), the cases per-dimension tests get wrong.
+``triangular``
+    Inner bounds affine in outer variables (triangular/trapezoidal
+    regions), exercising the Acyclic and Loop Residue tests.
+``symbolic``
+    Loop-invariant symbolic unknowns in bounds and subscripts
+    (paper section 8); the oracle evaluates one concrete environment,
+    so differential checks are one-sided for this tier.
+``degenerate``
+    Edge cases: zero-iteration loops, all-constant subscripts,
+    single-iteration loops, unused loop variables, oversized
+    coefficients.
+
+Generated nests keep iteration spaces small (≤ :data:`MAX_POINTS` per
+nest) so the enumeration oracle stays cheap; a retry loop regenerates
+the rare blowups deterministically.
+
+One documented precondition is respected by construction: the
+analyzer's array-constant fast path (``a[3]`` vs ``a[3]``) assumes
+loops are non-empty (paper section 5), so all-constant subscript pairs
+are only emitted under loops that are guaranteed non-empty.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import AccessKind, ArrayRef
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.program import Program, Statement
+from repro.system.depsystem import DependenceProblem, build_problem
+
+__all__ = [
+    "TIERS",
+    "MAX_POINTS",
+    "FuzzCase",
+    "generate_case",
+    "generate_cases",
+    "case_strategy",
+]
+
+TIERS = ("constant", "coupled", "triangular", "symbolic", "degenerate")
+
+# Cap on the iteration-space size of each generated nest; keeps the
+# enumeration oracle's full scan per case in the low milliseconds.
+MAX_POINTS = 80
+
+_LOOP_VARS = ("i", "j", "k", "l")
+_SYMBOLS = ("n", "m")
+_ARRAY = "a"
+
+# Mix constants for deriving per-case seeds (splitmix64-style odd
+# multipliers); any fixed odd constants work, these just decorrelate
+# neighbouring (seed, index) pairs.
+_MIX1 = 0x9E3779B97F4A7C15
+_MIX2 = 0xBF58476D1CE4E5B9
+_MASK = (1 << 63) - 1
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated dependence question plus its oracle environment.
+
+    ``ref1`` always writes; ``ref2`` reads or writes.  ``env`` assigns
+    a concrete small value to every symbolic term so the enumeration
+    oracle can ground the iteration spaces.
+    """
+
+    tier: str
+    seed: int
+    index: int
+    ref1: ArrayRef
+    nest1: LoopNest
+    ref2: ArrayRef
+    nest2: LoopNest
+    env: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def has_symbols(self) -> bool:
+        return bool(self.env)
+
+    def problem(self) -> DependenceProblem:
+        return build_problem(self.ref1, self.nest1, self.ref2, self.nest2)
+
+    def program(self) -> Program:
+        """The case as a two-statement IR program (for the source path).
+
+        Statement 0 performs the write (``ref1``); statement 1 either
+        writes ``ref2`` directly or reads it into a disjoint ``out``
+        array, so :func:`repro.ir.program.reference_pairs` recovers
+        exactly one testable pair on the fuzzed array.
+        """
+        prog = Program(f"fuzz_{self.tier}_{self.index}")
+        prog.add(Statement(self.nest1, write=self.ref1))
+        if self.ref2.is_write:
+            prog.add(Statement(self.nest2, write=self.ref2))
+        else:
+            out_sub = (
+                AffineExpr.variable(self.nest2.loops[-1].var)
+                if self.nest2.depth
+                else AffineExpr(0)
+            )
+            out = ArrayRef("out", (out_sub,), AccessKind.WRITE)
+            prog.add(Statement(self.nest2, write=out, reads=(self.ref2,)))
+        return prog
+
+    def to_source(self) -> str:
+        """Canonical mini-Fortran text (fuzzes parse → lower → analyze)."""
+        from repro.lang.unparse import program_to_source
+
+        return program_to_source(self.program())
+
+    # -- serialization (corpus files) ---------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "tier": self.tier,
+            "seed": self.seed,
+            "index": self.index,
+            "ref1": _ref_to_dict(self.ref1),
+            "nest1": _nest_to_dict(self.nest1),
+            "ref2": _ref_to_dict(self.ref2),
+            "nest2": _nest_to_dict(self.nest2),
+            "env": dict(sorted(self.env.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FuzzCase":
+        return cls(
+            tier=payload["tier"],
+            seed=payload.get("seed", 0),
+            index=payload.get("index", 0),
+            ref1=_ref_from_dict(payload["ref1"]),
+            nest1=_nest_from_dict(payload["nest1"]),
+            ref2=_ref_from_dict(payload["ref2"]),
+            nest2=_nest_from_dict(payload["nest2"]),
+            env={str(k): int(v) for k, v in payload.get("env", {}).items()},
+        )
+
+
+# -- affine/loop serde ------------------------------------------------------
+
+
+def _expr_to_dict(expr: AffineExpr) -> dict:
+    return {"const": expr.constant, "terms": dict(sorted(expr.terms.items()))}
+
+
+def _expr_from_dict(payload: dict) -> AffineExpr:
+    return AffineExpr(payload["const"], payload.get("terms", {}))
+
+
+def _ref_to_dict(ref: ArrayRef) -> dict:
+    return {
+        "array": ref.array,
+        "subscripts": [_expr_to_dict(s) for s in ref.subscripts],
+        "kind": ref.kind,
+    }
+
+
+def _ref_from_dict(payload: dict) -> ArrayRef:
+    return ArrayRef(
+        payload["array"],
+        tuple(_expr_from_dict(s) for s in payload["subscripts"]),
+        payload.get("kind", AccessKind.READ),
+    )
+
+
+def _nest_to_dict(nest: LoopNest) -> list[dict]:
+    return [
+        {
+            "var": loop.var,
+            "lower": _expr_to_dict(loop.lower),
+            "upper": _expr_to_dict(loop.upper),
+        }
+        for loop in nest
+    ]
+
+
+def _nest_from_dict(payload: list[dict]) -> LoopNest:
+    return LoopNest(
+        [
+            Loop(
+                entry["var"],
+                _expr_from_dict(entry["lower"]),
+                _expr_from_dict(entry["upper"]),
+            )
+            for entry in payload
+        ]
+    )
+
+
+# -- generation helpers -----------------------------------------------------
+
+
+def _space_size(nest: LoopNest, env: dict[str, int], cap: int) -> int:
+    """Iteration count of the nest under ``env``, stopping at ``cap``."""
+    count = 0
+    for _ in nest.iteration_space(dict(env)):
+        count += 1
+        if count > cap:
+            return count
+    return count
+
+
+def _always_nonempty(nest: LoopNest, env: dict[str, int]) -> bool:
+    """Every loop executes at least once for every enclosing iteration.
+
+    The analyzer's model assumes non-empty loops (section 5): bound
+    constraints on unused variables are dropped under exactly that
+    assumption.  Tiers checked two-sidedly against the oracle must
+    respect it, or the fuzzer would flag out-of-contract inputs —
+    triangular nests are the only generated shape that can violate it
+    (e.g. ``for j = i+1 to 3`` is empty at ``i = 3``).
+    """
+
+    def rec(level: int, point: dict) -> bool:
+        if level == nest.depth:
+            return True
+        loop = nest.loops[level]
+        lo = loop.lower.evaluate(point)
+        hi = loop.upper.evaluate(point)
+        if lo > hi:
+            return False
+        return all(
+            rec(level + 1, {**point, loop.var: value})
+            for value in range(lo, hi + 1)
+        )
+
+    return rec(0, dict(env))
+
+
+def _subscript(
+    rng: random.Random,
+    variables: tuple[str, ...],
+    max_vars: int,
+    coeff_hi: int,
+    const_hi: int,
+    symbol: str | None = None,
+) -> AffineExpr:
+    """A random affine subscript over a subset of ``variables``."""
+    n_vars = rng.randint(0 if not variables else 1, min(max_vars, len(variables)))
+    chosen = rng.sample(list(variables), n_vars) if n_vars else []
+    terms: dict[str, int] = {}
+    for name in chosen:
+        coeff = rng.choice([c for c in range(-coeff_hi, coeff_hi + 1) if c])
+        terms[name] = coeff
+    if symbol is not None:
+        terms[symbol] = rng.choice((-1, 1))
+    return AffineExpr(rng.randint(-const_hi, const_hi), terms)
+
+
+def _constant_loops(
+    rng: random.Random, names: tuple[str, ...], max_trip: int = 4
+) -> list[Loop]:
+    loops = []
+    for name in names:
+        lo = rng.randint(-2, 2)
+        hi = lo + rng.randint(0, max_trip - 1)
+        loops.append(Loop(name, AffineExpr(lo), AffineExpr(hi)))
+    return loops
+
+
+def _split_nests(
+    rng: random.Random, shared: list[Loop], extra_pool: tuple[str, ...]
+) -> tuple[LoopNest, LoopNest]:
+    """Two nests sharing ``shared`` as common prefix, plus 0-1 extras."""
+    extras1 = extras2 = []
+    if extra_pool and rng.random() < 0.4:
+        extras1 = _constant_loops(rng, extra_pool[:1], max_trip=3)
+    if extra_pool and rng.random() < 0.4:
+        extras2 = _constant_loops(rng, extra_pool[:1], max_trip=3)
+    return LoopNest(shared + extras1), LoopNest(shared + extras2)
+
+
+def _make_refs(
+    rng: random.Random,
+    nest1: LoopNest,
+    nest2: LoopNest,
+    rank: int,
+    max_vars: int,
+    coeff_hi: int,
+    const_hi: int,
+    symbol: str | None = None,
+) -> tuple[ArrayRef, ArrayRef]:
+    sub1 = tuple(
+        _subscript(
+            rng,
+            nest1.variables,
+            max_vars,
+            coeff_hi,
+            const_hi,
+            symbol if (symbol and d == 0 and rng.random() < 0.5) else None,
+        )
+        for d in range(rank)
+    )
+    sub2 = tuple(
+        _subscript(
+            rng,
+            nest2.variables,
+            max_vars,
+            coeff_hi,
+            const_hi,
+            symbol if (symbol and d == 0 and rng.random() < 0.5) else None,
+        )
+        for d in range(rank)
+    )
+    ref1 = ArrayRef(_ARRAY, sub1, AccessKind.WRITE)
+    kind2 = AccessKind.WRITE if rng.random() < 0.3 else AccessKind.READ
+    ref2 = ArrayRef(_ARRAY, sub2, kind2)
+    return ref1, ref2
+
+
+# -- per-tier builders ------------------------------------------------------
+
+# What every tier builder returns: the write ref + nest, the second
+# ref + nest, and the symbol environment (empty for ground tiers).
+_TierCase = tuple[ArrayRef, LoopNest, ArrayRef, LoopNest, dict]
+
+
+def _gen_constant(rng: random.Random) -> _TierCase:
+    depth = rng.randint(1, 3)
+    shared = _constant_loops(rng, _LOOP_VARS[:depth])
+    nest1, nest2 = _split_nests(rng, shared, _LOOP_VARS[depth : depth + 1])
+    ref1, ref2 = _make_refs(
+        rng, nest1, nest2, rank=rng.randint(1, 2), max_vars=2, coeff_hi=2, const_hi=4
+    )
+    return ref1, nest1, ref2, nest2, {}
+
+
+def _gen_coupled(rng: random.Random) -> _TierCase:
+    depth = rng.randint(2, 3)
+    shared = _constant_loops(rng, _LOOP_VARS[:depth])
+    nest1, nest2 = _split_nests(rng, shared, _LOOP_VARS[depth : depth + 1])
+    ref1, ref2 = _make_refs(
+        rng,
+        nest1,
+        nest2,
+        rank=rng.randint(2, 3),
+        max_vars=3,
+        coeff_hi=3,
+        const_hi=3,
+    )
+    return ref1, nest1, ref2, nest2, {}
+
+
+def _gen_triangular(rng: random.Random) -> _TierCase:
+    depth = rng.randint(2, 3)
+    loops: list[Loop] = []
+    lo0 = rng.randint(0, 2)
+    hi0 = lo0 + rng.randint(1, 3)
+    loops.append(Loop(_LOOP_VARS[0], AffineExpr(lo0), AffineExpr(hi0)))
+    for level in range(1, depth):
+        outer = rng.choice([loop.var for loop in loops])
+        outer_expr = AffineExpr.variable(outer)
+        if rng.random() < 0.5:
+            # triangular from below: for v = outer + c to constant
+            lower = outer_expr + rng.randint(-1, 1)
+            upper = AffineExpr(hi0 + rng.randint(0, 2))
+        else:
+            # triangular from above: for v = constant to outer + c
+            lower = AffineExpr(lo0 + rng.randint(-1, 0))
+            upper = outer_expr + rng.randint(0, 2)
+        loops.append(Loop(_LOOP_VARS[level], lower, upper))
+    nest1, nest2 = _split_nests(rng, loops, _LOOP_VARS[depth : depth + 1])
+    ref1, ref2 = _make_refs(
+        rng, nest1, nest2, rank=rng.randint(1, 2), max_vars=2, coeff_hi=2, const_hi=3
+    )
+    return ref1, nest1, ref2, nest2, {}
+
+
+def _gen_symbolic(rng: random.Random) -> _TierCase:
+    depth = rng.randint(1, 2)
+    symbol = rng.choice(_SYMBOLS)
+    env = {symbol: rng.randint(2, 5)}
+    loops: list[Loop] = []
+    for level in range(depth):
+        lo = rng.randint(0, 2)
+        if level == 0 or rng.random() < 0.5:
+            upper = AffineExpr.variable(symbol) + rng.randint(-1, 1)
+        else:
+            upper = AffineExpr(lo + rng.randint(0, 3))
+        loops.append(Loop(_LOOP_VARS[level], AffineExpr(lo), upper))
+    nest1, nest2 = _split_nests(rng, loops, _LOOP_VARS[depth : depth + 1])
+    use_in_subscript = rng.random() < 0.6
+    ref1, ref2 = _make_refs(
+        rng,
+        nest1,
+        nest2,
+        rank=rng.randint(1, 2),
+        max_vars=2,
+        coeff_hi=2,
+        const_hi=3,
+        symbol=symbol if use_in_subscript else None,
+    )
+    # Keep env entries only for symbols the case actually mentions.
+    used = (
+        ref1.variables()
+        | ref2.variables()
+        | nest1.symbols()
+        | nest2.symbols()
+    )
+    env = {name: value for name, value in env.items() if name in used}
+    return ref1, nest1, ref2, nest2, env
+
+
+def _gen_degenerate(rng: random.Random) -> _TierCase:
+    flavor = rng.choice(
+        ("empty", "equal_const", "unequal_const", "self", "unused", "wide")
+    )
+    if flavor == "empty":
+        # Zero-iteration loop: bounds contradict.  Subscripts must not be
+        # all-constant (the constant fast path assumes non-empty loops).
+        lo = rng.randint(2, 5)
+        loops = [Loop("i", AffineExpr(lo), AffineExpr(lo - rng.randint(1, 3)))]
+        nest = LoopNest(loops)
+        sub = AffineExpr(rng.randint(-2, 2), {"i": rng.choice((-2, -1, 1, 2))})
+        ref1 = ArrayRef(_ARRAY, (sub,), AccessKind.WRITE)
+        ref2 = ArrayRef(
+            _ARRAY,
+            (AffineExpr(rng.randint(-2, 2), {"i": 1}),),
+            AccessKind.READ,
+        )
+        return ref1, nest, ref2, nest, {}
+    if flavor in ("equal_const", "unequal_const"):
+        # All-constant subscripts under guaranteed non-empty loops.
+        nest = LoopNest(_constant_loops(rng, ("i",), max_trip=3))
+        c1 = rng.randint(-3, 3)
+        c2 = c1 if flavor == "equal_const" else c1 + rng.randint(1, 3)
+        rank = rng.randint(1, 2)
+        extra = rng.randint(-2, 2)
+        sub1 = (AffineExpr(c1),) + ((AffineExpr(extra),) if rank == 2 else ())
+        sub2 = (AffineExpr(c2),) + ((AffineExpr(extra),) if rank == 2 else ())
+        return (
+            ArrayRef(_ARRAY, sub1, AccessKind.WRITE),
+            nest,
+            ArrayRef(_ARRAY, sub2, AccessKind.READ),
+            nest,
+            {},
+        )
+    if flavor == "self":
+        depth = rng.randint(1, 2)
+        nest = LoopNest(_constant_loops(rng, _LOOP_VARS[:depth]))
+        sub = tuple(
+            _subscript(rng, nest.variables, 2, 2, 3) for _ in range(rng.randint(1, 2))
+        )
+        ref1 = ArrayRef(_ARRAY, sub, AccessKind.WRITE)
+        ref2 = ArrayRef(_ARRAY, sub, AccessKind.READ)
+        return ref1, nest, ref2, nest, {}
+    if flavor == "unused":
+        # Loops whose variables no subscript mentions (elimination fodder).
+        depth = rng.randint(2, 3)
+        nest = LoopNest(_constant_loops(rng, _LOOP_VARS[:depth]))
+        used = nest.variables[: rng.randint(1, depth - 1)]
+        ref1 = ArrayRef(
+            _ARRAY, (_subscript(rng, used, 2, 2, 3),), AccessKind.WRITE
+        )
+        ref2 = ArrayRef(
+            _ARRAY, (_subscript(rng, used, 2, 2, 3),), AccessKind.READ
+        )
+        return ref1, nest, ref2, nest, {}
+    # "wide": oversized coefficients against tiny trip counts.
+    nest = LoopNest(_constant_loops(rng, ("i", "j")[: rng.randint(1, 2)], max_trip=3))
+    ref1, ref2 = _make_refs(
+        rng, nest, nest, rank=1, max_vars=2, coeff_hi=9, const_hi=9
+    )
+    return ref1, nest, ref2, nest, {}
+
+
+_TIER_BUILDERS = {
+    "constant": _gen_constant,
+    "coupled": _gen_coupled,
+    "triangular": _gen_triangular,
+    "symbolic": _gen_symbolic,
+    "degenerate": _gen_degenerate,
+}
+
+
+# -- public API -------------------------------------------------------------
+
+
+def case_seed(seed: int, index: int) -> int:
+    """The per-case RNG seed: a pure function of the run seed and index."""
+    return ((seed * _MIX1) ^ ((index + 1) * _MIX2)) & _MASK
+
+
+def generate_case(seed: int, index: int, tier: str) -> FuzzCase:
+    """Deterministically build case ``index`` of a run at one tier."""
+    if tier not in _TIER_BUILDERS:
+        raise ValueError(f"unknown tier {tier!r} (expected one of {TIERS})")
+    builder = _TIER_BUILDERS[tier]
+    derived = case_seed(seed, index)
+    for attempt in range(16):
+        rng = random.Random(derived + attempt)
+        ref1, nest1, ref2, nest2, env = builder(rng)
+        if (
+            _space_size(nest1, env, MAX_POINTS) <= MAX_POINTS
+            and _space_size(nest2, env, MAX_POINTS) <= MAX_POINTS
+            and (
+                tier != "triangular"
+                or (_always_nonempty(nest1, env) and _always_nonempty(nest2, env))
+            )
+        ):
+            return FuzzCase(
+                tier=tier,
+                seed=seed,
+                index=index,
+                ref1=ref1,
+                nest1=nest1,
+                ref2=ref2,
+                nest2=nest2,
+                env=env,
+            )
+    raise RuntimeError(
+        f"could not generate a bounded case (tier={tier}, seed={seed}, index={index})"
+    )
+
+
+def generate_cases(
+    seed: int, iterations: int, tiers: tuple[str, ...] = TIERS
+) -> list[FuzzCase]:
+    """The run's case list: ``iterations`` cases, tiers round-robin."""
+    if not tiers:
+        raise ValueError("no tiers selected")
+    return [
+        generate_case(seed, index, tiers[index % len(tiers)])
+        for index in range(iterations)
+    ]
+
+
+def case_strategy(tier: str | None = None, seed: int = 0):
+    """A hypothesis strategy over generated cases (reused by tests).
+
+    Drawing an index (and optionally a tier) funnels hypothesis's
+    shrinking through the deterministic generator, so failing examples
+    are reportable as ``(seed, index, tier)`` triples.
+    """
+    from hypothesis import strategies as st
+
+    if tier is not None:
+        return st.integers(min_value=0, max_value=2**20).map(
+            lambda index: generate_case(seed, index, tier)
+        )
+    return st.tuples(
+        st.integers(min_value=0, max_value=2**20), st.sampled_from(TIERS)
+    ).map(lambda pair: generate_case(seed, pair[0], pair[1]))

@@ -50,7 +50,9 @@ def nest(*loops: tuple[str, _Bound, _Bound]) -> LoopNest:
     return LoopNest([Loop(name, _expr(lo), _expr(hi)) for name, lo, hi in loops])
 
 
-def ref(array: str, subscripts: Sequence[AffineExpr | int], write: bool = False) -> ArrayRef:
+def ref(
+    array: str, subscripts: Sequence[AffineExpr | int], write: bool = False
+) -> ArrayRef:
     kind = AccessKind.WRITE if write else AccessKind.READ
     return ArrayRef.make(array, subscripts, kind)
 

@@ -149,7 +149,9 @@ class ForLoop(Stmt):
     def __str__(self) -> str:
         step = f" step {self.step}" if self.step != 1 else ""
         header = f"for {self.var} = {self.lower} to {self.upper}{step} do"
-        body = "\n".join(f"  {line}" for stmt in self.body for line in str(stmt).split("\n"))
+        body = "\n".join(
+            f"  {line}" for stmt in self.body for line in str(stmt).split("\n")
+        )
         return f"{header}\n{body}\nend for"
 
 

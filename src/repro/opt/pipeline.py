@@ -18,8 +18,6 @@ from __future__ import annotations
 from repro.lang.ast_nodes import SourceProgram
 from repro.lang.lower import LowerResult, lower
 from repro.lang.parser import parse
-from repro.opt.constprop import propagate_constants
-from repro.opt.forward_sub import forward_substitute
 from repro.opt.induction import substitute_inductions
 from repro.opt.normalize import normalize_loops
 

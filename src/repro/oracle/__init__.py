@@ -1,16 +1,24 @@
 """Exhaustive-enumeration ground truth for validating the exact tests."""
 
 from repro.oracle.enumerate import (
+    DEFAULT_RADIUS,
+    enumeration_box,
+    iterate_box,
     iterate_solutions,
     oracle_dependent,
     oracle_direction_vectors,
     oracle_distance_set,
+    solve_in_box,
     solve_system,
 )
 
 __all__ = [
+    "DEFAULT_RADIUS",
+    "enumeration_box",
+    "iterate_box",
     "iterate_solutions",
     "solve_system",
+    "solve_in_box",
     "oracle_dependent",
     "oracle_direction_vectors",
     "oracle_distance_set",

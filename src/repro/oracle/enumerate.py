@@ -3,10 +3,25 @@
 Dependence testing asks whether an integer system has a solution; for
 small constant bounds that question can be settled by exhaustive
 enumeration.  The oracle is the ground truth against which every test
-in the cascade is validated (unit tests and hypothesis properties),
-and it also computes reference direction/distance vector sets.
+in the cascade is validated (unit tests, hypothesis properties, and
+the differential fuzzer in :mod:`repro.fuzz`), and it also computes
+reference direction/distance vector sets.
 
 Never used by the analyzer itself — only by tests and examples.
+
+**The enumeration box.**  Enumeration is only complete over a finite
+box, so the oracle's answers are exact relative to an explicit search
+region.  For loop-bounded variables the box implied by the system's
+single-variable constraints already contains every solution (loop
+bounds enter the system as one-variable inequalities after constant
+screening).  Variables that remain unbounded on one or both ends —
+symbolic terms treated as free unknowns (paper section 8), or
+degenerate systems with no bound constraints — are searched within
+``±radius`` of zero (clamped around the finite end when one exists).
+A "no solution in the box" answer for such systems is therefore only
+as strong as the box: callers that fuzz symbolic systems compare
+one-sidedly (a claimed-independent system must have no solution in the
+box) rather than treating box exhaustion as proof of independence.
 """
 
 from __future__ import annotations
@@ -16,16 +31,24 @@ from itertools import product
 
 from repro.ir.arrays import ArrayRef
 from repro.ir.loops import LoopNest
-from repro.system.constraints import ConstraintSystem
+from repro.system.constraints import NEG_INF, POS_INF, ConstraintSystem
 from repro.system.depsystem import Direction
 
 __all__ = [
+    "DEFAULT_RADIUS",
+    "enumeration_box",
     "solve_system",
+    "solve_in_box",
     "iterate_solutions",
+    "iterate_box",
     "oracle_dependent",
     "oracle_direction_vectors",
     "oracle_distance_set",
 ]
+
+# Default half-width of the search interval for variables the system
+# itself does not bound (symbolic terms, degenerate systems).
+DEFAULT_RADIUS = 6
 
 
 def iterate_solutions(
@@ -46,6 +69,66 @@ def solve_system(
     intersect the box — callers bound their variables accordingly.
     """
     return next(iterate_solutions(system, lo, hi), None)
+
+
+def enumeration_box(
+    system: ConstraintSystem, radius: int = DEFAULT_RADIUS
+) -> list[tuple[int, int]] | None:
+    """A finite per-variable search box for the system.
+
+    Each variable's interval comes from the system's one-variable
+    constraints; an end the system leaves unbounded is clamped to
+    ``radius`` away from zero (or from the finite end, when only one
+    end is open, so half-bounded variables still get a ``2*radius + 1``
+    wide window starting at their hard limit).  Returns None when the
+    one-variable constraints alone are already contradictory (an empty
+    interval — e.g. a zero-iteration loop's bounds).
+    """
+    box: list[tuple[int, int]] = []
+    for interval in system.single_variable_intervals():
+        if interval.empty:
+            return None
+        lo, hi = interval.lo, interval.hi
+        if lo == NEG_INF and hi == POS_INF:
+            lo, hi = -radius, radius
+        elif lo == NEG_INF:
+            lo = int(hi) - 2 * radius
+        elif hi == POS_INF:
+            hi = int(lo) + 2 * radius
+        box.append((int(lo), int(hi)))
+    return box
+
+
+def iterate_box(
+    system: ConstraintSystem, box: Sequence[tuple[int, int]]
+) -> Iterator[tuple[int, ...]]:
+    """All points of a per-variable box satisfying the system."""
+    if len(box) != system.n_vars:
+        raise ValueError(
+            f"box has {len(box)} intervals, system has {system.n_vars} variables"
+        )
+    ranges = [range(lo, hi + 1) for lo, hi in box]
+    for point in product(*ranges):
+        if system.evaluate(point):
+            yield point
+
+
+def solve_in_box(
+    system: ConstraintSystem, radius: int = DEFAULT_RADIUS
+) -> tuple[int, ...] | None:
+    """First solution within :func:`enumeration_box`, or None.
+
+    The go-to entry point for systems with symbolic/unbounded
+    variables: complete for variables the system bounds on both ends,
+    and a documented ``±radius`` search window for the rest.  A
+    zero-variable system degenerates to checking the constant
+    constraints themselves (the empty point satisfies an empty or
+    all-trivial system).
+    """
+    box = enumeration_box(system, radius)
+    if box is None:
+        return None
+    return next(iterate_box(system, box), None)
 
 
 def _iteration_vectors(

@@ -30,7 +30,7 @@ for — Tables 2, 4 and 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ir import builder as B
 from repro.ir.arrays import ArrayRef

@@ -9,7 +9,6 @@ frontend path reproduces the builder path's verdicts query for query.
 
 from __future__ import annotations
 
-from repro.ir.affine import AffineExpr
 from repro.lang.unparse import _affine_to_text
 from repro.perfect.patterns import Query
 

@@ -19,7 +19,7 @@ variable by a constant, and single-variable interval extraction.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.linalg.gcdext import floor_div, gcd_all

@@ -222,7 +222,7 @@ class DependenceProblem:
 
     # -- unused-variable elimination ----------------------------------------------
 
-    def used_variable_closure(self) -> set[int]:
+    def used_variable_closure(self, extra: set[int] | None = None) -> set[int]:
         """Variables reachable from the subscript equations.
 
         A loop variable is *used* if it occurs in a subscript equation,
@@ -230,6 +230,11 @@ class DependenceProblem:
         Bound constraints on unused variables add no information (the
         loops are assumed non-empty) and dropping them merges cases that
         differ only in irrelevant surrounding loops (section 5).
+
+        ``extra`` seeds the closure with additional variables to keep
+        (the direction-vector path must retain both variables of any
+        common level it intends to refine, plus everything their bounds
+        reference — see :meth:`eliminate_unused`).
         """
         used = {
             j
@@ -237,6 +242,8 @@ class DependenceProblem:
             for j, c in enumerate(coeffs)
             if c != 0
         }
+        if extra:
+            used |= extra
         changed = True
         while changed:
             changed = False
@@ -249,7 +256,9 @@ class DependenceProblem:
                             changed = True
         return used
 
-    def eliminate_unused(self) -> tuple["DependenceProblem", list[int]]:
+    def eliminate_unused(
+        self, extra_keep: set[int] | None = None
+    ) -> tuple["DependenceProblem", list[int]]:
         """Project away unused variables and their bound constraints.
 
         Returns the reduced problem and, for each *common* level, whether
@@ -257,8 +266,16 @@ class DependenceProblem:
         structure bookkeeping (n1/n2/n_common) is recomputed over the
         surviving variables; the caller uses the survivor list to map
         direction-vector components back (dropped levels get ``*``).
+
+        ``extra_keep`` force-retains variables beyond the equation
+        closure (their bound constraints, and transitively everything
+        those reference, are retained too).  The direction-vector path
+        uses this: a ``*`` lift is only exact for a common level whose
+        two variables are *both* unused and whose loop has constant
+        bounds, so :meth:`DependenceAnalyzer.directions` keeps every
+        other level in the system instead of dropping it.
         """
-        used = self.used_variable_closure()
+        used = self.used_variable_closure(extra_keep)
         keep = sorted(used)
         remap = {old: new for new, old in enumerate(keep)}
 

@@ -237,3 +237,50 @@ class TestHarnessCli:
     def test_tables_forwarding(self, capsys):
         assert repro_main(["tables", "table1", "--scale", "0.02"]) == 0
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestFuzzCommand:
+    def test_small_clean_campaign(self, capsys):
+        assert repro_main(["fuzz", "--seed", "0", "-n", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "discrepancies: 0" in out
+        assert "cases by tier" in out
+
+    def test_output_reproducible_across_jobs(self, capsys):
+        assert repro_main(["fuzz", "--seed", "2", "-n", "10", "-j", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert repro_main(["fuzz", "--seed", "2", "-n", "10", "-j", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert serial == sharded
+
+    def test_tier_selection(self, capsys):
+        assert repro_main(
+            ["fuzz", "-n", "4", "--tier", "constant", "--tier", "degenerate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tiers=constant,degenerate" in out
+
+    def test_stats_json(self, tmp_path, capsys):
+        import json as json_mod
+
+        stats = tmp_path / "stats.json"
+        assert repro_main(
+            ["fuzz", "-n", "6", "--stats-json", str(stats)]
+        ) == 0
+        payload = json_mod.loads(stats.read_text())
+        assert payload["scalars"]["fuzz.cases"] == 6
+
+    def test_replay_empty_corpus(self, tmp_path, capsys):
+        assert repro_main(["fuzz", "--replay", str(tmp_path)]) == 0
+        assert "no corpus cases" in capsys.readouterr().out
+
+    def test_replay_corpus(self, tmp_path, capsys):
+        from repro.fuzz.corpus import save_case
+        from repro.fuzz.generator import generate_case
+
+        for index in range(3):
+            save_case(generate_case(0, index, "constant"), tmp_path)
+        assert repro_main(["fuzz", "--replay", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 3 corpus case(s)" in out
+        assert "discrepancies: 0" in out

@@ -1,0 +1,135 @@
+"""Tests for the seeded fuzz-case generator."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.fuzz.generator import (
+    MAX_POINTS,
+    TIERS,
+    FuzzCase,
+    _always_nonempty,
+    _space_size,
+    case_seed,
+    case_strategy,
+    generate_case,
+    generate_cases,
+)
+from repro.opt import compile_source
+
+
+class TestDeterminism:
+    def test_same_seed_same_cases(self):
+        first = generate_cases(7, 40)
+        second = generate_cases(7, 40)
+        assert [c.to_dict() for c in first] == [c.to_dict() for c in second]
+
+    def test_different_seeds_differ(self):
+        a = [c.to_dict() for c in generate_cases(0, 20)]
+        b = [c.to_dict() for c in generate_cases(1, 20)]
+        assert a != b
+
+    def test_case_seed_is_pure(self):
+        assert case_seed(3, 5) == case_seed(3, 5)
+        assert case_seed(3, 5) != case_seed(3, 6)
+        assert case_seed(3, 5) != case_seed(4, 5)
+
+    def test_round_robin_tiers(self):
+        cases = generate_cases(0, 10, tiers=("constant", "symbolic"))
+        assert [c.tier for c in cases] == ["constant", "symbolic"] * 5
+
+    def test_no_tiers_rejected(self):
+        with pytest.raises(ValueError):
+            generate_cases(0, 5, tiers=())
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError):
+            generate_case(0, 0, "nope")
+
+
+class TestCaseValidity:
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_spaces_bounded(self, tier):
+        for index in range(25):
+            case = generate_case(0, index, tier)
+            assert _space_size(case.nest1, case.env, MAX_POINTS) <= MAX_POINTS
+            assert _space_size(case.nest2, case.env, MAX_POINTS) <= MAX_POINTS
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_ref1_writes_same_array(self, tier):
+        for index in range(25):
+            case = generate_case(0, index, tier)
+            assert case.ref1.is_write
+            assert case.ref1.array == case.ref2.array
+            assert case.ref1.rank == case.ref2.rank
+
+    def test_symbolic_env_covers_symbols(self):
+        for index in range(40):
+            case = generate_case(0, index, "symbolic")
+            free = (
+                case.nest1.symbols()
+                | case.nest2.symbols()
+                | (case.ref1.variables() - set(case.nest1.variables))
+                | (case.ref2.variables() - set(case.nest2.variables))
+            )
+            assert free <= set(case.env)
+
+    def test_triangular_nests_always_nonempty(self):
+        # The analyzer's model assumes every loop runs at least once;
+        # the triangular builder must respect that (section 5).
+        for index in range(40):
+            case = generate_case(0, index, "triangular")
+            assert _always_nonempty(case.nest1, case.env)
+            assert _always_nonempty(case.nest2, case.env)
+
+    def test_degenerate_constant_subscripts_need_nonempty_loops(self):
+        # The constant fast path assumes non-empty loops, so a case
+        # with an all-constant subscript pair must never sit under a
+        # zero-iteration nest.
+        for index in range(60):
+            case = generate_case(0, index, "degenerate")
+            all_const = all(
+                s.is_constant for s in case.ref1.subscripts + case.ref2.subscripts
+            )
+            if all_const:
+                assert _space_size(case.nest1, case.env, MAX_POINTS) > 0
+                assert _space_size(case.nest2, case.env, MAX_POINTS) > 0
+
+
+class TestSerde:
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_dict_round_trip(self, tier):
+        for index in range(10):
+            case = generate_case(5, index, tier)
+            clone = FuzzCase.from_dict(case.to_dict())
+            assert clone.to_dict() == case.to_dict()
+            assert clone.ref1 == case.ref1
+            assert clone.nest1.loops == case.nest1.loops
+            assert clone.ref2 == case.ref2
+            assert clone.nest2.loops == case.nest2.loops
+            assert clone.env == case.env
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_source_round_trip_parses(self, tier):
+        for index in range(10):
+            case = generate_case(2, index, tier)
+            result = compile_source(case.to_source(), name="fuzz", strict=False)
+            assert not result.skipped
+            arrays = {
+                ref.array
+                for stmt in result.program.statements
+                for ref in (stmt.write, *stmt.reads)
+            }
+            assert case.ref1.array in arrays
+
+
+class TestHypothesisStrategy:
+    @given(case=case_strategy(tier="constant"))
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    def test_tiered_strategy(self, case):
+        assert case.tier == "constant"
+        assert case.ref1.is_write
+
+    @given(pair_case=case_strategy())
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    def test_mixed_strategy(self, pair_case):
+        assert pair_case.tier in TIERS

@@ -1,0 +1,182 @@
+"""Tests for the counterexample shrinker."""
+
+from repro.fuzz.generator import FuzzCase, generate_case
+from repro.fuzz.shrink import case_cost, shrink_case
+from repro.ir import builder as B
+from repro.ir.loops import LoopNest
+from repro.oracle import oracle_dependent
+
+
+def _case(ref1, nest1, ref2, nest2, env=None):
+    return FuzzCase(
+        tier="constant",
+        seed=0,
+        index=0,
+        ref1=ref1,
+        nest1=nest1,
+        ref2=ref2,
+        nest2=nest2,
+        env=dict(env or {}),
+    )
+
+
+class TestCaseCost:
+    def test_fewer_loops_is_cheaper(self):
+        deep = _case(
+            B.ref("a", [B.v("i")], write=True),
+            B.nest(("i", 0, 3), ("j", 0, 3)),
+            B.ref("a", [B.v("i") + 1]),
+            B.nest(("i", 0, 3), ("j", 0, 3)),
+        )
+        shallow = _case(
+            B.ref("a", [B.v("i")], write=True),
+            B.nest(("i", 0, 3)),
+            B.ref("a", [B.v("i") + 1]),
+            B.nest(("i", 0, 3)),
+        )
+        assert case_cost(shallow) < case_cost(deep)
+
+    def test_smaller_constants_are_cheaper(self):
+        big = _case(
+            B.ref("a", [B.v("i") + 9], write=True),
+            B.nest(("i", 0, 3)),
+            B.ref("a", [B.v("i")]),
+            B.nest(("i", 0, 3)),
+        )
+        small = _case(
+            B.ref("a", [B.v("i") + 1], write=True),
+            B.nest(("i", 0, 3)),
+            B.ref("a", [B.v("i")]),
+            B.nest(("i", 0, 3)),
+        )
+        assert case_cost(small) < case_cost(big)
+
+    def test_symbols_cost(self):
+        plain = _case(
+            B.ref("a", [B.v("i")], write=True),
+            B.nest(("i", 0, 3)),
+            B.ref("a", [B.v("i")]),
+            B.nest(("i", 0, 3)),
+        )
+        symbolic = _case(
+            plain.ref1, plain.nest1, plain.ref2, plain.nest2, env={"n": 3}
+        )
+        assert case_cost(plain) < case_cost(symbolic)
+
+
+class TestShrinking:
+    def test_preserves_failing_property(self):
+        # "Property": the two references still collide somewhere.  The
+        # shrinker must return a smaller case that still collides.
+        case = _case(
+            B.ref("a", [B.v("i") + B.v("j")], write=True),
+            B.nest(("i", 0, 4), ("j", 0, 3)),
+            B.ref("a", [B.v("i") + 2]),
+            B.nest(("i", 0, 4), ("j", 0, 3)),
+        )
+
+        def still_collides(candidate):
+            return oracle_dependent(
+                candidate.ref1,
+                candidate.nest1,
+                candidate.ref2,
+                candidate.nest2,
+                candidate.env,
+            )
+
+        assert still_collides(case)
+        small = shrink_case(case, still_collides)
+        assert still_collides(small)
+        assert case_cost(small) < case_cost(case)
+
+    def test_drops_irrelevant_inner_loop(self):
+        case = _case(
+            B.ref("a", [B.v("i")], write=True),
+            B.nest(("i", 0, 3), ("j", 0, 3)),
+            B.ref("a", [B.v("i")]),
+            B.nest(("i", 0, 3), ("j", 0, 3)),
+        )
+
+        def uses_i(candidate):
+            return "i" in (
+                candidate.ref1.variables() | candidate.ref2.variables()
+            )
+
+        small = shrink_case(case, uses_i)
+        # The j loops served no purpose: both should be gone.
+        assert small.nest1.depth + small.nest2.depth <= 2
+
+    def test_drops_symbol_when_irrelevant(self):
+        case = _case(
+            B.ref("a", [B.v("i") + B.v("n")], write=True),
+            B.nest(("i", 0, 3)),
+            B.ref("a", [B.v("i")]),
+            B.nest(("i", 0, 3)),
+            env={"n": 2},
+        )
+        small = shrink_case(case, lambda c: True)
+        assert small.env == {}
+        assert not small.has_symbols
+
+    def test_never_returns_non_failing(self):
+        case = _case(
+            B.ref("a", [B.v("i") * 2], write=True),
+            B.nest(("i", 0, 5)),
+            B.ref("a", [B.v("i") * 2 + 1]),
+            B.nest(("i", 0, 5)),
+        )
+
+        def never(candidate):
+            return False
+
+        assert shrink_case(case, never) is case
+
+    def test_respects_max_evals(self):
+        case = generate_case(0, 3, "coupled")
+        calls = []
+
+        def count(candidate):
+            calls.append(1)
+            return True
+
+        shrink_case(case, count, max_evals=5)
+        assert len(calls) <= 5
+
+    def test_deterministic(self):
+        case = generate_case(1, 8, "coupled")
+
+        def predicate(candidate):
+            return candidate.ref1.rank >= 1
+
+        a = shrink_case(case, predicate)
+        b = shrink_case(case, predicate)
+        assert a.to_dict() == b.to_dict()
+
+    def test_raising_predicate_treated_as_pass(self):
+        case = _case(
+            B.ref("a", [B.v("i") + 3], write=True),
+            B.nest(("i", 0, 3)),
+            B.ref("a", [B.v("i")]),
+            B.nest(("i", 0, 3)),
+        )
+
+        def explodes(candidate):
+            raise RuntimeError("oracle crashed")
+
+        # Shrinker must survive and return the original case.
+        assert shrink_case(case, explodes) is case
+
+    def test_single_iteration_pinning(self):
+        case = _case(
+            B.ref("a", [B.v("i")], write=True),
+            B.nest(("i", 0, 7)),
+            B.ref("a", [B.v("i")]),
+            B.nest(("i", 0, 7)),
+        )
+        small = shrink_case(case, lambda c: True)
+        # Everything is allowed, so the result collapses to a minimum:
+        # no bound spread left to shrink.
+        for nest in (small.nest1, small.nest2):
+            assert isinstance(nest, LoopNest)
+            for loop in nest:
+                assert loop.upper.constant - loop.lower.constant <= 0

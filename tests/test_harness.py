@@ -1,6 +1,5 @@
 """Integration tests for the experiment harness (scaled-down runs)."""
 
-import pytest
 
 from repro.harness.experiments import (
     collect_table1,

@@ -11,7 +11,6 @@ from repro.lang import (
     LexError,
     LowerError,
     Name,
-    Num,
     ParseError,
     Read,
     lower,

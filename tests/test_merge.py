@@ -10,7 +10,7 @@ with hits on the very first query.
 import random
 
 from repro.core.analyzer import DependenceAnalyzer
-from repro.core.memo import Memoizer, MemoTable
+from repro.core.memo import Memoizer
 from repro.core.persist import (
     dumps,
     load_memoizer,
@@ -19,7 +19,6 @@ from repro.core.persist import (
     save_memoizer,
 )
 from repro.core.stats import AnalyzerStats
-from repro.ir import builder as B
 from repro.perfect import PROGRAM_SPECS, generate_program
 
 import pytest

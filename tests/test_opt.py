@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lang import Assign, ForLoop, parse
+from repro.lang import parse
 from repro.lang.lower import lower
 from repro.opt import (
     compile_source,

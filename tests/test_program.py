@@ -49,7 +49,12 @@ class TestReferencePairs:
     def _program(self):
         prog = B.program("p")
         nest = B.nest(("i", 1, 5))
-        B.assign(prog, nest, ("a", [B.v("i")]), [("a", [B.v("i") - 1]), ("b", [B.v("i")])])
+        B.assign(
+            prog,
+            nest,
+            ("a", [B.v("i")]),
+            [("a", [B.v("i") - 1]), ("b", [B.v("i")])],
+        )
         B.assign(prog, nest, ("b", [B.v("i")]), [("a", [B.v("i")])])
         return prog
 
@@ -64,7 +69,12 @@ class TestReferencePairs:
     def test_read_read_pairs_excluded(self):
         prog = B.program("p")
         nest = B.nest(("i", 1, 5))
-        B.assign(prog, nest, ("x", [B.v("i")]), [("c", [B.v("i")]), ("c", [B.v("i") + 1])])
+        B.assign(
+            prog,
+            nest,
+            ("x", [B.v("i")]),
+            [("c", [B.v("i")]), ("c", [B.v("i") + 1])],
+        )
         pairs = reference_pairs(prog)
         # c is only read: the c-c pair must not appear
         assert all(p[0].ref.array != "c" for p in pairs)

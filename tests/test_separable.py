@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.analyzer import DependenceAnalyzer
-from repro.core.separable import is_separable, separable_directions
+from repro.core.separable import is_separable
 from repro.ir import builder as B
 from repro.oracle.enumerate import oracle_direction_vectors
 from repro.system.depsystem import build_problem

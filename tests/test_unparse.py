@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 
 from repro.lang.ast_nodes import (
     Access,
-    Assign,
     BinOp,
     ForLoop,
     Name,

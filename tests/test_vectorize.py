@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.vectorize import (
     ParallelLoop,
-    ScalarStatement,
     SerialLoop,
     VectorStatement,
     vectorize,
