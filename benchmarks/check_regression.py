@@ -35,6 +35,9 @@ GATED_METRICS: tuple[tuple[str, str, str], ...] = (
     ("BENCH_batch.json", "cold_hit_rate_no_bounds", "higher"),
     ("BENCH_batch.json", "warm_hit_rate_no_bounds", "higher"),
     ("BENCH_obs.json", "collecting_ratio", "lower"),
+    # The serving layer's whole point: a warm second run must keep
+    # answering from cache (the test itself also hard-floors it >=0.9).
+    ("BENCH_serve.json", "warm_hit_rate", "higher"),
 )
 
 # Exact workload invariants: the benchmark must still measure the same
@@ -45,6 +48,8 @@ EXACT_METRICS: tuple[tuple[str, str], ...] = (
     ("BENCH_batch.json", "unique_problems"),
     ("BENCH_batch.json", "constant_screened"),
     ("BENCH_obs.json", "queries"),
+    ("BENCH_serve.json", "queries"),
+    ("BENCH_serve.json", "clients"),
 )
 
 

@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""CI smoke test for the dependence daemon (repro.serve).
+
+End-to-end, at the process level:
+
+1. start ``python -m repro serve`` as a subprocess and read the
+   announced port;
+2. fire 200 queries from 8 concurrent clients (each client pipelines
+   the full stream) and assert every response is **bit-identical** to
+   a serial ``analyze_batch`` run over the same queries;
+3. SIGTERM the daemon while a second wave of load is in flight and
+   assert a clean drain: the process exits 0 and every response that
+   did arrive is either a correct answer or an explicit
+   ``shutting_down`` error — never garbage, never a hang.
+
+Exits 0 when all checks pass, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.api import DependenceReport  # noqa: E402
+from repro.core.engine import analyze_batch, queries_from_suite  # noqa: E402
+from repro.ir.serde import query_to_dict  # noqa: E402
+from repro.perfect import load_suite  # noqa: E402
+from repro.serve import protocol  # noqa: E402
+from repro.serve.client import ServeClient, ServeError  # noqa: E402
+
+N_QUERIES = 200
+N_CLIENTS = 8
+
+
+def build_workload():
+    queries = queries_from_suite(
+        load_suite(include_symbolic=True, scale=0.02)
+    )[:N_QUERIES]
+    assert len(queries) == N_QUERIES, f"corpus too small: {len(queries)}"
+    serial = analyze_batch(queries, jobs=1, want_directions=True)
+    expected = [
+        protocol.report_to_wire(
+            DependenceReport.from_results(
+                str(outcome.query.ref1),
+                str(outcome.query.ref2),
+                outcome.result,
+                outcome.directions,
+            )
+        )
+        for outcome in serial.outcomes
+    ]
+    calls = [
+        (
+            "analyze",
+            {
+                "query": query_to_dict(q.ref1, q.nest1, q.ref2, q.nest2),
+                "directions": True,
+            },
+        )
+        for q in queries
+    ]
+    return calls, expected
+
+
+def start_server() -> tuple[subprocess.Popen, str, int]:
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--queue-limit",
+            "50000",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=str(REPO),
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    line = proc.stdout.readline()
+    announce = json.loads(line)["serving"]
+    return proc, announce["host"], announce["port"]
+
+
+def check_bit_identical(host: str, port: int, calls, expected) -> list[str]:
+    failures: list[str] = []
+
+    def worker(index: int):
+        try:
+            with ServeClient.connect(
+                host, port, timeout=120.0, retry_for=10.0
+            ) as client:
+                results = client.call_many(calls)
+            for i, (got, want) in enumerate(zip(results, expected)):
+                if got != want:
+                    failures.append(
+                        f"client {index} query {i}: {got!r} != {want!r}"
+                    )
+                    return
+        except Exception as err:
+            failures.append(f"client {index}: {err!r}")
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(N_CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(300)
+    return failures
+
+
+def check_sigterm_drain(proc, host, port, calls, expected) -> list[str]:
+    """SIGTERM mid-load: exit 0, and nothing but answers or explicit
+    shutting_down errors come back."""
+    failures: list[str] = []
+    fired = threading.Event()
+
+    def loader():
+        try:
+            with ServeClient.connect(host, port, timeout=120.0) as client:
+                for i, (op, params) in enumerate(calls):
+                    if i == 20:
+                        fired.set()  # enough in flight: time to SIGTERM
+                    try:
+                        got = client.call(op, params)
+                        if got != expected[i]:
+                            failures.append(
+                                f"drain query {i}: {got!r} != {expected[i]!r}"
+                            )
+                            return
+                    except ServeError as err:
+                        if err.code != protocol.ErrorCode.SHUTTING_DOWN:
+                            failures.append(
+                                f"drain query {i}: unexpected {err!r}"
+                            )
+                        return
+        except (ConnectionError, OSError):
+            pass  # the drain closed the connection after in-flight work
+
+    threads = [threading.Thread(target=loader) for _ in range(N_CLIENTS)]
+    for t in threads:
+        t.start()
+    assert fired.wait(60), "load never ramped"
+    proc.send_signal(signal.SIGTERM)
+    for t in threads:
+        t.join(60)
+    try:
+        code = proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        failures.append("server did not exit within 60s of SIGTERM")
+        return failures
+    if code != 0:
+        failures.append(f"server exited {code}, expected 0 after drain")
+    return failures
+
+
+def main() -> int:
+    print(f"building workload: {N_QUERIES} queries, serial reference ...")
+    calls, expected = build_workload()
+
+    print("starting daemon ...")
+    proc, host, port = start_server()
+    try:
+        print(
+            f"serving on {host}:{port}; firing {N_CLIENTS} concurrent "
+            f"clients x {N_QUERIES} queries ..."
+        )
+        failures = check_bit_identical(host, port, calls, expected)
+        if failures:
+            print(f"FAIL: {failures[0]}", file=sys.stderr)
+            return 1
+        print(
+            f"ok: {N_CLIENTS * N_QUERIES} responses bit-identical to "
+            "serial analyze_batch"
+        )
+
+        print("SIGTERM mid-load ...")
+        failures = check_sigterm_drain(proc, host, port, calls, expected)
+        if failures:
+            print(f"FAIL: {failures[0]}", file=sys.stderr)
+            return 1
+        print("ok: clean drain, exit code 0")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    start = time.perf_counter()
+    status = main()
+    print(f"serve smoke finished in {time.perf_counter() - start:.1f}s")
+    sys.exit(status)

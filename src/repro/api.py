@@ -48,6 +48,7 @@ __all__ = [
     "ProgramReport",
     "ExplainResult",
     "run_fuzz",
+    "connect",
 ]
 
 
@@ -62,6 +63,29 @@ def run_fuzz(*args: Any, **kwargs: Any):
     from repro.fuzz.harness import run_fuzz as _run_fuzz
 
     return _run_fuzz(*args, **kwargs)
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout: float | None = 30.0,
+    retry_for: float = 0.0,
+):
+    """Open a client to a running dependence daemon (see :mod:`repro.serve`).
+
+    Lazy forwarder to :meth:`repro.serve.client.ServeClient.connect`,
+    so facade users get at the serving layer without a second import
+    surface — and importing ``repro.api`` never pulls in asyncio/socket
+    machinery::
+
+        client = connect(port=4733)
+        verdict = client.analyze(source=text, pair=0)
+    """
+    from repro.serve.client import ServeClient
+
+    return ServeClient.connect(
+        host, port, timeout=timeout, retry_for=retry_for
+    )
 
 
 @dataclass(frozen=True)
@@ -263,8 +287,17 @@ class AnalysisSession:
         """Is a dependence possible between the two references?"""
         result = self.analyzer.analyze(ref1, nest1, ref2, nest2)
         directions = None
-        if want_directions and result.dependent:
-            directions = self.analyzer.directions(ref1, nest1, ref2, nest2)
+        if want_directions:
+            if result.dependent:
+                directions = self.analyzer.directions(ref1, nest1, ref2, nest2)
+            else:
+                # The documented contract (and the batch engine's
+                # behavior): requested directions on an independent
+                # pair are the empty set, not "not computed".
+                directions = DirectionResult(
+                    vectors=frozenset(),
+                    n_common=nest1.common_prefix_depth(nest2),
+                )
         return DependenceReport.from_results(
             str(ref1), str(ref2), result, directions
         )

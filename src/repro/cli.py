@@ -22,8 +22,28 @@ Subcommands:
   --shrink --corpus``), or deterministic corpus replay (``--replay``).
 * ``tables ...`` — forwarded to :mod:`repro.harness` (regenerate the
   paper's tables).
+* ``serve`` — run the long-lived dependence-query daemon
+  (:mod:`repro.serve`): JSON-lines over TCP (or ``--stdio``), shared
+  warm memo tables, optional persistent ``--cache``, per-query
+  ``--deadline-ms`` degradation, SIGTERM-triggered graceful drain.
+* ``query`` — one-shot client for a running daemon: ``analyze``,
+  ``explain`` or ``analyze_program`` a source file, or hit the
+  ``health`` / ``stats`` / ``shutdown`` control ops.
 
 Reads from stdin when ``FILE`` is ``-``.
+
+Exit codes
+==========
+
+Every subcommand follows one convention:
+
+* **0** — success, and no dependences/findings to report;
+* **1** — success, but dependences (or fuzz mismatches) were found:
+  ``analyze``/``deps``/``query`` report at least one dependent pair;
+* **2** — usage error: unknown flags, missing or unparsable input,
+  out-of-range ``--pair``;
+* **3** — internal error: unexpected failure inside the tool (or an
+  unreachable/overloaded server for ``query``).
 """
 
 from __future__ import annotations
@@ -42,7 +62,19 @@ from repro.ir.program import Program, reference_pairs
 from repro.lang.errors import LangError
 from repro.opt import compile_source
 
-__all__ = ["main"]
+__all__ = [
+    "main",
+    "EXIT_OK",
+    "EXIT_DEPENDENCE",
+    "EXIT_USAGE",
+    "EXIT_INTERNAL",
+]
+
+# The CLI-wide exit-code convention (documented in README.md).
+EXIT_OK = 0  # success, nothing found
+EXIT_DEPENDENCE = 1  # success, dependences/findings reported
+EXIT_USAGE = 2  # bad invocation or unreadable/unparsable input
+EXIT_INTERNAL = 3  # unexpected internal failure
 
 
 def _load_program(path: str) -> Program:
@@ -64,12 +96,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     pairs = reference_pairs(program)
     if not pairs:
         print("no testable reference pairs")
-        return 0
+        return EXIT_OK
+    found = 0
     for site1, site2 in pairs:
         report = session.analyze_sites(site1, site2, want_directions=True)
         verdict = "DEPENDENT" if report.dependent else "independent"
         line = f"{report.ref1} vs {report.ref2}: {verdict} [{report.decided_by}]"
         if report.dependent:
+            found += 1
             vectors = " ".join(
                 "(" + " ".join(v) + ")" for v in sorted(report.directions)
             )
@@ -77,7 +111,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             if report.distance and any(d is not None for d in report.distance):
                 line += f"  distance {report.distance}"
         print(line)
-    return 0
+    return EXIT_DEPENDENCE if found else EXIT_OK
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -99,7 +133,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             f"error: --pair {args.pair} out of range (0..{len(pairs) - 1})",
             file=sys.stderr,
         )
-        return 1
+        return EXIT_USAGE
     site1, site2 = pairs[args.pair]
     session = AnalysisSession()
     explained = session.explain_sites(
@@ -185,7 +219,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         queries_from_program,
         queries_from_suite,
     )
-    from repro.core.persist import load_memoizer, save_memoizer
+    from repro.core.persist import load_memoizer_safe, save_memoizer
 
     queries = []
     for path in args.files:
@@ -202,20 +236,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
 
     warm = None
-    if args.warm_cache and Path(args.warm_cache).exists():
-        try:
-            warm = load_memoizer(args.warm_cache)
-        except (ValueError, KeyError, TypeError) as err:
+    if args.warm_cache:
+        # A corrupt or truncated cache file is a warmth problem, not a
+        # correctness problem: warn and analyze cold (the save below
+        # rewrites it wholesale anyway).
+        import warnings as _warnings
+
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always", RuntimeWarning)
+            warm = load_memoizer_safe(args.warm_cache)
+        for entry in caught:
+            print(f"warning: {entry.message}", file=sys.stderr)
+        if warm is not None:
+            cached = len(warm.no_bounds) + len(warm.with_bounds)
             print(
-                f"error: cannot load warm cache {args.warm_cache}: {err}",
+                f"warm-start: {cached} cached cases from {args.warm_cache}",
                 file=sys.stderr,
             )
-            return 1
-        cached = len(warm.no_bounds) + len(warm.with_bounds)
-        print(
-            f"warm-start: {cached} cached cases from {args.warm_cache}",
-            file=sys.stderr,
-        )
 
     stream = None
     if args.trace:
@@ -297,13 +334,94 @@ def _cmd_deps(args: argparse.Namespace) -> int:
             count += 1
     if count == 0:
         print("no dependences")
-    return 0
+    return EXIT_DEPENDENCE if count else EXIT_OK
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import DependenceServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        stdio=args.stdio,
+        cache_path=args.cache,
+        cache_max_bytes=args.cache_max_bytes,
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+        deadline_ms=args.deadline_ms,
+        pool_jobs=args.jobs,
+        symmetry=args.symmetry,
+        fm_budget=args.fm_budget,
+    )
+    return DependenceServer(config).run()
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+    from repro.serve.protocol import ErrorCode
+
+    usage_codes = {
+        ErrorCode.PARSE,
+        ErrorCode.BAD_REQUEST,
+        ErrorCode.UNSUPPORTED,
+        ErrorCode.VERSION,
+        ErrorCode.SOURCE,
+    }
+    try:
+        client = ServeClient.connect(
+            args.host, args.port, retry_for=args.retry_for
+        )
+    except OSError as err:
+        print(
+            f"error: cannot reach server at {args.host}:{args.port}: {err}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERNAL
+    with client:
+        try:
+            if args.op in ("health", "stats", "shutdown"):
+                print(json.dumps(client.call(args.op), indent=2, sort_keys=True))
+                return EXIT_OK
+            if args.file is None:
+                print(
+                    f"error: op {args.op!r} needs a source FILE",
+                    file=sys.stderr,
+                )
+                return EXIT_USAGE
+            if args.file == "-":
+                text = sys.stdin.read()
+            else:
+                text = Path(args.file).read_text()
+            if args.op == "analyze_program":
+                result = client.analyze_program(text)
+                print(json.dumps(result, indent=2, sort_keys=True))
+                dependent = any(p["dependent"] for p in result["pairs"])
+                return EXIT_DEPENDENCE if dependent else EXIT_OK
+            result = client.call(
+                args.op, {"source": text, "pair": args.pair}
+            )
+            print(json.dumps(result, indent=2, sort_keys=True))
+            report = result["report"] if args.op == "explain" else result
+            return EXIT_DEPENDENCE if report["dependent"] else EXIT_OK
+        except ServeError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return EXIT_USAGE if err.code in usage_codes else EXIT_INTERNAL
+        except (ConnectionError, OSError) as err:
+            print(f"error: connection lost: {err}", file=sys.stderr)
+            return EXIT_INTERNAL
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Exact data dependence analysis (Maydan/Hennessy/Lam, PLDI 1991)",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -454,6 +572,102 @@ def main(argv: list[str] | None = None) -> int:
     p_dot.add_argument("file", help="mini-Fortran source file, or -")
     p_dot.set_defaults(func=_cmd_dot)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived dependence-query daemon (repro.serve)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: pick a free one, announced on stdout)",
+    )
+    p_serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve one session over stdin/stdout instead of TCP",
+    )
+    p_serve.add_argument(
+        "--cache",
+        metavar="PATH",
+        help="persistent two-tier cache store (loaded if present, "
+        "rewritten atomically on drain)",
+    )
+    p_serve.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="LRU byte bound for the persistent store (default 64 MiB)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="concurrent analysis worker threads (default 8)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        help="admitted-but-waiting requests before backpressure "
+        "(default 32)",
+    )
+    p_serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-query budget; exceeded queries degrade to the "
+        "conservative flagged verdict (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="process-pool workers for heavy batches (default: CPU count)",
+    )
+    p_serve.add_argument("--symmetry", action="store_true")
+    p_serve.add_argument("--fm-budget", type=int, default=256)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_query = sub.add_parser(
+        "query", help="query a running dependence daemon"
+    )
+    p_query.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="mini-Fortran source file, or - (not needed for control ops)",
+    )
+    p_query.add_argument("--host", default="127.0.0.1")
+    p_query.add_argument("--port", type=int, required=True)
+    p_query.add_argument(
+        "--op",
+        default="analyze",
+        choices=[
+            "analyze",
+            "analyze_program",
+            "explain",
+            "stats",
+            "health",
+            "shutdown",
+        ],
+    )
+    p_query.add_argument(
+        "--pair",
+        type=int,
+        default=0,
+        help="reference-pair index for analyze/explain (default 0)",
+    )
+    p_query.add_argument(
+        "--retry-for",
+        type=float,
+        default=0.0,
+        help="seconds to retry connecting while the server comes up",
+    )
+    p_query.set_defaults(func=_cmd_query)
+
     p_tables = sub.add_parser(
         "tables", help="regenerate the paper's tables (see repro.harness)"
     )
@@ -469,7 +683,15 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except LangError as err:
         print(f"error: {err}", file=sys.stderr)
-        return 1
+        return EXIT_USAGE
     except FileNotFoundError as err:
         print(f"error: {err}", file=sys.stderr)
-        return 1
+        return EXIT_USAGE
+    except KeyboardInterrupt:
+        return EXIT_INTERNAL
+    except Exception as err:  # noqa: BLE001 — map anything else to 3
+        import traceback
+
+        traceback.print_exc(file=sys.stderr)
+        print(f"internal error: {err}", file=sys.stderr)
+        return EXIT_INTERNAL

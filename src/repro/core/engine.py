@@ -36,13 +36,13 @@ import multiprocessing
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.core.analyzer import DependenceAnalyzer
 from repro.core.memo import Memoizer
 from repro.core.persist import (
     dumps as _memo_dumps,
-    load_memoizer,
+    load_memoizer_safe,
     loads as _memo_loads,
     merge_memoizers,
 )
@@ -254,6 +254,7 @@ def analyze_batch(
     symmetry: bool = False,
     fm_budget: int = 256,
     sink: TraceSink | None = None,
+    pool_map: Callable[[list], list] | None = None,
 ) -> BatchReport:
     """Analyze a whole batch of dependence queries, sharded over workers.
 
@@ -271,6 +272,12 @@ def analyze_batch(
     and the reduce step replays them into the sink in deterministic
     round-robin shard order with globally renumbered query ids —
     sharding never changes the trace (timings aside).
+
+    ``pool_map`` lets a caller supply its own fan-out executor (e.g.
+    the serving layer's persistent :class:`repro.serve.pool.WorkerPool`
+    with crashed-worker recycling): it receives the list of shard
+    payloads and must return one :func:`_run_shard` output per payload,
+    in order.  ``None`` keeps the built-in per-call pool.
     """
     items = [_as_pair(query) for query in queries]
     n_queries = len(items)
@@ -281,7 +288,9 @@ def analyze_batch(
     screen_qid = 0
 
     if warm is not None and not isinstance(warm, Memoizer):
-        warm = load_memoizer(warm)
+        # A broken warm-start file only costs warmth, never the run
+        # (load_memoizer_safe warns and returns None on corruption).
+        warm = load_memoizer_safe(warm)
     if warm is not None and (
         warm.improved != improved or warm.symmetry != symmetry
     ):
@@ -392,6 +401,8 @@ def analyze_batch(
     ]
     if len(payloads) <= 1 or jobs == 1:
         shard_outputs = [_run_shard(payload) for payload in payloads]
+    elif pool_map is not None:
+        shard_outputs = pool_map(payloads)
     else:
         context = _pool_context()
         with context.Pool(processes=len(payloads)) as pool:

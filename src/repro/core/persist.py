@@ -16,6 +16,7 @@ factorizations); hit statistics start fresh.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -25,12 +26,20 @@ from repro.core.memo import Memoizer, MemoTable
 __all__ = [
     "save_memoizer",
     "load_memoizer",
+    "load_memoizer_safe",
     "dumps",
     "loads",
+    "encode_memo_value",
+    "decode_memo_value",
     "merge_memoizers",
 ]
 
 _FORMAT_VERSION = 1
+
+# Everything a structurally broken cache file can raise while being
+# parsed and decoded: I/O errors, truncated/garbage JSON (json raises a
+# ValueError subclass), missing or mistyped fields, non-dict payloads.
+_CACHE_LOAD_ERRORS = (OSError, ValueError, KeyError, TypeError, AttributeError)
 
 
 def _encode_value(value: Any) -> dict:
@@ -96,6 +105,13 @@ def _decode_value(blob: dict) -> Any:
             reduced_n_common=blob["n_common"],
         )
     raise ValueError(f"unknown memo value kind {kind!r}")
+
+
+# Public entry-level serde: the serving cache persists memo entries
+# individually (so it can evict least-recently-used entries under a
+# byte budget) and reuses this format for each value.
+encode_memo_value = _encode_value
+decode_memo_value = _decode_value
 
 
 def _encode_table(table: MemoTable) -> dict:
@@ -173,3 +189,27 @@ def save_memoizer(memoizer: Memoizer, path: str | Path) -> None:
 def load_memoizer(path: str | Path) -> Memoizer:
     """Load a memoizer saved by :func:`save_memoizer`."""
     return loads(Path(path).read_text())
+
+
+def load_memoizer_safe(path: str | Path) -> Memoizer | None:
+    """Load a warm-start table, or ``None`` when the file is unusable.
+
+    A corrupt, truncated or version-mismatched cache file must never
+    take the analysis down — it only costs warmth.  Every structural
+    decode failure is reported as a :class:`RuntimeWarning` and the
+    caller proceeds cold.  A *missing* file is also ``None``, silently:
+    "no cache yet" is the normal first-run state, not a defect.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        return loads(path.read_text())
+    except _CACHE_LOAD_ERRORS as err:
+        warnings.warn(
+            f"skipping corrupt warm-start cache {path}: {err!r} "
+            "(analysis proceeds cold)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None

@@ -90,12 +90,14 @@ class AnalyzerStats:
     )
 
     def record_decision(self, test_name: str, independent: bool) -> None:
-        self.decided_by[test_name] += 1
-        self.outcomes[(test_name, "independent" if independent else "dependent")] += 1
+        outcome = "independent" if independent else "dependent"
+        self.registry.inc_family("tests.decided_by", test_name)
+        self.registry.inc_family("tests.outcomes", (test_name, outcome))
 
     def record_direction_test(self, test_name: str, independent: bool) -> None:
-        self.direction_tests[test_name] += 1
-        self.outcomes[(test_name, "independent" if independent else "dependent")] += 1
+        outcome = "independent" if independent else "dependent"
+        self.registry.inc_family("tests.direction", test_name)
+        self.registry.inc_family("tests.outcomes", (test_name, outcome))
 
     def observe_stage_ns(self, test_name: str, elapsed_ns: int) -> None:
         """Attribute one cascade stage's wall time to its test's timer."""

@@ -43,6 +43,12 @@ from repro.ir.affine import AffineExpr
 from repro.ir.arrays import AccessKind, ArrayRef
 from repro.ir.loops import Loop, LoopNest
 from repro.ir.program import Program, Statement
+from repro.ir.serde import (
+    nest_from_dict as _nest_from_dict,
+    nest_to_dict as _nest_to_dict,
+    ref_from_dict as _ref_from_dict,
+    ref_to_dict as _ref_to_dict,
+)
 from repro.system.depsystem import DependenceProblem, build_problem
 
 __all__ = [
@@ -151,57 +157,6 @@ class FuzzCase:
             nest2=_nest_from_dict(payload["nest2"]),
             env={str(k): int(v) for k, v in payload.get("env", {}).items()},
         )
-
-
-# -- affine/loop serde ------------------------------------------------------
-
-
-def _expr_to_dict(expr: AffineExpr) -> dict:
-    return {"const": expr.constant, "terms": dict(sorted(expr.terms.items()))}
-
-
-def _expr_from_dict(payload: dict) -> AffineExpr:
-    return AffineExpr(payload["const"], payload.get("terms", {}))
-
-
-def _ref_to_dict(ref: ArrayRef) -> dict:
-    return {
-        "array": ref.array,
-        "subscripts": [_expr_to_dict(s) for s in ref.subscripts],
-        "kind": ref.kind,
-    }
-
-
-def _ref_from_dict(payload: dict) -> ArrayRef:
-    return ArrayRef(
-        payload["array"],
-        tuple(_expr_from_dict(s) for s in payload["subscripts"]),
-        payload.get("kind", AccessKind.READ),
-    )
-
-
-def _nest_to_dict(nest: LoopNest) -> list[dict]:
-    return [
-        {
-            "var": loop.var,
-            "lower": _expr_to_dict(loop.lower),
-            "upper": _expr_to_dict(loop.upper),
-        }
-        for loop in nest
-    ]
-
-
-def _nest_from_dict(payload: list[dict]) -> LoopNest:
-    return LoopNest(
-        [
-            Loop(
-                entry["var"],
-                _expr_from_dict(entry["lower"]),
-                _expr_from_dict(entry["upper"]),
-            )
-            for entry in payload
-        ]
-    )
 
 
 # -- generation helpers -----------------------------------------------------

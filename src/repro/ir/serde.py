@@ -1,0 +1,95 @@
+"""JSON serde for the dependence-query IR (refs, nests, affine exprs).
+
+One canonical wire/corpus encoding shared by every layer that ships
+queries across a boundary: the fuzz corpus (:mod:`repro.fuzz.corpus`),
+the serving protocol (:mod:`repro.serve.protocol`) and any external
+tool that wants to pose queries without the mini-Fortran frontend.
+
+The encoding is deterministic — dict keys are emitted in sorted order
+where the source container is unordered — so two equal IR values
+always serialize to the same JSON text.
+"""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import AccessKind, ArrayRef
+from repro.ir.loops import Loop, LoopNest
+
+__all__ = [
+    "expr_to_dict",
+    "expr_from_dict",
+    "ref_to_dict",
+    "ref_from_dict",
+    "nest_to_dict",
+    "nest_from_dict",
+    "query_to_dict",
+    "query_from_dict",
+]
+
+
+def expr_to_dict(expr: AffineExpr) -> dict:
+    return {"const": expr.constant, "terms": dict(sorted(expr.terms.items()))}
+
+
+def expr_from_dict(payload: dict) -> AffineExpr:
+    return AffineExpr(payload["const"], payload.get("terms", {}))
+
+
+def ref_to_dict(ref: ArrayRef) -> dict:
+    return {
+        "array": ref.array,
+        "subscripts": [expr_to_dict(s) for s in ref.subscripts],
+        "kind": ref.kind,
+    }
+
+
+def ref_from_dict(payload: dict) -> ArrayRef:
+    return ArrayRef(
+        payload["array"],
+        tuple(expr_from_dict(s) for s in payload["subscripts"]),
+        payload.get("kind", AccessKind.READ),
+    )
+
+
+def nest_to_dict(nest: LoopNest) -> list[dict]:
+    return [
+        {
+            "var": loop.var,
+            "lower": expr_to_dict(loop.lower),
+            "upper": expr_to_dict(loop.upper),
+        }
+        for loop in nest
+    ]
+
+
+def nest_from_dict(payload: list[dict]) -> LoopNest:
+    return LoopNest(
+        [
+            Loop(
+                entry["var"],
+                expr_from_dict(entry["lower"]),
+                expr_from_dict(entry["upper"]),
+            )
+            for entry in payload
+        ]
+    )
+
+
+def query_to_dict(ref1: ArrayRef, nest1: LoopNest, ref2: ArrayRef, nest2: LoopNest) -> dict:
+    """One dependence question — the unit both the corpus and the wire ship."""
+    return {
+        "ref1": ref_to_dict(ref1),
+        "nest1": nest_to_dict(nest1),
+        "ref2": ref_to_dict(ref2),
+        "nest2": nest_to_dict(nest2),
+    }
+
+
+def query_from_dict(payload: dict) -> tuple[ArrayRef, LoopNest, ArrayRef, LoopNest]:
+    return (
+        ref_from_dict(payload["ref1"]),
+        nest_from_dict(payload["nest1"]),
+        ref_from_dict(payload["ref2"]),
+        nest_from_dict(payload["nest2"]),
+    )

@@ -20,6 +20,7 @@ bit-deterministic across shardings, wall times are not.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter
 from contextlib import contextmanager
@@ -100,25 +101,52 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Counters, labeled counter families and histograms under one roof."""
+    """Counters, labeled counter families and histograms under one roof.
 
-    __slots__ = ("scalars", "families", "histograms")
+    Mutation and snapshot paths are guarded by one re-entrant lock, so
+    a registry may be shared by concurrent server threads: increments
+    are never lost and snapshots never observe a half-applied merge.
+    Reads of single scalars stay lock-free (a dict lookup is atomic
+    under the GIL and the value is a plain int).
+    """
+
+    __slots__ = ("scalars", "families", "histograms", "_lock")
 
     def __init__(self) -> None:
         self.scalars: dict[str, int] = {}
         self.families: dict[str, Counter] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.RLock()
+
+    # Registries cross process boundaries inside AnalyzerStats (the
+    # batch engine pickles per-shard stats); locks don't pickle, so the
+    # state is the three maps and the lock is rebuilt on restore.
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "scalars": dict(self.scalars),
+                "families": {k: Counter(v) for k, v in self.families.items()},
+                "histograms": dict(self.histograms),
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.scalars = state["scalars"]
+        self.families = state["families"]
+        self.histograms = state["histograms"]
+        self._lock = threading.RLock()
 
     # -- scalar counters ---------------------------------------------------
 
     def inc(self, name: str, amount: int = 1) -> None:
-        self.scalars[name] = self.scalars.get(name, 0) + amount
+        with self._lock:
+            self.scalars[name] = self.scalars.get(name, 0) + amount
 
     def get(self, name: str) -> int:
         return self.scalars.get(name, 0)
 
     def put(self, name: str, value: int) -> None:
-        self.scalars[name] = value
+        with self._lock:
+            self.scalars[name] = value
 
     # -- labeled families --------------------------------------------------
 
@@ -126,21 +154,33 @@ class MetricsRegistry:
         """The live Counter for a label family (created on demand)."""
         counter = self.families.get(name)
         if counter is None:
-            counter = Counter()
-            self.families[name] = counter
+            with self._lock:
+                counter = self.families.get(name)
+                if counter is None:
+                    counter = Counter()
+                    self.families[name] = counter
         return counter
+
+    def inc_family(self, name: str, key: Any, amount: int = 1) -> None:
+        """Atomic increment of one family label (thread-safe)."""
+        with self._lock:
+            self.family(name)[key] += amount
 
     # -- histograms / timers -----------------------------------------------
 
     def histogram(self, name: str) -> Histogram:
         hist = self.histograms.get(name)
         if hist is None:
-            hist = Histogram()
-            self.histograms[name] = hist
+            with self._lock:
+                hist = self.histograms.get(name)
+                if hist is None:
+                    hist = Histogram()
+                    self.histograms[name] = hist
         return hist
 
     def observe(self, name: str, value: int) -> None:
-        self.histogram(name).observe(value)
+        with self._lock:
+            self.histogram(name).observe(value)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -155,12 +195,13 @@ class MetricsRegistry:
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Accumulate another registry; keeps every key of both sides."""
-        for name, value in other.scalars.items():
-            self.scalars[name] = self.scalars.get(name, 0) + value
-        for name, counter in other.families.items():
-            self.family(name).update(counter)
-        for name, hist in other.histograms.items():
-            self.histogram(name).merge(hist)
+        with self._lock:
+            for name, value in other.scalars.items():
+                self.scalars[name] = self.scalars.get(name, 0) + value
+            for name, counter in other.families.items():
+                self.family(name).update(counter)
+            for name, hist in other.histograms.items():
+                self.histogram(name).merge(hist)
 
     # -- snapshots & serialization ----------------------------------------
 
@@ -172,25 +213,29 @@ class MetricsRegistry:
         are excluded on purpose — wall-clock observations differ run to
         run even when the computation is identical.
         """
-        scalars = {k: v for k, v in self.scalars.items() if v}
-        families = {}
-        for name, counter in self.families.items():
-            flat = {
-                _flat_key(key): value for key, value in counter.items() if value
-            }
-            if flat:
-                families[name] = flat
-        return {"scalars": scalars, "families": families}
+        with self._lock:
+            scalars = {k: v for k, v in self.scalars.items() if v}
+            families = {}
+            for name, counter in self.families.items():
+                flat = {
+                    _flat_key(key): value
+                    for key, value in counter.items()
+                    if value
+                }
+                if flat:
+                    families[name] = flat
+            return {"scalars": scalars, "families": families}
 
     def to_dict(self) -> dict:
         """Full JSON-safe dump (``repro stats --json`` and round trips)."""
-        out = self.counter_snapshot()
-        out["histograms"] = {
-            name: hist.to_dict()
-            for name, hist in sorted(self.histograms.items())
-            if hist.count
-        }
-        return out
+        with self._lock:
+            out = self.counter_snapshot()
+            out["histograms"] = {
+                name: hist.to_dict()
+                for name, hist in sorted(self.histograms.items())
+                if hist.count
+            }
+            return out
 
     @classmethod
     def from_dict(cls, payload: dict) -> "MetricsRegistry":

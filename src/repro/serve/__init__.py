@@ -1,0 +1,45 @@
+"""repro.serve — the long-running dependence-query service.
+
+The paper's systems result is that memoization makes exact dependence
+testing cheap *because real workloads repeat a tiny number of unique
+query patterns* (5,679 queries collapse to 332 tests on the PERFECT
+Club).  That access profile rewards a long-lived **service** far more
+than batch re-runs: a daemon keeps the memo tables warm across every
+caller, forever.  This package is that daemon plus its client:
+
+* :mod:`repro.serve.protocol` — the versioned JSON-lines request /
+  response schema (TCP and stdio) with typed error codes;
+* :mod:`repro.serve.cache` — the two-tier cache: the in-process
+  :class:`~repro.core.memo.Memoizer` (made thread-safe and
+  recency-tracked) backed by a persistent on-disk store with atomic
+  writes, versioned invalidation and an LRU byte bound — plus
+  single-flight coalescing of identical in-flight queries;
+* :mod:`repro.serve.pool` — a persistent process pool (crashed-worker
+  recycling) reusing the batch engine's sharding for heavy uncached
+  program analyses;
+* :mod:`repro.serve.server` — the asyncio daemon: per-connection
+  sessions, request pipelining, bounded concurrency with explicit
+  backpressure, per-query deadlines that degrade to a conservative
+  flagged verdict, and SIGTERM-triggered graceful drain;
+* :mod:`repro.serve.client` — a pipelining synchronous client.
+
+CLI entry points: ``repro serve`` and ``repro query``.
+"""
+
+from repro.serve.cache import ServeCache, SingleFlight
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.pool import WorkerPool
+from repro.serve.protocol import PROTOCOL_VERSION, ErrorCode
+from repro.serve.server import DependenceServer, ServeConfig
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ErrorCode",
+    "ServeCache",
+    "SingleFlight",
+    "ServeClient",
+    "ServeError",
+    "WorkerPool",
+    "DependenceServer",
+    "ServeConfig",
+]

@@ -1,0 +1,355 @@
+"""The serving cache: thread-safe memo tier + persistent disk tier.
+
+Tier 1 is the paper's in-process :class:`~repro.core.memo.Memoizer`,
+upgraded for concurrent serving: every table is a
+:class:`RecencyMemoTable`, which (a) guards probes/inserts/resizes with
+one lock so executor threads can share it, and (b) stamps each key
+with a logical clock tick on every touch, giving the disk tier an
+exact least-recently-used order.
+
+Tier 2 is an on-disk JSON store built on :mod:`repro.core.persist`'s
+entry encoding.  Writes are **atomic** (temp file in the same
+directory, then ``os.replace``), so a crash mid-save can never leave a
+truncated store — and if one appears anyway (external truncation,
+version skew), loading skips it with a warning and the server starts
+cold; corruption costs warmth, never availability.  The store is
+**versioned**: a ``cache_version``/``protocol_version`` stamp guards
+against reading entries written under an incompatible schema, and the
+memo keying flags (``improved``/``symmetry``) must match.  It is
+**bounded**: before writing, entries are LRU-evicted until the encoded
+payload fits ``max_bytes``.
+
+:class:`SingleFlight` is the third caching layer, for work that hasn't
+finished yet: identical queries that arrive while the first one is
+still computing coalesce onto the same asyncio future and all receive
+the one result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+import threading
+import warnings
+from pathlib import Path
+from typing import Any, Awaitable, Callable
+
+from repro.core.memo import Memoizer, MemoTable, paper_hash
+from repro.core.persist import decode_memo_value, encode_memo_value
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.protocol import PROTOCOL_VERSION
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_MAX_BYTES",
+    "RecencyMemoTable",
+    "ServeCache",
+    "SingleFlight",
+]
+
+CACHE_SCHEMA_VERSION = 1
+
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+# Fixed per-entry bookkeeping allowance when budgeting ``max_bytes``
+# (JSON punctuation, the "used" stamp, list separators).
+_ENTRY_OVERHEAD = 16
+
+
+class RecencyMemoTable(MemoTable):
+    """A memo table that is thread-safe and remembers per-key recency.
+
+    All mutating paths (and ``lookup``, which both reads and counts)
+    take the shared lock; ``used`` maps each present key to the logical
+    clock tick of its last touch.  The clock is shared across the
+    memoizer's tables so "least recently used" is global, not
+    per-table.
+    """
+
+    def __init__(
+        self,
+        size: int = 4096,
+        lock: threading.RLock | None = None,
+        clock: list[int] | None = None,
+    ):
+        super().__init__(size=size)
+        self._lock = lock if lock is not None else threading.RLock()
+        # Single-cell mutable clock, shared between the two tables.
+        self._clock = clock if clock is not None else [0]
+        self.used: dict[tuple[int, ...], int] = {}
+
+    def _tick(self) -> int:
+        self._clock[0] += 1
+        return self._clock[0]
+
+    def lookup(self, key: tuple[int, ...]) -> tuple[bool, Any]:
+        with self._lock:
+            hit, value = super().lookup(key)
+            if hit:
+                self.used[key] = self._tick()
+            return hit, value
+
+    def insert(self, key: tuple[int, ...], value: Any) -> None:
+        with self._lock:
+            super().insert(key, value)
+            self.used[key] = self._tick()
+
+    def update(self, key: tuple[int, ...], value: Any) -> None:
+        with self._lock:
+            super().update(key, value)
+            self.used.setdefault(key, self._tick())
+
+    def restore(self, key: tuple[int, ...], value: Any, used: int) -> None:
+        """Adopt a persisted entry, keeping its saved recency stamp."""
+        with self._lock:
+            super().update(key, value)
+            self.used[key] = used
+            if used > self._clock[0]:
+                self._clock[0] = used
+
+    def resize(self, new_size: int) -> None:
+        with self._lock:
+            super().resize(new_size)
+
+    def drop(self, key: tuple[int, ...]) -> None:
+        """Remove one entry (LRU eviction path)."""
+        with self._lock:
+            bucket = self._buckets[paper_hash(key, self.size)]
+            for i, (stored_key, _) in enumerate(bucket):
+                if stored_key == key:
+                    del bucket[i]
+                    self._count -= 1
+                    break
+            self.used.pop(key, None)
+
+
+class ServeCache:
+    """Two-tier cache: shared thread-safe memoizer + bounded disk store.
+
+    The memoizer is handed to every per-connection analysis session, so
+    all connections share one warmth pool.  ``save()`` persists it
+    atomically under the byte budget; construction loads any compatible
+    existing store (skipping corrupt or version-mismatched files with a
+    warning).
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        improved: bool = True,
+        symmetry: bool = False,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.max_bytes = max_bytes
+        self.registry = registry if registry is not None else MetricsRegistry()
+        lock = threading.RLock()
+        clock: list[int] = [0]
+        self.memoizer = Memoizer(
+            no_bounds=RecencyMemoTable(lock=lock, clock=clock),
+            with_bounds=RecencyMemoTable(lock=lock, clock=clock),
+            improved=improved,
+            symmetry=symmetry,
+        )
+        self._lock = lock
+        self.loaded_entries = 0
+        self.last_save_bytes = 0
+        if self.path is not None:
+            self._load()
+
+    # -- disk tier ---------------------------------------------------------
+
+    def _header(self) -> dict:
+        return {
+            "cache_version": CACHE_SCHEMA_VERSION,
+            "protocol_version": PROTOCOL_VERSION,
+            "improved": self.memoizer.improved,
+            "symmetry": self.memoizer.symmetry,
+        }
+
+    def _load(self) -> None:
+        assert self.path is not None
+        if not self.path.exists():
+            return
+        try:
+            blob = json.loads(self.path.read_text())
+            if not isinstance(blob, dict):
+                raise ValueError("store root must be an object")
+            header = {
+                key: blob.get(key) for key in self._header()
+            }
+            if header != self._header():
+                warnings.warn(
+                    f"ignoring serve cache {self.path}: schema/keying "
+                    f"mismatch ({header} != {self._header()})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.registry.inc("serve.cache.version_skips")
+                return
+            count = 0
+            for table_name in ("no_bounds", "with_bounds"):
+                table: RecencyMemoTable = getattr(self.memoizer, table_name)
+                for entry in blob["tables"][table_name]:
+                    table.restore(
+                        tuple(entry["key"]),
+                        decode_memo_value(entry["value"]),
+                        int(entry["used"]),
+                    )
+                    count += 1
+            self.loaded_entries = count
+        except (OSError, ValueError, KeyError, TypeError) as err:
+            warnings.warn(
+                f"skipping corrupt serve cache {self.path}: {err!r} "
+                "(serving starts cold)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.registry.inc("serve.cache.load_failures")
+
+    def save(self) -> int:
+        """Atomically persist the memo tables; returns bytes written.
+
+        Entries are encoded individually, sorted by recency, and the
+        least-recently-used are evicted (from the persisted image *and*
+        the in-process tables) until the payload fits ``max_bytes``.
+        No-op (returns 0) when the cache has no backing path.
+        """
+        if self.path is None:
+            return 0
+        with self._lock:
+            encoded: list[tuple[int, str, dict, int]] = []
+            for table_name in ("no_bounds", "with_bounds"):
+                table: RecencyMemoTable = getattr(self.memoizer, table_name)
+                for key, value in table.items():
+                    entry = {
+                        "key": list(key),
+                        "value": encode_memo_value(value),
+                        "used": table.used.get(key, 0),
+                    }
+                    size = len(json.dumps(entry, separators=(",", ":")))
+                    encoded.append((entry["used"], table_name, entry, size))
+            encoded.sort(key=lambda item: item[0])
+
+            budget = self.max_bytes - len(
+                json.dumps(self._header(), separators=(",", ":"))
+            )
+            total = sum(size + _ENTRY_OVERHEAD for _, _, _, size in encoded)
+            evicted = 0
+            while encoded and total > budget:
+                _, table_name, entry, size = encoded.pop(0)
+                table = getattr(self.memoizer, table_name)
+                table.drop(tuple(entry["key"]))
+                total -= size + _ENTRY_OVERHEAD
+                evicted += 1
+            if evicted:
+                self.registry.inc("serve.cache.evicted", evicted)
+
+            payload = self._header()
+            payload["tables"] = {
+                "no_bounds": [
+                    entry
+                    for _, table_name, entry, _ in encoded
+                    if table_name == "no_bounds"
+                ],
+                "with_bounds": [
+                    entry
+                    for _, table_name, entry, _ in encoded
+                    if table_name == "with_bounds"
+                ],
+            }
+            text = json.dumps(payload, separators=(",", ":"))
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.last_save_bytes = len(text)
+        self.registry.inc("serve.cache.saves")
+        return len(text)
+
+    # -- introspection -----------------------------------------------------
+
+    def entry_count(self) -> int:
+        return len(self.memoizer.no_bounds) + len(self.memoizer.with_bounds)
+
+    def stats(self) -> dict:
+        def table_stats(table: MemoTable) -> dict:
+            return {
+                "entries": len(table),
+                "queries": table.stats.queries,
+                "hits": table.stats.hits,
+            }
+
+        return {
+            "entries": self.entry_count(),
+            "no_bounds": table_stats(self.memoizer.no_bounds),
+            "with_bounds": table_stats(self.memoizer.with_bounds),
+            "disk": {
+                "path": str(self.path) if self.path else None,
+                "max_bytes": self.max_bytes,
+                "loaded_entries": self.loaded_entries,
+                "last_save_bytes": self.last_save_bytes,
+            },
+        }
+
+
+class SingleFlight:
+    """Coalesce identical in-flight computations onto one future.
+
+    ``run(key, thunk)`` executes ``thunk`` for the first caller of a
+    key; callers arriving while that computation is still in flight
+    await the same future and share its outcome (result *or*
+    exception).  Keys leave the table the moment their computation
+    settles, so this is purely about concurrency, not result caching —
+    the memo tables own remembering.
+
+    asyncio-native: must be used from a single event loop.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self._inflight: dict[Any, asyncio.Future] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self, key: Any, thunk: Callable[[], Awaitable[Any]]
+    ) -> Any:
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.registry.inc("serve.coalesced")
+            return await asyncio.shield(existing)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            result = await thunk()
+        except BaseException as err:
+            if not future.cancelled():
+                future.set_exception(err)
+                # Mark retrieved so lonely leaders don't trip asyncio's
+                # "exception was never retrieved" warning.
+                future.exception()
+            raise
+        else:
+            if not future.cancelled():
+                future.set_result(result)
+            return result
+        finally:
+            self._inflight.pop(key, None)

@@ -1,0 +1,177 @@
+"""A small synchronous client for the dependence daemon.
+
+Speaks the JSON-lines protocol over TCP.  Supports one-shot calls and
+**pipelining**: :meth:`ServeClient.call_many` writes a whole batch of
+request lines before reading any response, then matches responses back
+to requests by id (the server may answer out of order).
+
+Typed server errors surface as :class:`ServeError` carrying the wire
+error code, so callers can distinguish ``overloaded`` (retry later)
+from ``bad_request`` (don't).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """An error response from the server, with its typed code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """One connection to a running :class:`DependenceServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        retry_for: float = 0.0,
+    ) -> "ServeClient":
+        """Connect, optionally retrying while the server comes up."""
+        deadline = time.monotonic() + retry_for
+        while True:
+            try:
+                return cls(host, port, timeout=timeout)
+            except (ConnectionRefusedError, OSError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _read_response(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode_response(line)
+
+    @staticmethod
+    def _unwrap(response: dict) -> Any:
+        if response.get("ok"):
+            return response["result"]
+        error = response.get("error") or {}
+        raise ServeError(
+            error.get("code", "internal_error"),
+            error.get("message", "malformed error response"),
+        )
+
+    # -- calls -------------------------------------------------------------
+
+    def call(self, op: str, params: dict | None = None) -> Any:
+        """One request, one response; raises :class:`ServeError` on errors."""
+        request_id = self._fresh_id()
+        self._file.write(protocol.encode_request(op, params, request_id))
+        self._file.flush()
+        response = self._read_response()
+        if response.get("id") != request_id:
+            raise ProtocolError(
+                protocol.ErrorCode.PARSE,
+                f"response id {response.get('id')!r} != {request_id}",
+            )
+        return self._unwrap(response)
+
+    def call_many(
+        self, calls: list[tuple[str, dict | None]]
+    ) -> list[Any]:
+        """Pipeline a batch of calls; results come back in input order.
+
+        All request lines are written before any response is read, and
+        responses are matched by id, so server-side reordering (e.g. a
+        cached answer overtaking a slow one) is invisible to callers.
+        Error responses become :class:`ServeError` *instances* in the
+        result list rather than raising, so one bad call cannot mask
+        the other results.
+        """
+        ids: list[int] = []
+        for op, params in calls:
+            request_id = self._fresh_id()
+            ids.append(request_id)
+            self._file.write(protocol.encode_request(op, params, request_id))
+        self._file.flush()
+        by_id: dict[int, Any] = {}
+        for _ in calls:
+            response = self._read_response()
+            by_id[response.get("id")] = response
+        out: list[Any] = []
+        for request_id in ids:
+            if request_id not in by_id:
+                raise ProtocolError(
+                    protocol.ErrorCode.PARSE,
+                    f"no response for request id {request_id}",
+                )
+            response = by_id[request_id]
+            try:
+                out.append(self._unwrap(response))
+            except ServeError as err:
+                out.append(err)
+        return out
+
+    # -- convenience wrappers ----------------------------------------------
+
+    def analyze(
+        self, query: dict | None = None, source: str | None = None, **params: Any
+    ) -> dict:
+        merged = dict(params)
+        if query is not None:
+            merged["query"] = query
+        if source is not None:
+            merged["source"] = source
+        return self.call("analyze", merged)
+
+    def analyze_program(self, source: str, **params: Any) -> dict:
+        return self.call("analyze_program", {"source": source, **params})
+
+    def explain(
+        self, query: dict | None = None, source: str | None = None, **params: Any
+    ) -> dict:
+        merged = dict(params)
+        if query is not None:
+            merged["query"] = query
+        if source is not None:
+            merged["source"] = source
+        return self.call("explain", merged)
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def health(self) -> dict:
+        return self.call("health")
+
+    def shutdown(self) -> dict:
+        return self.call("shutdown")

@@ -1,0 +1,98 @@
+"""A persistent process pool for heavy uncached batch analyses.
+
+The batch engine (:mod:`repro.core.engine`) creates a fresh
+``multiprocessing`` pool per call — fine for one-shot CLI batches,
+wasteful for a daemon answering ``analyze_program`` requests all day.
+:class:`WorkerPool` keeps one :class:`concurrent.futures`
+process pool alive across requests and plugs into the engine through
+``analyze_batch(..., pool_map=pool.map_shards)``, reusing the engine's
+deterministic round-robin sharding unchanged (so pooled results stay
+bit-identical to serial runs).
+
+A long-lived pool must survive its workers: if a worker process dies
+(OOM kill, segfault, ``os._exit``), the executor is broken — the pool
+**recycles** it (shuts the carcass down, spawns a fresh executor) and
+retries the whole payload list, which is safe because shard analysis
+is pure and deterministic.  After ``retries`` consecutive broken-pool
+failures the error propagates.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.engine import BatchReport, _pool_context, _run_shard, analyze_batch
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """Recyclable process pool; ``pool_map``-compatible with the engine."""
+
+    def __init__(self, jobs: int | None = None, retries: int = 1):
+        if jobs is not None and jobs <= 0:
+            raise ValueError("jobs must be positive")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.retries = retries
+        self.recycles = 0
+        self._executor: ProcessPoolExecutor | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_pool_context()
+            )
+        return self._executor
+
+    def _recycle(self) -> None:
+        """Tear down a broken executor and arrange for a fresh one."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self.recycles += 1
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- mapping -----------------------------------------------------------
+
+    def submit_map(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> list[Any]:
+        """``map(fn, payloads)`` across workers, recycling on crashes.
+
+        ``fn`` must be pure per payload: a broken pool voids every
+        in-flight result, so the whole list is re-run on retry.
+        """
+        attempts = 0
+        while True:
+            executor = self._ensure()
+            try:
+                return list(executor.map(fn, payloads))
+            except BrokenProcessPool:
+                self._recycle()
+                attempts += 1
+                if attempts > self.retries:
+                    raise
+
+    def map_shards(self, payloads: Sequence[Any]) -> list[Any]:
+        """The engine's ``pool_map`` hook: run shard payloads here."""
+        return self.submit_map(_run_shard, payloads)
+
+    def run_batch(self, queries: Iterable, **options: Any) -> BatchReport:
+        """:func:`~repro.core.engine.analyze_batch` on this pool."""
+        options.setdefault("jobs", self.jobs)
+        return analyze_batch(queries, pool_map=self.map_shards, **options)

@@ -1,0 +1,598 @@
+"""The dependence-analysis daemon: asyncio, pipelined, degradable.
+
+One process keeps the analyzer warm for every caller:
+
+* **per-connection sessions** — each TCP (or stdio) connection gets its
+  own :class:`~repro.api.AnalysisSession`, but all sessions share the
+  server's :class:`~repro.serve.cache.ServeCache` memoizer, so any
+  caller's work warms every later caller;
+* **request pipelining** — a client may send many request lines without
+  waiting; responses carry the request id and may return out of order;
+* **bounded concurrency with explicit backpressure** — analysis work
+  runs on a thread pool of ``max_inflight`` workers with at most
+  ``queue_limit`` requests queued behind it; beyond that the server
+  answers immediately with an ``overloaded`` error instead of building
+  an unbounded backlog (control-plane ops — ``health``, ``stats``,
+  ``shutdown`` — always bypass the queue);
+* **deadlines degrade, never hang** — a query exceeding
+  ``deadline_ms`` is answered at once with the conservative
+  "dependent, all ``*`` directions" verdict flagged ``degraded: true``
+  (the lattice top — an over-approximation is always sound); the
+  computation keeps running in its worker thread and its eventual
+  result still warms the shared memo tables;
+* **single-flight coalescing** — identical queries in flight at the
+  same moment share one computation;
+* **graceful drain** — SIGTERM (or the ``shutdown`` op) stops
+  accepting work, answers everything already in flight, persists the
+  cache, and exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+import threading
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api import AnalysisConfig, AnalysisSession, DependenceReport
+from repro.core.engine import analyze_batch, queries_from_program
+from repro.core.persist import dumps as _memo_dumps, loads as _memo_loads
+from repro.ir.program import Program, reference_pairs
+from repro.ir.serde import query_from_dict
+from repro.lang.errors import LangError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import protocol
+from repro.serve.cache import DEFAULT_MAX_BYTES, ServeCache, SingleFlight
+from repro.serve.pool import WorkerPool
+from repro.serve.protocol import ErrorCode, ProtocolError, Request
+
+__all__ = ["ServeConfig", "DependenceServer"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything the daemon can be configured with."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: pick a free port (announced on stdout)
+    stdio: bool = False  # serve one session over stdin/stdout instead
+    cache_path: str | None = None  # tier-2 store (None: in-memory only)
+    cache_max_bytes: int = DEFAULT_MAX_BYTES
+    max_inflight: int = 8  # analysis worker threads
+    queue_limit: int = 32  # admitted-but-waiting requests beyond that
+    deadline_ms: float | None = None  # per-query budget (None: unbounded)
+    batch_threshold: int = 16  # program pairs at which the pool kicks in
+    pool_jobs: int | None = None  # worker processes (None: CPU count)
+    improved: bool = True
+    symmetry: bool = False
+    fm_budget: int = 256
+    announce: bool = True  # print the {"serving": ...} line on stdout
+
+
+class DependenceServer:
+    """The long-running dependence-query service."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config if config is not None else ServeConfig()
+        self.registry = MetricsRegistry()
+        self.cache = ServeCache(
+            path=self.config.cache_path,
+            max_bytes=self.config.cache_max_bytes,
+            improved=self.config.improved,
+            symmetry=self.config.symmetry,
+            registry=self.registry,
+        )
+        self.pool = WorkerPool(jobs=self.config.pool_jobs)
+        self.flight = SingleFlight(registry=self.registry)
+        self.started = threading.Event()
+        self.bound_host: str | None = None
+        self.bound_port: int | None = None
+        self.draining = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_requested = threading.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_inflight,
+            thread_name_prefix="repro-serve",
+        )
+        self._admitted = 0  # analysis requests admitted, not yet answered
+        self._running = 0  # analysis requests holding a worker thread
+        self._semaphore: asyncio.Semaphore | None = None
+        self._pending: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._session_registries: list[MetricsRegistry] = []
+        self._sessions_open = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve until drained; returns the process exit code (0)."""
+        asyncio.run(self._main())
+        return 0
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain; safe to call from any thread."""
+        self._shutdown_requested.set()
+        loop = self._loop
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(lambda: None)  # wake the waiter
+            except RuntimeError:
+                pass  # loop already closed
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._semaphore = asyncio.Semaphore(self.config.max_inflight)
+        self._install_signal_handlers()
+        if self.config.stdio:
+            await self._serve_stdio()
+        else:
+            await self._serve_tcp()
+
+    def _install_signal_handlers(self) -> None:
+        assert self._loop is not None
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self.request_shutdown)
+            except (RuntimeError, NotImplementedError, ValueError):
+                # Not on the main thread (tests) or unsupported platform;
+                # request_shutdown() remains available programmatically.
+                break
+
+    async def _serve_tcp(self) -> None:
+        server = await asyncio.start_server(
+            self._on_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        sockname = server.sockets[0].getsockname()
+        self.bound_host, self.bound_port = sockname[0], sockname[1]
+        if self.config.announce:
+            print(
+                protocol.canonical_json(
+                    {
+                        "serving": {
+                            "host": self.bound_host,
+                            "port": self.bound_port,
+                            "protocol": protocol.PROTOCOL_VERSION,
+                        }
+                    }
+                ),
+                flush=True,
+            )
+        self.started.set()
+        try:
+            await self._wait_for_shutdown()
+            self.draining = True
+            server.close()
+            await server.wait_closed()
+            await self._drain()
+        finally:
+            await self._teardown()
+
+    async def _serve_stdio(self) -> None:
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader(limit=protocol.MAX_LINE_BYTES)
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+        )
+        transport, proto = await loop.connect_write_pipe(
+            asyncio.streams.FlowControlMixin, sys.stdout
+        )
+        writer = asyncio.StreamWriter(transport, proto, reader, loop)
+        self.started.set()
+        try:
+            await self._connection_loop(reader, writer)
+            self.draining = True
+            await self._drain()
+        finally:
+            await self._teardown()
+
+    async def _wait_for_shutdown(self) -> None:
+        while not self._shutdown_requested.is_set():
+            await asyncio.sleep(0.05)
+
+    async def _drain(self) -> None:
+        """Answer everything already admitted, then let connections go."""
+        while self._pending:
+            await asyncio.gather(*tuple(self._pending), return_exceptions=True)
+        for writer in tuple(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _teardown(self) -> None:
+        self._executor.shutdown(wait=True)
+        self.pool.close()
+        if self.cache.path is not None:
+            self.cache.save()
+
+    # -- connections -------------------------------------------------------
+
+    def _make_session(self) -> AnalysisSession:
+        return AnalysisSession(
+            AnalysisConfig(
+                memo=True,
+                improved=self.config.improved,
+                symmetry=self.config.symmetry,
+                fm_budget=self.config.fm_budget,
+                want_witness=False,
+                jobs=1,
+            ),
+            memoizer=self.cache.memoizer,
+        )
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await self._connection_loop(reader, writer)
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = self._make_session()
+        self._session_registries.append(session.registry)
+        self._sessions_open += 1
+        self.registry.inc("serve.connections")
+        write_lock = asyncio.Lock()
+        explain_lock = threading.Lock()
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    # Oversized line or torn connection: nothing sane to
+                    # answer on this stream anymore.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._handle_line(
+                        line, writer, write_lock, session, explain_lock
+                    )
+                )
+                self._pending.add(task)
+                task.add_done_callback(self._pending.discard)
+        finally:
+            self._sessions_open -= 1
+            if self.draining:
+                # _drain() owns closing writers after in-flight work.
+                return
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        session: AnalysisSession,
+        explain_lock: threading.Lock,
+    ) -> None:
+        try:
+            request = protocol.decode_request(line)
+        except ProtocolError as err:
+            await self._write(
+                writer,
+                write_lock,
+                protocol.error_response(err.request_id, err.code, err.message),
+            )
+            self.registry.inc_family("serve.errors", err.code)
+            return
+        response = await self._dispatch(request, session, explain_lock)
+        await self._write(writer, write_lock, response)
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: dict,
+    ) -> None:
+        payload = protocol.encode_response(response)
+        try:
+            async with write_lock:
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # client went away; the work still warmed the cache
+
+    async def _dispatch(
+        self,
+        request: Request,
+        session: AnalysisSession,
+        explain_lock: threading.Lock,
+    ) -> dict:
+        op = request.op
+        self.registry.inc_family("serve.requests", op)
+        if op == "health":
+            return protocol.ok_response(request.id, self._health())
+        if op == "stats":
+            return protocol.ok_response(request.id, self._stats())
+        if op == "shutdown":
+            self.request_shutdown()
+            return protocol.ok_response(request.id, {"draining": True})
+
+        # Analysis ops from here on: refuse while draining, push back
+        # when saturated, otherwise admit under the semaphore.
+        if self.draining or self._shutdown_requested.is_set():
+            self.registry.inc_family("serve.errors", ErrorCode.SHUTTING_DOWN)
+            return protocol.error_response(
+                request.id, ErrorCode.SHUTTING_DOWN, "server is draining"
+            )
+        limit = self.config.max_inflight + self.config.queue_limit
+        if self._admitted >= limit:
+            self.registry.inc("serve.backpressure")
+            self.registry.inc_family("serve.errors", ErrorCode.OVERLOADED)
+            return protocol.error_response(
+                request.id,
+                ErrorCode.OVERLOADED,
+                f"{self._admitted} requests in flight (limit {limit}); "
+                "retry later",
+            )
+        self._admitted += 1
+        self.registry.put("serve.inflight", self._admitted)
+        start = _now_ns()
+        try:
+            flight_key = (op, protocol.canonical_json(request.params))
+            result = await self.flight.run(
+                flight_key,
+                lambda: self._run_analysis_op(request, session, explain_lock),
+            )
+            return protocol.ok_response(request.id, result)
+        except ProtocolError as err:
+            self.registry.inc_family("serve.errors", err.code)
+            return protocol.error_response(request.id, err.code, err.message)
+        except Exception as err:  # noqa: BLE001 — the daemon must not die
+            traceback.print_exc(file=sys.stderr)
+            self.registry.inc_family("serve.errors", ErrorCode.INTERNAL)
+            return protocol.error_response(
+                request.id, ErrorCode.INTERNAL, f"{type(err).__name__}: {err}"
+            )
+        finally:
+            self._admitted -= 1
+            self.registry.put("serve.inflight", self._admitted)
+            self.registry.observe(f"time.serve.{op}", _now_ns() - start)
+
+    # -- analysis ops ------------------------------------------------------
+
+    async def _run_analysis_op(
+        self,
+        request: Request,
+        session: AnalysisSession,
+        explain_lock: threading.Lock,
+    ) -> Any:
+        assert self._semaphore is not None
+        async with self._semaphore:
+            self._running += 1
+            try:
+                if request.op == "analyze":
+                    return await self._op_analyze(request, session)
+                if request.op == "explain":
+                    return await self._op_explain(
+                        request, session, explain_lock
+                    )
+                if request.op == "analyze_program":
+                    return await self._op_analyze_program(request, session)
+                raise ProtocolError(
+                    ErrorCode.UNSUPPORTED, f"unknown op {request.op!r}"
+                )
+            finally:
+                self._running -= 1
+
+    def _decode_query(
+        self, params: dict
+    ) -> tuple[Any, Any, Any, Any]:
+        """``query`` serde object, or ``source`` + ``pair`` index."""
+        if "query" in params:
+            try:
+                return query_from_dict(params["query"])
+            except (KeyError, TypeError, ValueError) as err:
+                raise ProtocolError(
+                    ErrorCode.BAD_REQUEST, f"malformed query: {err!r}"
+                ) from err
+        if "source" in params:
+            program = self._compile(params["source"])
+            pairs = reference_pairs(program)
+            index = params.get("pair", 0)
+            if not isinstance(index, int) or not 0 <= index < len(pairs):
+                raise ProtocolError(
+                    ErrorCode.BAD_REQUEST,
+                    f"pair index {index!r} out of range "
+                    f"(0..{len(pairs) - 1})",
+                )
+            site1, site2 = pairs[index]
+            return site1.ref, site1.nest, site2.ref, site2.nest
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, "params need either 'query' or 'source'"
+        )
+
+    def _compile(self, source: Any) -> Program:
+        if not isinstance(source, str):
+            raise ProtocolError(ErrorCode.BAD_REQUEST, "'source' must be text")
+        from repro.opt import compile_source
+
+        try:
+            return compile_source(source, name="<request>", strict=False).program
+        except LangError as err:
+            raise ProtocolError(ErrorCode.SOURCE, str(err)) from err
+
+    async def _with_deadline(self, work, degrade):
+        """Run blocking ``work`` on the executor under the deadline.
+
+        On timeout the caller's ``degrade()`` answer is returned at
+        once, flagged; the worker thread keeps going and its eventual
+        result still lands in the shared memo tables.
+        """
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, work)
+        deadline = self.config.deadline_ms
+        if deadline is None:
+            return await future
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), timeout=deadline / 1000.0
+            )
+        except asyncio.TimeoutError:
+            self.registry.inc("serve.degraded")
+            return degrade()
+
+    async def _op_analyze(self, request: Request, session: AnalysisSession):
+        ref1, nest1, ref2, nest2 = self._decode_query(request.params)
+        want_directions = bool(request.params.get("directions", True))
+
+        def work() -> dict:
+            report = session.analyze(
+                ref1, nest1, ref2, nest2, want_directions=want_directions
+            )
+            return protocol.report_to_wire(report)
+
+        def degrade() -> dict:
+            return protocol.degraded_report(
+                str(ref1),
+                str(ref2),
+                nest1.common_prefix_depth(nest2),
+                want_directions,
+            )
+
+        return await self._with_deadline(work, degrade)
+
+    async def _op_explain(
+        self,
+        request: Request,
+        session: AnalysisSession,
+        explain_lock: threading.Lock,
+    ):
+        ref1, nest1, ref2, nest2 = self._decode_query(request.params)
+        want_directions = bool(request.params.get("directions", True))
+
+        def work() -> dict:
+            # explain() temporarily swaps the session's sink; one at a
+            # time per session keeps pipelined explains untangled.
+            with explain_lock:
+                explained = session.explain(
+                    ref1, nest1, ref2, nest2, want_directions=want_directions
+                )
+            return {
+                "report": protocol.report_to_wire(explained.report),
+                "trace": explained.render(),
+                "n_events": len(explained.events),
+            }
+
+        def degrade() -> dict:
+            return {
+                "report": protocol.degraded_report(
+                    str(ref1),
+                    str(ref2),
+                    nest1.common_prefix_depth(nest2),
+                    want_directions,
+                ),
+                "trace": "(degraded: deadline exceeded)",
+                "n_events": 0,
+            }
+
+        return await self._with_deadline(work, degrade)
+
+    async def _op_analyze_program(
+        self, request: Request, session: AnalysisSession
+    ):
+        if "source" not in request.params:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST, "analyze_program needs 'source'"
+            )
+        program = self._compile(request.params["source"])
+        want_directions = bool(request.params.get("directions", True))
+        queries = queries_from_program(program)
+        use_pool = len(queries) >= self.config.batch_threshold
+
+        def work() -> dict:
+            # Snapshot the shared memoizer into a plain (picklable)
+            # warm-start table; fold the batch's merged table back in.
+            warm = _memo_loads(_memo_dumps(self.cache.memoizer))
+            report = analyze_batch(
+                queries,
+                jobs=self.pool.jobs if use_pool else 1,
+                warm=warm,
+                want_directions=want_directions,
+                improved=self.config.improved,
+                symmetry=self.config.symmetry,
+                fm_budget=self.config.fm_budget,
+                pool_map=self.pool.map_shards if use_pool else None,
+            )
+            self.cache.memoizer.merge_from(report.memoizer)
+            session.stats.merge(report.stats)
+            pairs = [
+                protocol.report_to_wire(
+                    DependenceReport.from_results(
+                        str(outcome.query.ref1),
+                        str(outcome.query.ref2),
+                        outcome.result,
+                        outcome.directions,
+                    )
+                )
+                for outcome in report.outcomes
+            ]
+            return {"pairs": pairs, "summary": report.summary()}
+
+        def degrade() -> dict:
+            pairs = [
+                protocol.degraded_report(
+                    str(query.ref1),
+                    str(query.ref2),
+                    query.nest1.common_prefix_depth(query.nest2),
+                    want_directions,
+                )
+                for query in queries
+            ]
+            return {"pairs": pairs, "summary": {"degraded": True}}
+
+        return await self._with_deadline(work, degrade)
+
+    # -- control-plane ops -------------------------------------------------
+
+    def _health(self) -> dict:
+        import repro
+
+        return {
+            "status": "draining" if self.draining else "ok",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "server": repro.__version__,
+            "inflight": self._admitted,
+            "connections": self._sessions_open,
+            "cache_entries": self.cache.entry_count(),
+        }
+
+    def _stats(self) -> dict:
+        merged = MetricsRegistry()
+        merged.merge(self.registry)
+        for registry in self._session_registries:
+            merged.merge(registry)
+        return {
+            "registry": merged.to_dict(),
+            "cache": self.cache.stats(),
+            "server": {
+                "inflight": self._admitted,
+                "running": self._running,
+                "draining": self.draining,
+                "connections": self._sessions_open,
+                "pool_recycles": self.pool.recycles,
+            },
+        }
+
+
+def _now_ns() -> int:
+    import time
+
+    return time.perf_counter_ns()

@@ -67,7 +67,13 @@ class TestSession:
         report = AnalysisSession().analyze(w, NEST, r, NEST, want_directions=True)
         assert not report.dependent
         assert report.decided_by == "gcd"
-        assert report.directions is None  # independent: never computed
+        # The documented contract (matching the batch engine):
+        # requested directions on an independent pair are empty, and
+        # None only when not requested.
+        assert report.directions == frozenset()
+        assert report.n_common == 1
+        plain = AnalysisSession().analyze(w, NEST, r, NEST)
+        assert plain.directions is None
 
     def test_memo_persists_across_queries(self):
         w, r = _shift_pair()

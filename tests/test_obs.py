@@ -412,3 +412,93 @@ class TestDeprecationShims:
             )
             analyzer.analyze(w, NEST, r, NEST)
             analyzer.directions(w, NEST, r, NEST)
+
+
+class TestMetricsThreadSafety:
+    """The registry is shared across serving threads: mutation is locked."""
+
+    def test_concurrent_increments_are_exact(self):
+        import threading
+
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        n_threads, per_thread = 8, 2000
+
+        def hammer():
+            for _ in range(per_thread):
+                registry.inc("hits")
+                registry.inc_family("decided_by", "svpc")
+                registry.observe("latency", 1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        assert registry.get("hits") == total
+        assert registry.family("decided_by")["svpc"] == total
+        assert registry.histogram("latency").count == total
+
+    def test_concurrent_merge_and_snapshot(self):
+        import threading
+
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        other = MetricsRegistry()
+        other.inc("x", 3)
+        other.inc_family("f", "k", 2)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def merger():
+            try:
+                for _ in range(500):
+                    registry.merge(other)
+            except BaseException as err:  # pragma: no cover
+                errors.append(err)
+            finally:
+                stop.set()
+
+        def snapshotter():
+            try:
+                while not stop.is_set():
+                    registry.to_dict()
+                    registry.counter_snapshot("f")
+            except BaseException as err:  # pragma: no cover
+                errors.append(err)
+
+        threads = [
+            threading.Thread(target=merger),
+            threading.Thread(target=snapshotter),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert registry.get("x") == 1500
+        assert registry.family("f")["k"] == 1000
+
+    def test_registry_pickles_across_processes(self):
+        """Shard workers ship registries back through pickle: the lock
+        must be dropped on the way out and rebuilt on the way in."""
+        import pickle
+        import threading
+
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.inc("hits", 7)
+        registry.inc_family("decided_by", "gcd", 2)
+        registry.observe("latency", 5)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.get("hits") == 7
+        assert clone.family("decided_by")["gcd"] == 2
+        assert clone.histogram("latency").count == 1
+        # The rebuilt lock is a real lock: mutation still works.
+        clone.inc("hits")
+        assert clone.get("hits") == 8
+        assert isinstance(clone._lock, type(threading.RLock()))

@@ -119,3 +119,67 @@ def _run_and_return_memo(queries):
     memo = Memoizer()
     _run(queries, memo)
     return memo
+
+
+class TestLoadMemoizerSafe:
+    """Corruption costs warmth, never availability (serving + CLI path)."""
+
+    def _saved_cache(self, tmp_path):
+        from repro.core.persist import save_memoizer
+
+        spec = PROGRAM_SPECS[1]
+        memo = _run_and_return_memo(generate_program(spec))
+        path = tmp_path / "cache.json"
+        save_memoizer(memo, path)
+        return path, memo
+
+    def test_good_file_loads(self, tmp_path):
+        from repro.core.persist import load_memoizer_safe
+
+        path, memo = self._saved_cache(tmp_path)
+        restored = load_memoizer_safe(path)
+        assert restored is not None
+        assert len(restored.no_bounds) == len(memo.no_bounds)
+
+    def test_missing_file_is_none_without_warning(self, tmp_path):
+        import warnings
+
+        from repro.core.persist import load_memoizer_safe
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert load_memoizer_safe(tmp_path / "absent.json") is None
+
+    def test_truncated_json_warns_and_returns_none(self, tmp_path):
+        """Regression: a half-written cache must not crash the load."""
+        import pytest
+
+        from repro.core.persist import load_memoizer_safe
+
+        path, _ = self._saved_cache(tmp_path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # torn mid-write
+        with pytest.warns(RuntimeWarning, match="warm-start"):
+            assert load_memoizer_safe(path) is None
+
+    def test_wrong_schema_warns_and_returns_none(self, tmp_path):
+        import json
+
+        import pytest
+
+        from repro.core.persist import load_memoizer_safe
+
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"version": 99, "tables": []}))
+        with pytest.warns(RuntimeWarning):
+            assert load_memoizer_safe(path) is None
+
+    def test_non_json_garbage(self, tmp_path):
+        import pytest
+
+        from repro.core.persist import load_memoizer_safe
+
+        path = tmp_path / "cache.json"
+        path.write_bytes(b"\x00\xffnot json at all")
+        with pytest.warns(RuntimeWarning):
+            assert load_memoizer_safe(path) is None

@@ -1,0 +1,93 @@
+"""Tests for the persistent worker pool (repro.serve.pool)."""
+
+import os
+
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.core.engine import analyze_batch, queries_from_suite
+from repro.perfect import load_suite
+from repro.serve.pool import WorkerPool
+
+
+def _double(value):
+    return value * 2
+
+
+def _crash_once(arg):
+    """Crash the worker process while the flag file exists (and remove
+    it first, so the pool's retry succeeds)."""
+    flag, value = arg
+    if os.path.exists(flag):
+        try:
+            os.unlink(flag)
+        except OSError:
+            pass
+        os._exit(13)
+    return value * 2
+
+
+def _always_crash(_value):
+    os._exit(13)
+
+
+class TestSubmitMap:
+    def test_plain_map(self):
+        with WorkerPool(jobs=2) as pool:
+            assert pool.submit_map(_double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_pool_is_reused_across_calls(self):
+        with WorkerPool(jobs=2) as pool:
+            pool.submit_map(_double, [1])
+            executor = pool._executor
+            pool.submit_map(_double, [2])
+            assert pool._executor is executor
+            assert pool.recycles == 0
+
+    def test_crashed_worker_is_recycled_and_retried(self, tmp_path):
+        flag = str(tmp_path / "crash-flag")
+        with open(flag, "w") as handle:
+            handle.write("1")
+        with WorkerPool(jobs=2, retries=1) as pool:
+            results = pool.submit_map(
+                _crash_once, [(flag, i) for i in range(4)]
+            )
+            assert results == [0, 2, 4, 6]
+            assert pool.recycles == 1
+            # The recycled pool keeps serving.
+            assert pool.submit_map(_double, [5]) == [10]
+
+    def test_retries_exhausted_raises(self):
+        with WorkerPool(jobs=2, retries=1) as pool:
+            with pytest.raises(BrokenProcessPool):
+                pool.submit_map(_always_crash, [1, 2])
+            assert pool.recycles == 2  # initial failure + failed retry
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(jobs=0)
+
+
+class TestRunBatch:
+    def test_pooled_batch_is_bit_identical_to_serial(self):
+        queries = queries_from_suite(
+            load_suite(include_symbolic=True, scale=0.02)
+        )
+        serial = analyze_batch(queries, jobs=1, want_directions=True)
+        with WorkerPool(jobs=2) as pool:
+            pooled = pool.run_batch(queries, want_directions=True)
+        assert len(pooled.outcomes) == len(serial.outcomes)
+        for mine, ref in zip(pooled.outcomes, serial.outcomes):
+            assert mine.result.dependent == ref.result.dependent
+            assert mine.result.decided_by == ref.result.decided_by
+            assert mine.result.distance == ref.result.distance
+            if ref.directions is None:
+                assert mine.directions is None
+            else:
+                assert mine.directions.vectors == ref.directions.vectors
+
+    def test_run_batch_defaults_jobs_to_pool_size(self):
+        queries = queries_from_suite(load_suite(scale=0.02))
+        with WorkerPool(jobs=2) as pool:
+            report = pool.run_batch(queries)
+        assert report.jobs == 2

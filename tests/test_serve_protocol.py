@@ -1,0 +1,165 @@
+"""Tests for the serving wire protocol (repro.serve.protocol)."""
+
+import json
+
+import pytest
+
+from repro.api import DependenceReport
+from repro.serve import protocol
+from repro.serve.protocol import ErrorCode, ProtocolError
+
+
+class TestRequestCodec:
+    def test_round_trip(self):
+        line = protocol.encode_request(
+            "analyze", {"source": "x = 1\n", "pair": 0}, request_id=42
+        )
+        assert line.endswith(b"\n")
+        request = protocol.decode_request(line)
+        assert request.id == 42
+        assert request.op == "analyze"
+        assert request.params == {"source": "x = 1\n", "pair": 0}
+        assert request.version == protocol.PROTOCOL_VERSION
+
+    def test_defaults(self):
+        request = protocol.decode_request(b'{"v": 1, "op": "health"}')
+        assert request.id is None
+        assert request.params == {}
+
+    def test_invalid_json_is_parse_error(self):
+        with pytest.raises(ProtocolError) as exc:
+            protocol.decode_request(b"{nope")
+        assert exc.value.code == ErrorCode.PARSE
+
+    def test_non_object_is_parse_error(self):
+        with pytest.raises(ProtocolError) as exc:
+            protocol.decode_request(b"[1, 2]")
+        assert exc.value.code == ErrorCode.PARSE
+
+    def test_version_mismatch_salvages_id(self):
+        line = json.dumps({"v": 99, "id": 7, "op": "health"}).encode()
+        with pytest.raises(ProtocolError) as exc:
+            protocol.decode_request(line)
+        assert exc.value.code == ErrorCode.VERSION
+        assert exc.value.request_id == 7
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError) as exc:
+            protocol.decode_request(b'{"v": 1, "id": 1}')
+        assert exc.value.code == ErrorCode.BAD_REQUEST
+
+    def test_unknown_op(self):
+        line = json.dumps({"v": 1, "id": 1, "op": "frobnicate"}).encode()
+        with pytest.raises(ProtocolError) as exc:
+            protocol.decode_request(line)
+        assert exc.value.code == ErrorCode.UNSUPPORTED
+
+    def test_params_must_be_object(self):
+        line = json.dumps({"v": 1, "op": "analyze", "params": [1]}).encode()
+        with pytest.raises(ProtocolError) as exc:
+            protocol.decode_request(line)
+        assert exc.value.code == ErrorCode.BAD_REQUEST
+
+
+class TestResponseCodec:
+    def test_ok_round_trip(self):
+        response = protocol.ok_response(3, {"dependent": False})
+        blob = protocol.decode_response(protocol.encode_response(response))
+        assert blob == {"id": 3, "ok": True, "result": {"dependent": False}}
+
+    def test_error_round_trip(self):
+        response = protocol.error_response(
+            None, ErrorCode.OVERLOADED, "try later"
+        )
+        blob = protocol.decode_response(protocol.encode_response(response))
+        assert blob["ok"] is False
+        assert blob["error"]["code"] == "overloaded"
+
+    def test_error_codes_are_typed(self):
+        with pytest.raises(AssertionError):
+            protocol.error_response(None, "made_up_code", "nope")
+
+    def test_malformed_response_line(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_response(b'{"id": 1}')
+
+    def test_canonical_json_is_deterministic(self):
+        a = protocol.canonical_json({"b": 1, "a": [2, 3]})
+        b = protocol.canonical_json({"a": [2, 3], "b": 1})
+        assert a == b
+        assert " " not in a
+
+
+class TestWireReport:
+    def _report(self, **overrides):
+        base = dict(
+            ref1="a[i]",
+            ref2="a[i - 1]",
+            dependent=True,
+            decided_by="svpc",
+            exact=True,
+            from_memo=True,
+            distance=(1,),
+            witness=(2,),
+            directions=frozenset({("<",)}),
+            n_common=1,
+            deduped=True,
+        )
+        base.update(overrides)
+        return DependenceReport(**base)
+
+    def test_serving_state_is_excluded(self):
+        """Warm and cold answers must encode identically: no memo flags,
+        no dedup flags, no witness (an arbitrary representative)."""
+        wire = protocol.report_to_wire(self._report())
+        assert "from_memo" not in wire
+        assert "deduped" not in wire
+        assert "witness" not in wire
+
+    def test_memo_state_does_not_change_encoding(self):
+        cold = protocol.report_to_wire(
+            self._report(from_memo=False, deduped=False)
+        )
+        warm = protocol.report_to_wire(
+            self._report(from_memo=True, deduped=True)
+        )
+        assert cold == warm
+
+    def test_directions_are_sorted_lists(self):
+        wire = protocol.report_to_wire(
+            self._report(directions=frozenset({(">",), ("<",), ("=",)}))
+        )
+        assert wire["directions"] == [["<"], ["="], [">"]]
+
+    def test_independent_pair(self):
+        wire = protocol.report_to_wire(
+            self._report(
+                dependent=False,
+                distance=None,
+                witness=None,
+                directions=None,
+            )
+        )
+        assert wire["dependent"] is False
+        assert wire["distance"] is None
+        assert wire["directions"] is None
+        assert wire["degraded"] is False
+
+
+class TestDegradedReport:
+    def test_is_the_lattice_top(self):
+        """Dependent under every direction: conservative for any query."""
+        wire = protocol.degraded_report("a[i][j]", "a[i][j + 1]", 2)
+        assert wire["dependent"] is True
+        assert wire["degraded"] is True
+        assert wire["exact"] is False
+        assert wire["decided_by"] == "deadline"
+        assert wire["directions"] == [["*", "*"]]
+
+    def test_no_common_loops(self):
+        wire = protocol.degraded_report("a[1]", "a[2]", 0)
+        assert wire["directions"] == [[]]
+
+    def test_without_directions(self):
+        wire = protocol.degraded_report("a[i]", "a[i]", 1, want_directions=False)
+        assert wire["directions"] is None
