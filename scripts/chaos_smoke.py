@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""CI smoke test for the robustness layer, at the process level.
+
+Two end-to-end scenarios against the real ``python -m repro batch``
+CLI over the synthetic PERFECT corpus:
+
+1. **kill -9 and resume.**  Start a checkpointed batch slowed by a
+   chaos hang plan (some shard workers sleep at entry, others do not,
+   so the checkpoint fills while work is still in flight), SIGKILL the
+   driver once at least one shard has been recorded, then rerun with
+   ``--resume`` and assert the stdout report is **bit-identical** to
+   an uninterrupted run of the same batch.
+
+2. **seeded crash storm.**  Run the same batch under a fault plan that
+   crashes a fraction of all shard workers, with the watchdog armed.
+   The run must exit 0 within the deadline (zero hangs), answer every
+   query, and never flip a dependent verdict to independent (the
+   conservative direction only).
+
+Exits 0 when all checks pass, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.robust.chaos import CRASH, ENV_VAR, HANG, FaultPlan  # noqa: E402
+
+JOBS = 4
+SCALE = 1.0
+RUN_TIMEOUT_S = 300
+
+
+def batch_cmd(*extra: str) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "batch",
+        "--scale",
+        str(SCALE),
+        "-j",
+        str(JOBS),
+        *extra,
+    ]
+
+
+def run(cmd: list[str], plan: FaultPlan | None = None, **popen):
+    env = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+    if plan is not None:
+        env[ENV_VAR] = plan.to_json()
+    return subprocess.run(
+        cmd,
+        cwd=str(REPO),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=RUN_TIMEOUT_S,
+        **popen,
+    )
+
+
+def pick_hang_plan() -> FaultPlan:
+    """A plan where some first-attempt shard workers hang and some run
+    free — the free ones fill the checkpoint while the hung ones keep
+    the driver alive long enough to SIGKILL it mid-flight."""
+    for seed in range(1000):
+        plan = FaultPlan(seed=seed, hang_rate=0.5, hang_s=20.0)
+        fates = [
+            plan.peek("engine.shard", f"shard:{i}:0", (CRASH, HANG))
+            for i in range(JOBS)
+        ]
+        if HANG in fates and None in fates:
+            return plan
+    raise AssertionError("no suitable hang seed in range")
+
+
+def check_kill_and_resume(tmp: pathlib.Path) -> list[str]:
+    reference = run(batch_cmd("--checkpoint", str(tmp / "ref.json")))
+    if reference.returncode != 0:
+        return [f"reference run exited {reference.returncode}: "
+                f"{reference.stderr[-500:]}"]
+
+    ckpt = tmp / "victim.json"
+    plan = pick_hang_plan()
+    env = {
+        "PYTHONPATH": str(REPO / "src"),
+        "PATH": "/usr/bin:/bin",
+        ENV_VAR: plan.to_json(),
+    }
+    victim = subprocess.Popen(
+        batch_cmd("--checkpoint", str(ckpt)),
+        cwd=str(REPO),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    # Wait for a *valid* partial checkpoint, then SIGKILL — no
+    # warning, no cleanup, exactly the crash the format must survive.
+    deadline = time.monotonic() + 60
+    shards_recorded = 0
+    while time.monotonic() < deadline:
+        if victim.poll() is not None:
+            return [
+                "victim batch finished before it could be killed "
+                f"(exit {victim.returncode}); hang plan ineffective"
+            ]
+        try:
+            shards_recorded = len(json.loads(ckpt.read_text())["shards"])
+        except (OSError, ValueError, KeyError):
+            shards_recorded = 0
+        if shards_recorded:
+            break
+        time.sleep(0.02)
+    if not shards_recorded:
+        victim.kill()
+        return ["no shard was checkpointed within 60s"]
+    victim.kill()  # SIGKILL: the checkpoint is all that survives
+    victim.wait(timeout=30)
+
+    resumed = run(batch_cmd("--checkpoint", str(ckpt), "--resume"))
+    if resumed.returncode != 0:
+        return [f"resume exited {resumed.returncode}: {resumed.stderr[-500:]}"]
+    if resumed.stdout != reference.stdout:
+        return [
+            "resumed report is not bit-identical to the uninterrupted "
+            f"run:\n--- reference\n{reference.stdout}\n--- resumed\n"
+            f"{resumed.stdout}"
+        ]
+    print(
+        f"ok: killed -9 with {shards_recorded} shard(s) checkpointed; "
+        "--resume output bit-identical to the uninterrupted run"
+    )
+    return []
+
+
+_TOTALS = re.compile(r"(\d+) dependent / (\d+) independent")
+
+
+def parse_totals(stdout: str) -> tuple[int, int]:
+    match = _TOTALS.search(stdout)
+    assert match, f"no totals line in: {stdout!r}"
+    return int(match.group(1)), int(match.group(2))
+
+
+def check_crash_storm(tmp: pathlib.Path) -> list[str]:
+    clean = run(batch_cmd())
+    if clean.returncode != 0:
+        return [f"clean run exited {clean.returncode}"]
+    plan = FaultPlan(seed=18, crash_rate=0.4)
+    start = time.monotonic()
+    stormy = run(
+        batch_cmd("--shard-timeout", "60", "--shard-retries", "1"),
+        plan=plan,
+    )
+    elapsed = time.monotonic() - start
+    if stormy.returncode != 0:
+        return [
+            f"crash-storm run exited {stormy.returncode}: "
+            f"{stormy.stderr[-500:]}"
+        ]
+    dep_clean, ind_clean = parse_totals(clean.stdout)
+    dep_storm, ind_storm = parse_totals(stormy.stdout)
+    if dep_clean + ind_clean != dep_storm + ind_storm:
+        return [
+            f"query count drifted under chaos: "
+            f"{dep_storm + ind_storm} != {dep_clean + ind_clean}"
+        ]
+    if dep_storm < dep_clean:
+        # Degradation may only add conservative "dependent" answers —
+        # a dependence lost under chaos is a correctness violation.
+        return [
+            f"chaos flipped dependences to independent: "
+            f"{dep_storm} dependent < clean {dep_clean}"
+        ]
+    quarantined = stormy.stdout.count("] ")  # quarantine detail lines
+    print(
+        f"ok: crash storm survived in {elapsed:.1f}s; "
+        f"{dep_storm}/{dep_storm + ind_storm} dependent "
+        f"(clean: {dep_clean}), {quarantined} quarantine line(s)"
+    )
+    return []
+
+
+def main() -> int:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = pathlib.Path(tmpdir)
+        print("scenario 1: kill -9 mid-batch, then --resume ...")
+        failures = check_kill_and_resume(tmp)
+        if failures:
+            print(f"FAIL: {failures[0]}", file=sys.stderr)
+            return 1
+        print("scenario 2: seeded worker crash storm ...")
+        failures = check_crash_storm(tmp)
+        if failures:
+            print(f"FAIL: {failures[0]}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    start = time.perf_counter()
+    status = main()
+    print(f"chaos smoke finished in {time.perf_counter() - start:.1f}s")
+    sys.exit(status)

@@ -40,6 +40,7 @@ from repro.ir.program import AccessSite, Program
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.render import format_trace
 from repro.obs.sinks import NULL_SINK, CollectingSink, TraceSink
+from repro.robust.budget import ResourceBudget
 
 __all__ = [
     "AnalysisConfig",
@@ -104,6 +105,10 @@ class AnalysisConfig:
             (None: CPU count).
         sink: trace sink receiving every query's decision events
             (None: tracing off, the zero-overhead default).
+        budget: resource governor
+            (:class:`~repro.robust.budget.ResourceBudget`) applied to
+            every query; a blown budget degrades that query to a
+            conservative flagged answer (None: ungoverned).
     """
 
     memo: bool = True
@@ -114,6 +119,7 @@ class AnalysisConfig:
     want_witness: bool = True
     jobs: int | None = None
     sink: TraceSink | None = None
+    budget: ResourceBudget | None = None
 
 
 @dataclass
@@ -139,6 +145,13 @@ class DependenceReport:
     n_common: int = 0
     deduped: bool = False
     tag: Any = None
+    degraded_reason: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when a blown resource budget forced this conservative
+        answer (see :mod:`repro.robust.budget` for the reason codes)."""
+        return self.degraded_reason is not None
 
     @classmethod
     def from_results(
@@ -164,7 +177,11 @@ class DependenceReport:
                 n_common=directions.n_common,
                 deduped=deduped,
                 tag=tag,
+                degraded_reason=directions.degraded_reason,
             )
+        degraded_reason = result.degraded_reason
+        if degraded_reason is None and directions is not None:
+            degraded_reason = directions.degraded_reason
         return cls(
             ref1=ref1,
             ref2=ref2,
@@ -180,6 +197,7 @@ class DependenceReport:
             n_common=0 if directions is None else directions.n_common,
             deduped=deduped,
             tag=tag,
+            degraded_reason=degraded_reason,
         )
 
     def elementary_directions(self) -> list[tuple[str, ...]]:
@@ -263,6 +281,7 @@ class AnalysisSession:
             eliminate_unused=self.config.eliminate_unused,
             want_witness=self.config.want_witness,
             sink=self.config.sink,
+            budget=self.config.budget,
         )
 
     @property
@@ -352,6 +371,7 @@ class AnalysisSession:
             symmetry=self.config.symmetry,
             fm_budget=self.config.fm_budget,
             sink=self.config.sink,
+            budget=self.config.budget,
         )
         self.stats.merge(report.stats)
         if self.memoizer is not None:

@@ -43,7 +43,10 @@ Every subcommand follows one convention:
 * **2** — usage error: unknown flags, missing or unparsable input,
   out-of-range ``--pair``;
 * **3** — internal error: unexpected failure inside the tool (or an
-  unreachable/overloaded server for ``query``).
+  unreachable/overloaded server for ``query``);
+* **130** — interrupted (Ctrl-C / SIGINT): the tool stops cleanly with
+  no traceback; a ``batch --checkpoint`` run keeps every shard already
+  flushed, so ``--resume`` picks up where the interrupt landed.
 """
 
 from __future__ import annotations
@@ -68,6 +71,7 @@ __all__ = [
     "EXIT_DEPENDENCE",
     "EXIT_USAGE",
     "EXIT_INTERNAL",
+    "EXIT_INTERRUPTED",
 ]
 
 # The CLI-wide exit-code convention (documented in README.md).
@@ -75,6 +79,7 @@ EXIT_OK = 0  # success, nothing found
 EXIT_DEPENDENCE = 1  # success, dependences/findings reported
 EXIT_USAGE = 2  # bad invocation or unreadable/unparsable input
 EXIT_INTERNAL = 3  # unexpected internal failure
+EXIT_INTERRUPTED = 130  # Ctrl-C / SIGINT (128 + SIGINT, shell convention)
 
 
 def _load_program(path: str) -> Program:
@@ -90,9 +95,69 @@ def _load_program(path: str) -> Program:
     return result.program
 
 
+def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared resource-governor flags (see repro.robust.budget)."""
+    group = parser.add_argument_group(
+        "resource budget",
+        "bound the analysis; a blown budget degrades that query to the "
+        "conservative flagged verdict instead of running away",
+    )
+    group.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per query",
+    )
+    group.add_argument(
+        "--max-fm-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Fourier-Motzkin branch-and-bound node budget",
+    )
+    group.add_argument(
+        "--max-constraints",
+        type=int,
+        default=None,
+        metavar="N",
+        help="live-constraint ceiling during FM elimination",
+    )
+    group.add_argument(
+        "--max-coeff-bits",
+        type=int,
+        default=None,
+        metavar="BITS",
+        help="coefficient magnitude ceiling (bit length)",
+    )
+    group.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="FM elimination/branch depth ceiling",
+    )
+
+
+def _budget_from_args(args: argparse.Namespace):
+    """A ResourceBudget from the shared flags, or None when all unset."""
+    from repro.robust.budget import ResourceBudget
+
+    budget = ResourceBudget(
+        deadline_s=args.deadline_s,
+        fm_branch_nodes=args.max_fm_nodes,
+        max_live_constraints=args.max_constraints,
+        max_coeff_bits=args.max_coeff_bits,
+        max_elim_depth=args.max_depth,
+    )
+    return None if budget.unlimited else budget
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.api import AnalysisConfig
+
     program = _load_program(args.file)
-    session = AnalysisSession()
+    session = AnalysisSession(AnalysisConfig(budget=_budget_from_args(args)))
     pairs = reference_pairs(program)
     if not pairs:
         print("no testable reference pairs")
@@ -102,6 +167,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         report = session.analyze_sites(site1, site2, want_directions=True)
         verdict = "DEPENDENT" if report.dependent else "independent"
         line = f"{report.ref1} vs {report.ref2}: {verdict} [{report.decided_by}]"
+        if report.degraded:
+            line += f"  (degraded: {report.degraded_reason})"
         if report.dependent:
             found += 1
             vectors = " ".join(
@@ -267,6 +334,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             symmetry=args.symmetry,
             want_directions=not args.no_directions,
             sink=stream,
+            budget=_budget_from_args(args),
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            shard_timeout=args.shard_timeout,
+            shard_retries=args.shard_retries,
         )
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
@@ -312,6 +384,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"{summary['memo_hit_rate_bounds']:.1%}; "
         f"{summary['memo_entries']} merged table entries"
     )
+    if summary["degraded_queries"]:
+        print(
+            f"{summary['degraded_queries']} queries degraded to the "
+            "conservative verdict (blown resource budget)"
+        )
+    if report.quarantine:
+        print(f"quarantined cases ({len(report.quarantine)}):")
+        for case in report.quarantine:
+            print(
+                f"  [{case.rep_index}] {case.label}: {case.reason} "
+                f"after {case.attempts} attempt(s)"
+            )
 
     for path in filter(None, (args.warm_cache, args.save_cache)):
         save_memoizer(report.memoizer, path)
@@ -352,6 +436,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool_jobs=args.jobs,
         symmetry=args.symmetry,
         fm_budget=args.fm_budget,
+        budget=_budget_from_args(args),
     )
     return DependenceServer(config).run()
 
@@ -427,6 +512,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p_analyze = sub.add_parser("analyze", help="per-pair dependence report")
     p_analyze.add_argument("file", help="mini-Fortran source file, or -")
+    _add_budget_flags(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_par = sub.add_parser("parallelize", help="per-loop parallelism report")
@@ -497,6 +583,35 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="stream every query's decision events to a JSONL file",
     )
+    p_batch.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="atomically checkpoint completed shards here (enables the "
+        "supervised watchdog path)",
+    )
+    p_batch.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay shards already in --checkpoint instead of "
+        "recomputing them (bit-identical to an uninterrupted run)",
+    )
+    p_batch.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard watchdog timeout; a case defeating the retries "
+        "is quarantined with a conservative answer",
+    )
+    p_batch.add_argument(
+        "--shard-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retries before a crashed/hung shard is split and its "
+        "poison case quarantined (default 1)",
+    )
+    _add_budget_flags(p_batch)
     p_batch.add_argument("-v", "--verbose", action="store_true")
     p_batch.set_defaults(func=_cmd_batch)
 
@@ -629,6 +744,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_serve.add_argument("--symmetry", action="store_true")
     p_serve.add_argument("--fm-budget", type=int, default=256)
+    _add_budget_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_query = sub.add_parser(
@@ -688,7 +804,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {err}", file=sys.stderr)
         return EXIT_USAGE
     except KeyboardInterrupt:
-        return EXIT_INTERNAL
+        # Clean stop, no traceback: anything already flushed (e.g. a
+        # batch checkpoint's completed shards) stays on disk.
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except Exception as err:  # noqa: BLE001 — map anything else to 3
         import traceback
 

@@ -44,6 +44,13 @@ from repro.obs.events import (
     QueryStart,
 )
 from repro.obs.sinks import NULL_SINK, QueryScopedSink, TraceSink
+from repro.robust.budget import (
+    DEGRADED_BUDGET,
+    NULL_SCOPE,
+    BudgetExceeded,
+    BudgetScope,
+    ResourceBudget,
+)
 from repro.ir.arrays import ArrayRef
 from repro.ir.loops import LoopNest
 from repro.ir.program import AccessSite
@@ -120,12 +127,18 @@ class DependenceAnalyzer:
         eliminate_unused: bool = True,
         want_witness: bool = True,
         sink: TraceSink | None = None,
+        budget: ResourceBudget | None = None,
     ):
         self.memoizer = memoizer
         self.stats = stats if stats is not None else AnalyzerStats()
         self.eliminate_unused = eliminate_unused
         self.want_witness = want_witness
         self.sink = sink if sink is not None else NULL_SINK
+        # The resource budget (see repro.robust.budget); per-query
+        # scopes are opened at the entry points and threaded explicitly
+        # (never stored on self: the serving layer runs pipelined
+        # queries of one session's analyzer on several threads).
+        self.budget = budget
         self._trace_qid = 0
         self._svpc = SvpcTest()
         self._acyclic = AcyclicTest()
@@ -135,6 +148,43 @@ class DependenceAnalyzer:
         # uniform run(system, sink) protocol; Acyclic's NOT_APPLICABLE
         # results carry the residual system the next member should take.
         self._cascade = (self._svpc, self._acyclic, self._residue, self._fm)
+
+    # -- resource governance ------------------------------------------------
+
+    def _open_scope(self) -> BudgetScope:
+        """A fresh budget scope for one query (NULL_SCOPE when unbudgeted)."""
+        if self.budget is None or self.budget.unlimited:
+            return NULL_SCOPE
+        return self.budget.open()
+
+    def _degraded_result(self, blown: BudgetExceeded) -> DependenceResult:
+        """The conservative answer to a budget-blown plain query.
+
+        "Dependent" is the safe side of every client decision (a
+        parallelizer keeps the loop serial), and the reason code plus
+        ``exact=False`` flag the answer as assumed, not computed.
+        Degraded answers are never memoized — the exception propagates
+        to here before any with-bounds insert.
+        """
+        self.stats.registry.inc_family("robust.degraded", blown.reason)
+        return DependenceResult(
+            dependent=True,
+            decided_by=DEGRADED_BUDGET,
+            exact=False,
+            degraded_reason=blown.reason,
+        )
+
+    def _degraded_directions(
+        self, blown: BudgetExceeded, n_common: int
+    ) -> DirectionResult:
+        """Conservative all-``'*'`` vectors for a budget-blown query."""
+        self.stats.registry.inc_family("robust.degraded", blown.reason)
+        return DirectionResult(
+            vectors=frozenset({(Direction.ANY,) * n_common}),
+            n_common=n_common,
+            exact=False,
+            degraded_reason=blown.reason,
+        )
 
     # -- tracing ------------------------------------------------------------
 
@@ -196,8 +246,12 @@ class DependenceAnalyzer:
                     qsink, start, constant.dependent, constant.decided_by, True
                 )
             return constant
-        problem = build_problem(ref1, nest1, ref2, nest2)
-        result = self._analyze_problem(problem, qsink)
+        scope = self._open_scope()
+        try:
+            problem = build_problem(ref1, nest1, ref2, nest2)
+            result = self._analyze_problem(problem, qsink, scope)
+        except BudgetExceeded as blown:
+            result = self._degraded_result(blown)
         if qsink.enabled:
             self._end_trace(
                 qsink, start, result.dependent, result.decided_by, result.exact
@@ -227,7 +281,11 @@ class DependenceAnalyzer:
             if self.sink.enabled
             else (NULL_SINK, 0)
         )
-        result = self._analyze_problem(problem, qsink)
+        scope = self._open_scope()
+        try:
+            result = self._analyze_problem(problem, qsink, scope)
+        except BudgetExceeded as blown:
+            result = self._degraded_result(blown)
         if qsink.enabled:
             self._end_trace(
                 qsink, start, result.dependent, result.decided_by, result.exact
@@ -291,6 +349,39 @@ class DependenceAnalyzer:
             if qsink.enabled:
                 qsink.emit(ConstantScreen(independent=False))
 
+        scope = self._open_scope()
+        try:
+            return self._directions_impl(
+                ref1, nest1, ref2, nest2, options, n_common_full, qsink,
+                start, scope,
+            )
+        except BudgetExceeded as blown:
+            result = self._degraded_directions(blown, n_common_full)
+            if qsink.enabled:
+                self._end_trace(
+                    qsink,
+                    start,
+                    True,
+                    DEGRADED_BUDGET,
+                    False,
+                    n_vectors=result.count_elementary(),
+                )
+            return result
+
+    def _directions_impl(
+        self,
+        ref1: ArrayRef,
+        nest1: LoopNest,
+        ref2: ArrayRef,
+        nest2: LoopNest,
+        options,
+        n_common_full: int,
+        qsink: TraceSink,
+        start: int,
+        scope: BudgetScope,
+    ) -> DirectionResult:
+        """The un-governed body of :meth:`directions` (may raise
+        :class:`~repro.robust.budget.BudgetExceeded`)."""
         problem = build_problem(ref1, nest1, ref2, nest2)
         work = problem
         surviving = list(range(problem.n_common))
@@ -371,10 +462,12 @@ class DependenceAnalyzer:
             from repro.core.separable import is_separable, separable_directions
 
             if is_separable(work):
-                reduced_result = separable_directions(self, work, qsink)
+                reduced_result = separable_directions(self, work, qsink, scope)
                 decided_by = "separable"
         if reduced_result is None:
-            reduced_result = _refine(self, work, transformed, options, qsink)
+            reduced_result = _refine(
+                self, work, transformed, options, qsink, scope
+            )
         result = DirectionResult(
             vectors=self._lift_vectors(
                 reduced_result.vectors, surviving, n_common_full, forced_dropped
@@ -502,7 +595,10 @@ class DependenceAnalyzer:
     # -- problem-level pipeline ------------------------------------------------------
 
     def _analyze_problem(
-        self, problem: DependenceProblem, qsink: TraceSink = NULL_SINK
+        self,
+        problem: DependenceProblem,
+        qsink: TraceSink = NULL_SINK,
+        scope: BudgetScope = NULL_SCOPE,
     ) -> DependenceResult:
         work = problem
         surviving = list(range(problem.n_common))
@@ -572,7 +668,9 @@ class DependenceAnalyzer:
 
         transformed = outcome.transformed
         assert transformed is not None
-        decision = self._run_cascade(transformed.system, record=True, sink=qsink)
+        decision = self._run_cascade(
+            transformed.system, record=True, sink=qsink, scope=scope
+        )
         verdict = decision.result.verdict
         dependent = verdict in (Verdict.DEPENDENT, Verdict.UNKNOWN)
         distance_reduced = None
@@ -726,6 +824,7 @@ class DependenceAnalyzer:
         system: ConstraintSystem,
         record: bool,
         sink: TraceSink = NULL_SINK,
+        scope: BudgetScope = NULL_SCOPE,
     ) -> CascadeDecision:
         """Run SVPC -> Acyclic -> Loop Residue -> Fourier-Motzkin.
 
@@ -741,7 +840,8 @@ class DependenceAnalyzer:
         completions = []
         result = None
         for test in self._cascade:
-            result = test.run(current, sink)
+            scope.tick()
+            result = test.run(current, sink, scope)
             self.stats.observe_stage_ns(test.name, result.elapsed_ns)
             if sink.enabled:
                 sink.emit(

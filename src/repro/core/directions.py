@@ -33,6 +33,7 @@ from repro.core.result import DirectionResult
 from repro.deptests.base import Verdict
 from repro.obs.events import DirectionNode
 from repro.obs.sinks import NULL_SINK, TraceSink
+from repro.robust.budget import NULL_SCOPE, BudgetScope
 from repro.system.constraints import LinearConstraint
 from repro.system.depsystem import DependenceProblem, Direction
 from repro.system.transform import TransformedSystem
@@ -59,6 +60,7 @@ def refine_directions(
     transformed: TransformedSystem,
     options: DirectionOptions,
     sink: TraceSink = NULL_SINK,
+    scope: BudgetScope = NULL_SCOPE,
 ) -> DirectionResult:
     """Hierarchical direction-vector refinement over a transformed system.
 
@@ -84,7 +86,7 @@ def refine_directions(
         sink.emit(DirectionNode(vector=tuple(template), action="forced"))
 
     leaves: set[tuple[str, ...]] = set()
-    state = _RefineState(analyzer, problem, transformed, sink)
+    state = _RefineState(analyzer, problem, transformed, sink, scope)
 
     def recurse(vector: list[str], next_refinable: int) -> None:
         verdict, exact = state.test(tuple(vector))
@@ -124,17 +126,28 @@ def lift_vector(
 class _RefineState:
     """Shared bookkeeping for one refinement run."""
 
-    def __init__(self, analyzer, problem, transformed, sink: TraceSink = NULL_SINK):
+    def __init__(
+        self,
+        analyzer,
+        problem,
+        transformed,
+        sink: TraceSink = NULL_SINK,
+        scope: BudgetScope = NULL_SCOPE,
+    ):
         self.analyzer = analyzer
         self.problem = problem
         self.transformed = transformed
         self.sink = sink
+        self.scope = scope
         self.tests = 0
         self.exact = True
         self._cache: dict[tuple[str, ...], tuple[Verdict, bool]] = {}
 
     def test(self, vector: tuple[str, ...]) -> tuple[Verdict, bool]:
         """Run the cascade under the vector's direction constraints."""
+        # Refinement fans out up to 3^depth sub-queries: the budget's
+        # wall clock governs the whole tree walk.
+        self.scope.tick()
         if vector in self._cache:
             if self.sink.enabled:
                 self.sink.emit(DirectionNode(vector=vector, action="cached"))
@@ -143,7 +156,9 @@ class _RefineState:
         for level, direction in enumerate(vector):
             extra.extend(self.problem.direction_constraints(level, direction))
         system = self.transformed.with_extra_constraints(extra)
-        decision = self.analyzer._run_cascade(system, record=False, sink=self.sink)
+        decision = self.analyzer._run_cascade(
+            system, record=False, sink=self.sink, scope=self.scope
+        )
         result = decision.result
         self.tests += 1
         independent = result.verdict is Verdict.INDEPENDENT

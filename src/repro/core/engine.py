@@ -48,6 +48,11 @@ from repro.core.persist import (
 )
 from repro.core.result import DependenceResult, DirectionResult
 from repro.core.stats import AnalyzerStats
+from repro.robust.budget import (
+    DEGRADED_BUDGET,
+    REASON_QUARANTINE,
+    ResourceBudget,
+)
 from repro.ir.arrays import ArrayRef
 from repro.obs.events import ConstantScreen, QueryEnd, QueryStart
 from repro.obs.sinks import CollectingSink, TraceSink, merge_event_streams
@@ -108,6 +113,7 @@ class BatchReport:
     n_screened: int
     n_unique_pairs: int
     n_unique_problems: int
+    quarantine: list = field(default_factory=list)
 
     @property
     def results(self) -> list[DependenceResult]:
@@ -126,6 +132,19 @@ class BatchReport:
             / self.stats.memo_queries_no_bounds
         )
 
+    @property
+    def degraded_outcomes(self) -> list[PairOutcome]:
+        """Outcomes answered conservatively by the robustness layer."""
+        return [
+            outcome
+            for outcome in self.outcomes
+            if outcome.result.degraded_reason is not None
+            or (
+                outcome.directions is not None
+                and outcome.directions.degraded_reason is not None
+            )
+        ]
+
     def summary(self) -> dict:
         """Plain-data digest for CLIs and benchmark logs."""
         return {
@@ -139,6 +158,8 @@ class BatchReport:
             "memo_hit_rate_bounds": self.hit_rate_bounds(),
             "memo_entries": len(self.memoizer.no_bounds)
             + len(self.memoizer.with_bounds),
+            "quarantined": len(self.quarantine),
+            "degraded_queries": len(self.degraded_outcomes),
         }
 
 
@@ -217,6 +238,7 @@ def _run_shard(payload):
         fm_budget=opts["fm_budget"],
         want_witness=opts["want_witness"],
         sink=shard_sink,
+        budget=opts.get("budget"),
     )
     answers = []
     for rep_index, ref1, nest1, ref2, nest2 in reps:
@@ -241,6 +263,66 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+# -- supervised execution (watchdog / checkpoint) ------------------------------
+
+
+def _split_payload(payload):
+    """Break a shard payload into per-case payloads for poison isolation.
+
+    Returns ``(rep_index, label, case_payload)`` triples where each
+    ``case_payload`` is a valid single-case :func:`_run_shard` input.
+    """
+    reps, warm_blob, opts = payload
+    return [
+        (
+            case[0],
+            f"{case[1]} vs {case[3]}",
+            ([case], warm_blob, opts),
+        )
+        for case in reps
+    ]
+
+
+def _quarantine_fallback(case_payload):
+    """Answer a poison case conservatively, in-process.
+
+    A case that repeatedly killed or hung its workers is retried here
+    under a strict resource budget (so a pathological system terminates
+    degraded rather than hanging the driver).  If even that raises, the
+    answer is hand-built: dependent, all-``'*'`` directions, flagged
+    with the ``quarantine`` reason code.
+    """
+    reps, warm_blob, opts = case_payload
+    strict_opts = dict(opts, budget=ResourceBudget.strict(), trace=False)
+    try:
+        return _run_shard((reps, warm_blob, strict_opts))
+    except Exception:
+        stats = AnalyzerStats()
+        answers = []
+        for rep_index, _ref1, nest1, _ref2, nest2 in reps:
+            stats.registry.inc_family("robust.degraded", REASON_QUARANTINE)
+            result = DependenceResult(
+                dependent=True,
+                decided_by=DEGRADED_BUDGET,
+                exact=False,
+                degraded_reason=REASON_QUARANTINE,
+            )
+            directions = None
+            if opts["want_directions"]:
+                n_common = nest1.common_prefix_depth(nest2)
+                directions = DirectionResult(
+                    vectors=frozenset({("*",) * n_common}),
+                    n_common=n_common,
+                    exact=False,
+                    degraded_reason=REASON_QUARANTINE,
+                )
+            answers.append((rep_index, result, directions))
+        memoizer = Memoizer(
+            improved=opts["improved"], symmetry=opts["symmetry"]
+        )
+        return answers, stats, _memo_dumps(memoizer), []
+
+
 # -- the driver ---------------------------------------------------------------
 
 
@@ -255,6 +337,11 @@ def analyze_batch(
     fm_budget: int = 256,
     sink: TraceSink | None = None,
     pool_map: Callable[[list], list] | None = None,
+    budget: ResourceBudget | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    shard_timeout: float | None = None,
+    shard_retries: int = 1,
 ) -> BatchReport:
     """Analyze a whole batch of dependence queries, sharded over workers.
 
@@ -278,6 +365,20 @@ def analyze_batch(
     with crashed-worker recycling): it receives the list of shard
     payloads and must return one :func:`_run_shard` output per payload,
     in order.  ``None`` keeps the built-in per-call pool.
+
+    ``budget`` bounds every worker's analyzer
+    (:class:`~repro.robust.budget.ResourceBudget`); a blown budget
+    degrades that query to a conservative flagged answer instead of
+    running away.  ``shard_timeout``/``shard_retries`` and
+    ``checkpoint``/``resume`` switch execution to the supervised path
+    (:func:`repro.robust.watchdog.run_supervised`): each shard runs in
+    its own watched process, a case that defeats ``shard_retries``
+    retries is quarantined (conservative in-process answer, reported in
+    :attr:`BatchReport.quarantine`), and completed shards are
+    checkpointed atomically so ``resume=True`` replays them instead of
+    recomputing — the resumed run's report is identical to an
+    uninterrupted one.  ``checkpoint`` cannot be combined with a trace
+    ``sink`` (event streams are not checkpointable).
     """
     items = [_as_pair(query) for query in queries]
     n_queries = len(items)
@@ -388,6 +489,7 @@ def analyze_batch(
         "want_witness": want_witness,
         "want_directions": want_directions,
         "trace": trace,
+        "budget": budget,
     }
 
     # Stage 3: deterministic round-robin sharding and fan-out.
@@ -399,7 +501,44 @@ def analyze_batch(
     payloads = [
         (shard, warm_blob, opts) for shard in shards if shard
     ]
-    if len(payloads) <= 1 or jobs == 1:
+    quarantine: list = []
+    watchdog_stats: list[AnalyzerStats] = []
+    if checkpoint is not None or shard_timeout is not None:
+        if checkpoint is not None and trace:
+            raise ValueError(
+                "checkpointing cannot be combined with a trace sink "
+                "(event streams are not checkpointable)"
+            )
+        # Imported here so the common path never touches the robust
+        # machinery (and so repro.robust stays import-light).
+        from repro.robust.checkpoint import BatchCheckpoint, fingerprint_batch
+        from repro.robust.watchdog import run_supervised
+
+        ckpt = None
+        done = None
+        if checkpoint is not None:
+            fingerprint = fingerprint_batch(
+                list(canonical.keys()),
+                {k: v for k, v in opts.items() if k != "trace"},
+            )
+            ckpt = BatchCheckpoint(checkpoint, fingerprint)
+            done = ckpt.load(resume)
+        wd_stats = AnalyzerStats()
+        watchdog_stats.append(wd_stats)
+        groups, quarantine = run_supervised(
+            payloads,
+            _run_shard,
+            timeout=shard_timeout,
+            attempts=1 + max(0, shard_retries),
+            split=_split_payload,
+            fallback=_quarantine_fallback,
+            registry=wd_stats.registry,
+            done=done,
+            on_result=ckpt.record if ckpt is not None else None,
+            max_workers=jobs,
+        )
+        shard_outputs = [output for group in groups for output in group]
+    elif len(payloads) <= 1 or jobs == 1:
         shard_outputs = [_run_shard(payload) for payload in payloads]
     elif pool_map is not None:
         shard_outputs = pool_map(payloads)
@@ -411,7 +550,9 @@ def analyze_batch(
     # Stage 4: reduce.  Merge stats and memo tables; fan each
     # representative's answer back out to every query it stands for.
     merged_stats = AnalyzerStats.merged(
-        [screen_stats] + [stats for _, stats, _, _ in shard_outputs]
+        [screen_stats]
+        + watchdog_stats
+        + [stats for _, stats, _, _ in shard_outputs]
     )
     worker_memos = [_memo_loads(blob) for _, _, blob, _ in shard_outputs]
     if worker_memos:
@@ -456,4 +597,5 @@ def analyze_batch(
         n_screened=n_screened,
         n_unique_pairs=len(unique_items),
         n_unique_problems=len(reps),
+        quarantine=quarantine,
     )

@@ -74,6 +74,7 @@ def analyze_parallelism(
     analyzer: DependenceAnalyzer | None = None,
     jobs: int | None = None,
     warm=None,
+    budget=None,
 ) -> list[LoopReport]:
     """Report, for every loop in the program, whether it is parallel.
 
@@ -89,12 +90,18 @@ def analyze_parallelism(
     :func:`repro.core.engine.analyze_batch`).  Passing an ``analyzer``
     keeps the serial per-pair loop on that instance; the two paths
     produce identical reports.
+
+    ``budget`` (a :class:`~repro.robust.budget.ResourceBudget`) bounds
+    the engine path's workers; a budget-degraded pair answers with the
+    all-``'*'`` vector, which conservatively marks every common loop
+    serial.
     """
     if analyzer is None:
         from repro.core.engine import analyze_batch, queries_from_program
 
         report = analyze_batch(
-            queries_from_program(program), jobs=jobs, warm=warm
+            queries_from_program(program), jobs=jobs, warm=warm,
+            budget=budget,
         )
         pair_directions = [
             (outcome.query.tag[0], outcome.query.tag[1], outcome.directions)

@@ -16,6 +16,8 @@ factorizations); hit statistics start fresh.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import warnings
 from pathlib import Path
 from typing import Any
@@ -32,6 +34,7 @@ __all__ = [
     "encode_memo_value",
     "decode_memo_value",
     "merge_memoizers",
+    "atomic_write_text",
 ]
 
 _FORMAT_VERSION = 1
@@ -181,9 +184,52 @@ def merge_memoizers(memoizers) -> Memoizer:
     return merged
 
 
+def atomic_write_text(
+    path: str | Path, text: str, chaos_site: str | None = None
+) -> None:
+    """Write a file all-or-nothing: mkstemp + fsync + rename.
+
+    A reader never observes a torn file — it sees either the previous
+    complete content or the new one.  The temp file lands in the target
+    directory so the final :func:`os.replace` stays within one
+    filesystem (rename atomicity).  ``chaos_site`` names this write for
+    the deterministic fault-injection harness
+    (:mod:`repro.robust.chaos`); injected write failures surface as the
+    same :class:`OSError` a full disk would raise, and injected
+    corruption mangles the payload before it hits the temp file — both
+    without ever corrupting the destination in place.
+    """
+    path = Path(path)
+    data = text.encode()
+    if chaos_site is not None:
+        from repro.robust.chaos import active_plan, write_fault
+
+        if active_plan() is not None:
+            data = write_fault(data, chaos_site, str(path))
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def save_memoizer(memoizer: Memoizer, path: str | Path) -> None:
-    """Write the memoizer to disk for the next compilation session."""
-    Path(path).write_text(dumps(memoizer))
+    """Write the memoizer to disk for the next compilation session.
+
+    Atomic (see :func:`atomic_write_text`): a crash mid-save leaves the
+    previous cache intact instead of a truncated file.
+    """
+    atomic_write_text(path, dumps(memoizer), chaos_site="persist.save_memoizer")
 
 
 def load_memoizer(path: str | Path) -> Memoizer:

@@ -30,6 +30,10 @@ class DependenceResult:
             distance ``i'_k - i_k`` if the Extended GCD solution proves
             it constant, else None for that level.  Only populated for
             dependent results.
+        degraded_reason: machine-readable reason code (see
+            :mod:`repro.robust.budget`) when this is a conservative
+            verdict forced by a blown resource budget, quarantine or
+            response deadline; None for genuinely computed answers.
     """
 
     dependent: bool
@@ -38,10 +42,15 @@ class DependenceResult:
     witness: tuple[int, ...] | None = None
     from_memo: bool = False
     distance: tuple[int | None, ...] | None = None
+    degraded_reason: str | None = None
 
     @property
     def independent(self) -> bool:
         return not self.dependent
+
+    @property
+    def degraded(self) -> bool:
+        return self.degraded_reason is not None
 
 
 @dataclass
@@ -61,6 +70,7 @@ class DirectionResult:
     exact: bool = True
     from_memo: bool = False
     tests_performed: int = 0
+    degraded_reason: str | None = None
 
     @property
     def dependent(self) -> bool:
@@ -69,6 +79,10 @@ class DirectionResult:
     @property
     def independent(self) -> bool:
         return not self.vectors
+
+    @property
+    def degraded(self) -> bool:
+        return self.degraded_reason is not None
 
     def elementary_vectors(self) -> frozenset[tuple[str, ...]]:
         """Expand '*' components into all elementary {<,=,>} vectors."""

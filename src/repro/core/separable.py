@@ -28,6 +28,7 @@ from __future__ import annotations
 from repro.core.result import DirectionResult
 from repro.deptests.base import Verdict
 from repro.obs.sinks import NULL_SINK, TraceSink
+from repro.robust.budget import NULL_SCOPE, BudgetScope
 from repro.system.constraints import ConstraintSystem, LinearConstraint
 from repro.system.depsystem import DependenceProblem, Direction
 from repro.system.transform import gcd_transform
@@ -97,7 +98,10 @@ def _level_problem(
 
 
 def separable_directions(
-    analyzer, problem: DependenceProblem, sink: TraceSink = NULL_SINK
+    analyzer,
+    problem: DependenceProblem,
+    sink: TraceSink = NULL_SINK,
+    scope: BudgetScope = NULL_SCOPE,
 ) -> DirectionResult:
     """Per-level direction sets, combined as a Cartesian product.
 
@@ -115,6 +119,7 @@ def separable_directions(
     per_level: list[set[str]] = []
     tests = 0
     for level in range(problem.n_common):
+        scope.tick()
         sub = _level_problem(problem, level)
         if not sub.equations:
             per_level.append(_unconstrained_directions(sub))
@@ -128,7 +133,9 @@ def separable_directions(
         for direction in Direction.ALL:
             extra = sub.direction_constraints(0, direction)
             system = outcome.transformed.with_extra_constraints(extra)
-            decision = analyzer._run_cascade(system, record=False, sink=sink)
+            decision = analyzer._run_cascade(
+                system, record=False, sink=sink, scope=scope
+            )
             tests += 1
             independent = decision.result.verdict is Verdict.INDEPENDENT
             analyzer.stats.record_direction_test(

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from repro.deptests.base import CascadeTest, TestResult, Verdict
 from repro.linalg.gcdext import floor_div
 from repro.obs.sinks import TraceSink
+from repro.robust.budget import NULL_SCOPE, BudgetScope
 from repro.system.constraints import (
     NEG_INF,
     POS_INF,
@@ -152,13 +153,16 @@ class AcyclicTest(CascadeTest):
     def applicable(self, system: ConstraintSystem) -> bool:
         return not _graph_has_cycle(build_constraint_graph(system))
 
-    def eliminate(self, system: ConstraintSystem) -> AcyclicElimination:
+    def eliminate(
+        self, system: ConstraintSystem, scope: BudgetScope = NULL_SCOPE
+    ) -> AcyclicElimination:
         """Run the one-direction-variable elimination to completion or cycle."""
         result = AcyclicElimination(n_vars=system.n_vars)
         constraints = list(system.constraints)
         eliminated: set[int] = set()
 
         while True:
+            scope.tick()
             constraints = [c for c in constraints if not c.is_trivial]
             if any(c.is_contradiction for c in constraints):
                 result.verdict = Verdict.INDEPENDENT
@@ -229,8 +233,10 @@ class AcyclicTest(CascadeTest):
                 return var, False
         return None
 
-    def _decide(self, system: ConstraintSystem, sink: TraceSink) -> TestResult:
-        elimination = self.eliminate(system)
+    def _decide(
+        self, system: ConstraintSystem, sink: TraceSink, scope: BudgetScope
+    ) -> TestResult:
+        elimination = self.eliminate(system, scope)
         if elimination.verdict is Verdict.INDEPENDENT:
             return TestResult(Verdict.INDEPENDENT, self.name)
         if elimination.verdict is Verdict.DEPENDENT:

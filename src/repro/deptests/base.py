@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from repro.obs.sinks import NULL_SINK, TraceSink
+from repro.robust.budget import NULL_SCOPE, BudgetScope
 from repro.system.constraints import ConstraintSystem
 
 __all__ = ["Verdict", "TestResult", "CascadeTest", "DependenceTest"]
@@ -102,15 +103,31 @@ class CascadeTest:
         """Cheap structural check: can this test decide ``system`` exactly?"""
         raise NotImplementedError
 
-    def _decide(self, system: ConstraintSystem, sink: TraceSink) -> TestResult:
+    def _decide(
+        self, system: ConstraintSystem, sink: TraceSink, scope: BudgetScope
+    ) -> TestResult:
         raise NotImplementedError
 
     def run(
-        self, system: ConstraintSystem, sink: TraceSink | None = None
+        self,
+        system: ConstraintSystem,
+        sink: TraceSink | None = None,
+        scope: BudgetScope | None = None,
     ) -> TestResult:
-        """Attempt the system; the result carries uniform provenance."""
+        """Attempt the system; the result carries uniform provenance.
+
+        ``scope`` is the query's resource-budget scope (see
+        :mod:`repro.robust.budget`); a test whose work trips a limit
+        raises :class:`~repro.robust.budget.BudgetExceeded` out of
+        here, which the analyzer converts into a flagged conservative
+        verdict at the query boundary.  None means unlimited.
+        """
         start = time.perf_counter_ns()
-        result = self._decide(system, sink if sink is not None else NULL_SINK)
+        result = self._decide(
+            system,
+            sink if sink is not None else NULL_SINK,
+            scope if scope is not None else NULL_SCOPE,
+        )
         result.elapsed_ns = time.perf_counter_ns() - start
         return result
 
@@ -135,7 +152,10 @@ class DependenceTest(Protocol):
         ...
 
     def run(
-        self, system: ConstraintSystem, sink: TraceSink | None = None
+        self,
+        system: ConstraintSystem,
+        sink: TraceSink | None = None,
+        scope: BudgetScope | None = None,
     ) -> TestResult:
         """Decide the system, or report NOT_APPLICABLE."""
         ...

@@ -35,12 +35,13 @@ from fractions import Fraction
 from repro.deptests.base import CascadeTest, TestResult, Verdict
 from repro.obs.events import FmBranch, FmSample
 from repro.obs.sinks import NULL_SINK, TraceSink
+from repro.robust.budget import NULL_SCOPE, BudgetScope
 from repro.system.constraints import ConstraintSystem, LinearConstraint
 
 __all__ = ["FourierMotzkinTest"]
 
-_NEG_INF = Fraction(-10**30)  # sentinels; real bounds in this domain are tiny
-_POS_INF = Fraction(10**30)
+# Unbounded range ends are represented as None (no sentinel magnitude:
+# symbolic bounds can legitimately exceed any finite sentinel).
 
 
 @dataclass
@@ -63,10 +64,12 @@ class FourierMotzkinTest(CascadeTest):
     def applicable(self, system: ConstraintSystem) -> bool:
         return True
 
-    def _decide(self, system: ConstraintSystem, sink: TraceSink) -> TestResult:
+    def _decide(
+        self, system: ConstraintSystem, sink: TraceSink, scope: BudgetScope
+    ) -> TestResult:
         budget = [self.max_branch_nodes]
         verdict, witness = self._solve(
-            list(system.constraints), system.n_vars, budget, sink
+            list(system.constraints), system.n_vars, budget, sink, scope=scope
         )
         if verdict is Verdict.DEPENDENT:
             return TestResult(verdict, self.name, witness=witness)
@@ -83,8 +86,11 @@ class FourierMotzkinTest(CascadeTest):
         budget: list[int],
         sink: TraceSink = NULL_SINK,
         depth: int = 0,
+        scope: BudgetScope = NULL_SCOPE,
     ) -> tuple[Verdict, tuple[int, ...] | None]:
-        eliminations, infeasible = self._eliminate_all(constraints, n_vars)
+        eliminations, infeasible = self._eliminate_all(
+            constraints, n_vars, scope
+        )
         if infeasible:
             return Verdict.INDEPENDENT, None
 
@@ -92,9 +98,11 @@ class FourierMotzkinTest(CascadeTest):
         assigned_order: list[int] = []
         for step in reversed(eliminations):
             lo, hi = self._range(step, values)
-            int_lo = _ceil(lo)
-            int_hi = _floor(hi)
-            if int_lo > int_hi:
+            int_lo = None if lo is None else _ceil(lo)
+            int_hi = None if hi is None else _floor(hi)
+            if int_lo is not None and int_hi is not None and int_lo > int_hi:
+                # An empty integer range needs both ends finite; an
+                # unbounded end always holds integers.
                 if self._bounds_are_constant(step, assigned_order):
                     # No integer in a constant range: exactly independent.
                     if sink.enabled:
@@ -103,7 +111,15 @@ class FourierMotzkinTest(CascadeTest):
                         )
                     return Verdict.INDEPENDENT, None
                 return self._branch(
-                    constraints, n_vars, step.var, lo, hi, budget, sink, depth
+                    constraints,
+                    n_vars,
+                    step.var,
+                    lo,
+                    hi,
+                    budget,
+                    sink,
+                    depth,
+                    scope,
                 )
             mid = _middle(lo, hi, int_lo, int_hi)
             if sink.enabled:
@@ -117,7 +133,10 @@ class FourierMotzkinTest(CascadeTest):
         return Verdict.DEPENDENT, witness
 
     def _eliminate_all(
-        self, constraints: list[LinearConstraint], n_vars: int
+        self,
+        constraints: list[LinearConstraint],
+        n_vars: int,
+        scope: BudgetScope = NULL_SCOPE,
     ) -> tuple[list[_Elimination], bool]:
         """Project out every variable; True flag means real-infeasible."""
         current = _dedupe(constraints)
@@ -126,6 +145,10 @@ class FourierMotzkinTest(CascadeTest):
         remaining = set(range(n_vars))
         eliminations: list[_Elimination] = []
         while remaining:
+            # Elimination can square the constraint count per variable
+            # and cross-multiplication grows coefficients — the two
+            # blowup axes a budget bounds (plus the wall clock).
+            scope.tick()
             var = self._pick_variable(current, remaining)
             remaining.discard(var)
             lowers = [c for c in current if c.coeffs[var] < 0]
@@ -145,6 +168,12 @@ class FourierMotzkinTest(CascadeTest):
                     bound = a_u * low.bound - a_l * up.bound
                     combos.append(LinearConstraint.make(coeffs, bound))
             current = _dedupe(others + combos)
+            scope.check_constraints(len(current))
+            if scope.budget.max_coeff_bits is not None:
+                for con in combos:
+                    for value in con.coeffs:
+                        scope.check_coeff(value)
+                    scope.check_coeff(con.bound)
             if any(c.is_contradiction for c in current):
                 return eliminations, True
         if any(c.is_contradiction for c in current):
@@ -170,8 +199,10 @@ class FourierMotzkinTest(CascadeTest):
     @staticmethod
     def _range(
         step: _Elimination, values: dict[int, int]
-    ) -> tuple[Fraction, Fraction]:
-        lo, hi = _NEG_INF, _POS_INF
+    ) -> tuple[Fraction | None, Fraction | None]:
+        """The variable's allowed interval; None means unbounded."""
+        lo: Fraction | None = None
+        hi: Fraction | None = None
         for con in step.lowers:
             a = con.coeffs[step.var]
             rest = sum(
@@ -180,7 +211,7 @@ class FourierMotzkinTest(CascadeTest):
                 if j != step.var and c != 0
             )
             bound = Fraction(con.bound - rest, a)  # a < 0 flips to lower bound
-            if bound > lo:
+            if lo is None or bound > lo:
                 lo = bound
         for con in step.uppers:
             a = con.coeffs[step.var]
@@ -190,7 +221,7 @@ class FourierMotzkinTest(CascadeTest):
                 if j != step.var and c != 0
             )
             bound = Fraction(con.bound - rest, a)
-            if bound < hi:
+            if hi is None or bound < hi:
                 hi = bound
         return lo, hi
 
@@ -214,8 +245,15 @@ class FourierMotzkinTest(CascadeTest):
         budget: list[int],
         sink: TraceSink = NULL_SINK,
         depth: int = 0,
+        scope: BudgetScope = NULL_SCOPE,
     ) -> tuple[Verdict, tuple[int, ...] | None]:
         """Branch-and-bound on a variable whose range holds no integer."""
+        # Governed limits raise (degrading the whole query); the legacy
+        # list budget below keeps its historical soft behavior of
+        # returning an inexact UNKNOWN instead.
+        scope.tick()
+        scope.check_depth(depth)
+        scope.charge_fm_node()
         if budget[0] <= 0:
             return Verdict.UNKNOWN, None
         budget[0] -= 1
@@ -236,7 +274,7 @@ class FourierMotzkinTest(CascadeTest):
             _lower_bound_constraint(n_vars, var, floor_val + 1),
         ):
             verdict, witness = self._solve(
-                constraints + [extra], n_vars, budget, sink, depth + 1
+                constraints + [extra], n_vars, budget, sink, depth + 1, scope
             )
             if verdict is Verdict.DEPENDENT:
                 return verdict, witness
@@ -284,13 +322,18 @@ def _floor(value: Fraction) -> int:
     return math.floor(value)
 
 
-def _middle(lo: Fraction, hi: Fraction, int_lo: int, int_hi: int) -> int:
+def _middle(
+    lo: Fraction | None,
+    hi: Fraction | None,
+    int_lo: int | None,
+    int_hi: int | None,
+) -> int:
     """The integer nearest the middle of [lo, hi], clamped into range."""
-    if lo == _NEG_INF and hi == _POS_INF:
+    if lo is None and hi is None:
         return 0
-    if lo == _NEG_INF:
+    if lo is None:
         return int_hi
-    if hi == _POS_INF:
+    if hi is None:
         return int_lo
     mid = math.floor((lo + hi) / 2)
     return max(int_lo, min(int_hi, mid))

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.deptests.base import CascadeTest, TestResult, Verdict
 from repro.linalg.gcdext import floor_div
 from repro.obs.sinks import TraceSink
+from repro.robust.budget import NULL_SCOPE, BudgetScope
 from repro.system.constraints import ConstraintSystem
 
 __all__ = ["LoopResidueTest", "ResidueGraph", "build_residue_graph"]
@@ -98,18 +99,22 @@ class LoopResidueTest(CascadeTest):
     def applicable(self, system: ConstraintSystem) -> bool:
         return build_residue_graph(system) is not None
 
-    def _decide(self, system: ConstraintSystem, sink: TraceSink) -> TestResult:
+    def _decide(
+        self, system: ConstraintSystem, sink: TraceSink, scope: BudgetScope
+    ) -> TestResult:
         graph = build_residue_graph(system)
         if graph is None:
             return TestResult(Verdict.NOT_APPLICABLE, self.name)
-        potentials = self._solve(graph)
+        potentials = self._solve(graph, scope)
         if potentials is None:
             return TestResult(Verdict.INDEPENDENT, self.name)
         witness = tuple(potentials[v] for v in range(system.n_vars))
         return TestResult(Verdict.DEPENDENT, self.name, witness=witness)
 
     @staticmethod
-    def _solve(graph: ResidueGraph) -> dict[int, int] | None:
+    def _solve(
+        graph: ResidueGraph, scope: BudgetScope = NULL_SCOPE
+    ) -> dict[int, int] | None:
         """Bellman-Ford: None on a negative cycle, else integer potentials.
 
         An arc ``(i, j, c)`` encodes ``t_i <= t_j + c``; relaxing along the
@@ -120,6 +125,7 @@ class LoopResidueTest(CascadeTest):
         nodes.update(range(graph.n_vars))
         dist = dict.fromkeys(nodes, 0)
         for _ in range(len(nodes)):
+            scope.tick()
             changed = False
             for i, j, c in graph.arcs:
                 if dist[j] + c < dist[i]:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.deptests.base import CascadeTest, TestResult, Verdict
 from repro.obs.sinks import TraceSink
+from repro.robust.budget import BudgetScope
 from repro.system.constraints import ConstraintSystem
 
 __all__ = ["SvpcTest"]
@@ -30,7 +31,10 @@ class SvpcTest(CascadeTest):
     def applicable(self, system: ConstraintSystem) -> bool:
         return system.max_vars_per_constraint() <= 1
 
-    def _decide(self, system: ConstraintSystem, sink: TraceSink) -> TestResult:
+    def _decide(
+        self, system: ConstraintSystem, sink: TraceSink, scope: BudgetScope
+    ) -> TestResult:
+        # One linear scan: no budget check sites needed beyond run()'s.
         if not self.applicable(system):
             return TestResult(Verdict.NOT_APPLICABLE, self.name)
         if system.has_contradiction():

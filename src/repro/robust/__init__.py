@@ -1,0 +1,50 @@
+"""repro.robust — resource governance and crash safety.
+
+The paper's cascade is *fast in practice*; this package is what makes
+it *safe in production*: typed per-query resource budgets that degrade
+pathological queries to flagged conservative verdicts
+(:mod:`~repro.robust.budget`), a shard watchdog with poison-case
+quarantine (:mod:`~repro.robust.watchdog`), crash-safe batch
+checkpoint/resume (:mod:`~repro.robust.checkpoint`) and a
+deterministic chaos-injection harness that proves all of the above
+under fire (:mod:`~repro.robust.chaos`).
+
+Only the budget and chaos surfaces are re-exported here: the deptests
+cascade imports budgets, so this ``__init__`` must stay free of any
+import that reaches back into ``repro.core``.  Import the watchdog and
+checkpoint modules directly.
+"""
+
+from repro.robust.budget import (
+    ALL_REASONS,
+    DEGRADED_BUDGET,
+    NULL_SCOPE,
+    REASON_COEFF_BITS,
+    REASON_DEADLINE,
+    REASON_ELIM_DEPTH,
+    REASON_FM_BRANCH_NODES,
+    REASON_LIVE_CONSTRAINTS,
+    REASON_QUARANTINE,
+    REASON_WALL_CLOCK,
+    BudgetExceeded,
+    BudgetScope,
+    ResourceBudget,
+)
+from repro.robust.chaos import FaultPlan
+
+__all__ = [
+    "BudgetExceeded",
+    "BudgetScope",
+    "ResourceBudget",
+    "FaultPlan",
+    "NULL_SCOPE",
+    "ALL_REASONS",
+    "DEGRADED_BUDGET",
+    "REASON_WALL_CLOCK",
+    "REASON_FM_BRANCH_NODES",
+    "REASON_LIVE_CONSTRAINTS",
+    "REASON_COEFF_BITS",
+    "REASON_ELIM_DEPTH",
+    "REASON_QUARANTINE",
+    "REASON_DEADLINE",
+]

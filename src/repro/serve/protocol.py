@@ -36,8 +36,10 @@ only the semantic answer — verdict, deciding test, exactness,
 distances, sorted direction vectors — never serving-state flags like
 ``from_memo``: a warm cache must answer bit-identically to a cold one.
 ``degraded`` is the one serving-layer field: ``True`` marks a verdict
-that a deadline forced to the conservative "dependent, all directions"
-answer (see :func:`degraded_report`).
+that a deadline (or any other blown resource budget — see
+:mod:`repro.robust.budget`) forced to the conservative "dependent, all
+directions" answer, with ``degraded_reason`` naming the machine-readable
+reason code (see :func:`degraded_report`).
 """
 
 from __future__ import annotations
@@ -47,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.api import DependenceReport
+from repro.robust.budget import REASON_DEADLINE
 from repro.system.depsystem import Direction
 
 __all__ = [
@@ -235,19 +238,26 @@ def report_to_wire(report: DependenceReport) -> dict:
         if report.directions is not None
         else None,
         "n_common": report.n_common,
-        "degraded": False,
+        "degraded": report.degraded_reason is not None,
+        "degraded_reason": report.degraded_reason,
     }
 
 
 def degraded_report(
-    ref1: str, ref2: str, n_common: int, want_directions: bool = True
+    ref1: str,
+    ref2: str,
+    n_common: int,
+    want_directions: bool = True,
+    reason: str = REASON_DEADLINE,
 ) -> dict:
     """The conservative verdict a blown deadline degrades to.
 
     "Dependent, under every direction" is the analysis lattice's top:
     it is correct for *any* query (a dependence tester may always
     over-approximate), merely imprecise, so a deadline can never make
-    the server lie — only hedge, and say so via ``degraded: true``.
+    the server lie — only hedge, and say so via ``degraded: true``
+    (with ``degraded_reason`` naming the blown limit; see
+    :data:`repro.robust.budget.ALL_REASONS`).
     """
     vectors = [[Direction.ANY] * n_common] if n_common else [[]]
     return {
@@ -260,4 +270,5 @@ def degraded_report(
         "directions": vectors if want_directions else None,
         "n_common": n_common,
         "degraded": True,
+        "degraded_reason": reason,
     }

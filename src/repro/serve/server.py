@@ -45,6 +45,7 @@ from repro.ir.program import Program, reference_pairs
 from repro.ir.serde import query_from_dict
 from repro.lang.errors import LangError
 from repro.obs.metrics import MetricsRegistry
+from repro.robust.budget import REASON_DEADLINE
 from repro.serve import protocol
 from repro.serve.cache import DEFAULT_MAX_BYTES, ServeCache, SingleFlight
 from repro.serve.pool import WorkerPool
@@ -71,6 +72,11 @@ class ServeConfig:
     symmetry: bool = False
     fm_budget: int = 256
     announce: bool = True  # print the {"serving": ...} line on stdout
+    # In-analyzer resource governor (repro.robust.budget): bounds each
+    # query *inside* the worker, complementing deadline_ms, which only
+    # bounds how long the caller waits.  A blown budget degrades the
+    # answer conservatively, flagged with its reason code.
+    budget: Any = None
 
 
 class DependenceServer:
@@ -223,6 +229,7 @@ class DependenceServer:
                 fm_budget=self.config.fm_budget,
                 want_witness=False,
                 jobs=1,
+                budget=self.config.budget,
             ),
             memoizer=self.cache.memoizer,
         )
@@ -447,6 +454,11 @@ class DependenceServer:
             )
         except asyncio.TimeoutError:
             self.registry.inc("serve.degraded")
+            # The serving deadline is one more blown resource budget:
+            # account for it in the same robust.degraded.* family the
+            # in-analyzer governor uses, so one metrics query covers
+            # every degradation path.
+            self.registry.inc_family("robust.degraded", REASON_DEADLINE)
             return degrade()
 
     async def _op_analyze(self, request: Request, session: AnalysisSession):
@@ -530,6 +542,7 @@ class DependenceServer:
                 symmetry=self.config.symmetry,
                 fm_budget=self.config.fm_budget,
                 pool_map=self.pool.map_shards if use_pool else None,
+                budget=self.config.budget,
             )
             self.cache.memoizer.merge_from(report.memoizer)
             session.stats.merge(report.stats)

@@ -139,3 +139,49 @@ class TestExactnessAgainstOracle:
         assert (brute is not None) == (result.verdict is Verdict.DEPENDENT)
         if result.witness is not None:
             assert system.evaluate(result.witness)
+
+
+class TestUnboundedRanges:
+    """Unbounded variable ranges are represented as None, not huge
+    sentinel Fractions: bounds beyond any fixed magnitude must not be
+    mistaken for infinities (regression for the old +/-10**30 hack)."""
+
+    def test_lower_bound_beyond_old_sentinel(self):
+        # t0 >= 10**31: under the old _POS_INF = 10**30 sentinel the
+        # range [10**31, "inf") collapsed to empty and the system was
+        # falsely reported independent.
+        system = _system(1, ([-1], -(10**31)))
+        result = FourierMotzkinTest().run(system)
+        assert result.verdict is Verdict.DEPENDENT
+        assert result.witness is not None
+        assert result.witness[0] >= 10**31
+        assert system.evaluate(result.witness)
+
+    def test_upper_bound_beyond_old_sentinel(self):
+        # t0 <= -10**31 (below the old negative sentinel).
+        system = _system(1, ([1], -(10**31)))
+        result = FourierMotzkinTest().run(system)
+        assert result.verdict is Verdict.DEPENDENT
+        assert result.witness is not None
+        assert result.witness[0] <= -(10**31)
+
+    def test_huge_finite_window(self):
+        # A genuinely bounded range entirely beyond the old sentinels.
+        lo, hi = 10**31, 10**31 + 5
+        system = _system(1, ([-1], -lo), ([1], hi))
+        result = FourierMotzkinTest().run(system)
+        assert result.verdict is Verdict.DEPENDENT
+        assert lo <= result.witness[0] <= hi
+
+    def test_huge_empty_window_still_independent(self):
+        # lo > hi beyond the sentinels: must still detect emptiness.
+        system = _system(1, ([-1], -(10**31 + 5)), ([1], 10**31))
+        result = FourierMotzkinTest().run(system)
+        assert result.verdict is Verdict.INDEPENDENT
+
+    def test_two_vars_partially_unbounded(self):
+        # t0 - t1 <= -10**31 with both otherwise unbounded.
+        system = _system(2, ([1, -1], -(10**31)))
+        result = FourierMotzkinTest().run(system)
+        assert result.verdict is Verdict.DEPENDENT
+        assert system.evaluate(result.witness)

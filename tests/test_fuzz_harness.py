@@ -26,8 +26,8 @@ class _BrokenSvpc(SvpcTest):
     """Fault injection: claims independence whenever SVPC proves
     dependence (a 'broken bound check' that flips the verdict)."""
 
-    def _decide(self, system, sink):
-        result = super()._decide(system, sink)
+    def _decide(self, system, sink, scope):
+        result = super()._decide(system, sink, scope)
         if result.verdict is Verdict.DEPENDENT:
             return CascadeResult(Verdict.INDEPENDENT, self.name)
         return result
