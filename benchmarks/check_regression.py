@@ -1,6 +1,7 @@
 """Compare fresh benchmark results against committed baselines.
 
-CI regenerates ``BENCH_batch.json`` / ``BENCH_obs.json`` and this
+CI regenerates ``BENCH_batch.json`` / ``BENCH_obs.json`` /
+``BENCH_serve.json`` / ``BENCH_hotpath.json`` and this
 script diffs them against ``benchmarks/baselines/``.  Only *ratio*
 metrics are gated (speedups, memo hit rates, tracing overhead): raw
 wall-clock seconds vary wildly across shared runners, but the ratios
@@ -38,6 +39,9 @@ GATED_METRICS: tuple[tuple[str, str, str], ...] = (
     # The serving layer's whole point: a warm second run must keep
     # answering from cache (the test itself also hard-floors it >=0.9).
     ("BENCH_serve.json", "warm_hit_rate", "higher"),
+    # The memo's whole point: a fully warm query stream must stay much
+    # cheaper than the cold one (within-run ratio, noise-stable).
+    ("BENCH_hotpath.json", "warm_speedup", "higher"),
 )
 
 # Exact workload invariants: the benchmark must still measure the same
@@ -50,6 +54,7 @@ EXACT_METRICS: tuple[tuple[str, str], ...] = (
     ("BENCH_obs.json", "queries"),
     ("BENCH_serve.json", "queries"),
     ("BENCH_serve.json", "clients"),
+    ("BENCH_hotpath.json", "queries"),
 )
 
 

@@ -92,10 +92,16 @@ def _percentile(values, fraction):
 
 
 def _bounds_counters(client):
-    tables = client.stats()["cache"]
+    stats = client.stats()
+    tables = stats["cache"]
+    # A zero-copy fast-lane answer never probes the memo tables; it is
+    # still a query answered from cache, so it counts on both sides.
+    fastlane = stats["registry"]["scalars"].get("serve.fastlane.hits", 0)
     return (
-        tables["no_bounds"]["queries"] + tables["with_bounds"]["queries"],
-        tables["no_bounds"]["hits"] + tables["with_bounds"]["hits"],
+        tables["no_bounds"]["queries"]
+        + tables["with_bounds"]["queries"]
+        + fastlane,
+        tables["no_bounds"]["hits"] + tables["with_bounds"]["hits"] + fastlane,
     )
 
 

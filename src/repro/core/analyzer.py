@@ -27,7 +27,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.memo import Memoizer
+from repro.core.memo import Memoizer, encode_key, intern_key
 from repro.core.result import DECIDED_CONSTANT, DependenceResult, DirectionResult
 from repro.core.stats import AnalyzerStats
 from repro.deptests.acyclic import AcyclicTest
@@ -75,6 +75,22 @@ class CascadeDecision:
 
 
 _MISS = object()  # sentinel: no-bounds table had no entry
+
+# Direction-query memo keys append an option tail to the problem's
+# with-bounds key.  The tuple scheme appended (-1, prune_unused,
+# prune_distance, dimension_by_dimension); the byte scheme appends the
+# same elements' varint encoding, which by the codec's concatenation
+# property collides exactly when the old tuples would have.  Eight
+# possible tails — precompute them.
+_DIRECTION_TAILS: dict[tuple[int, int, int], bytes] = {}
+
+
+def _direction_tail(pu: int, pd: int, dbd: int) -> bytes:
+    tail = _DIRECTION_TAILS.get((pu, pd, dbd))
+    if tail is None:
+        tail = encode_key((-1, pu, pd, dbd))
+        _DIRECTION_TAILS[(pu, pd, dbd)] = tail
+    return tail
 
 
 @dataclass
@@ -128,11 +144,17 @@ class DependenceAnalyzer:
         want_witness: bool = True,
         sink: TraceSink | None = None,
         budget: ResourceBudget | None = None,
+        use_flat: bool = True,
     ):
         self.memoizer = memoizer
         self.stats = stats if stats is not None else AnalyzerStats()
         self.eliminate_unused = eliminate_unused
         self.want_witness = want_witness
+        # Run the cascade on the array-backed FlatSystem representation
+        # (repro.system.flat).  False forces the object path — used by
+        # the flat/object equivalence property suite and as an escape
+        # hatch; int64 overflow falls back per query automatically.
+        self.use_flat = use_flat
         self.sink = sink if sink is not None else NULL_SINK
         # The resource budget (see repro.robust.budget); per-query
         # scopes are opened at the entry points and threaded explicitly
@@ -148,6 +170,25 @@ class DependenceAnalyzer:
         # uniform run(system, sink) protocol; Acyclic's NOT_APPLICABLE
         # results carry the residual system the next member should take.
         self._cascade = (self._svpc, self._acyclic, self._residue, self._fm)
+        # Bounded cache of built problems keyed on the (frozen,
+        # hashable) query itself.  Problems are treated as immutable
+        # everywhere past construction, and their attached key-bytes /
+        # elimination caches make a repeated query's memo hit one dict
+        # probe instead of a full rebuild of the constraint system.
+        self._problem_cache: dict[tuple, DependenceProblem] = {}
+
+    def _build_problem_cached(
+        self, ref1: ArrayRef, nest1: LoopNest, ref2: ArrayRef, nest2: LoopNest
+    ) -> DependenceProblem:
+        cache = self._problem_cache
+        key = (ref1, nest1, ref2, nest2)
+        problem = cache.get(key)
+        if problem is None:
+            problem = build_problem(ref1, nest1, ref2, nest2)
+            if len(cache) >= 32768:
+                cache.clear()
+            cache[key] = problem
+        return problem
 
     # -- resource governance ------------------------------------------------
 
@@ -248,7 +289,7 @@ class DependenceAnalyzer:
             return constant
         scope = self._open_scope()
         try:
-            problem = build_problem(ref1, nest1, ref2, nest2)
+            problem = self._build_problem_cached(ref1, nest1, ref2, nest2)
             result = self._analyze_problem(problem, qsink, scope)
         except BudgetExceeded as blown:
             result = self._degraded_result(blown)
@@ -382,13 +423,29 @@ class DependenceAnalyzer:
     ) -> DirectionResult:
         """The un-governed body of :meth:`directions` (may raise
         :class:`~repro.robust.budget.BudgetExceeded`)."""
-        problem = build_problem(ref1, nest1, ref2, nest2)
+        problem = self._build_problem_cached(ref1, nest1, ref2, nest2)
         work = problem
         surviving = list(range(problem.n_common))
         forced_dropped = None
         if options.prune_unused:
-            extra_keep, forced_dropped = self._direction_safe_keep(problem, nest1)
-            work, surviving = problem.eliminate_unused(extra_keep)
+            # The safe-keep analysis and projection are pure in
+            # (problem, nest1); repeated queries replay the cached
+            # reduced problem (which carries its own key-bytes cache).
+            prep_key = ("dirprep", nest1)
+            prep = problem._key_cache.get(prep_key)
+            if prep is None:
+                extra_keep, forced_dropped = self._direction_safe_keep(
+                    problem, nest1
+                )
+                work, surviving = problem.eliminate_unused(extra_keep)
+                problem._key_cache[prep_key] = (
+                    work,
+                    tuple(surviving),
+                    forced_dropped,
+                )
+            else:
+                work, surviving_cached, forced_dropped = prep
+                surviving = list(surviving_cached)
 
         memo = self.memoizer
         memo_key = None
@@ -419,11 +476,13 @@ class DependenceAnalyzer:
             )
 
         if memo is not None:
-            memo_key = key_source.key_vector(with_bounds=True) + (
-                -1,
-                int(options.prune_unused),
-                int(options.prune_distance),
-                int(options.dimension_by_dimension),
+            memo_key = intern_key(
+                key_source.key_bytes(with_bounds=True)
+                + _direction_tail(
+                    int(options.prune_unused),
+                    int(options.prune_distance),
+                    int(options.dimension_by_dimension),
+                )
             )
             self.stats.memo_queries_bounds += 1
             hit, cached = memo.with_bounds.lookup(memo_key)
@@ -647,7 +706,7 @@ class DependenceAnalyzer:
 
         key_bounds = None
         if memo is not None:
-            key_bounds = key_source.key_vector(with_bounds=True)
+            key_bounds = key_source.key_bytes(with_bounds=True)
             self.stats.memo_queries_bounds += 1
             hit, cached = memo.with_bounds.lookup(key_bounds)
             if qsink.enabled:
@@ -668,8 +727,11 @@ class DependenceAnalyzer:
 
         transformed = outcome.transformed
         assert transformed is not None
+        system = transformed.flat if self.use_flat else None
+        if system is None:  # flat disabled, or int64 overflow fallback
+            system = transformed.system
         decision = self._run_cascade(
-            transformed.system, record=True, sink=qsink, scope=scope
+            system, record=True, sink=qsink, scope=scope
         )
         verdict = decision.result.verdict
         dependent = verdict in (Verdict.DEPENDENT, Verdict.UNKNOWN)
@@ -734,7 +796,7 @@ class DependenceAnalyzer:
         """Consult the no-bounds table; returns the entry or _MISS."""
         memo = self.memoizer
         assert memo is not None
-        key = key_source.key_vector(with_bounds=False)
+        key = key_source.key_bytes(with_bounds=False)
         self.stats.memo_queries_no_bounds += 1
         hit, cached = memo.no_bounds.lookup(key)
         if qsink.enabled:
@@ -783,7 +845,7 @@ class DependenceAnalyzer:
             )
         memo = self.memoizer
         if memo is not None and key_source is not None:
-            key = key_source.key_vector(with_bounds=False)
+            key = key_source.key_bytes(with_bounds=False)
             if outcome.independent:
                 memo.no_bounds.insert(key, _GcdCacheEntry(independent=True))
             else:
@@ -806,15 +868,14 @@ class DependenceAnalyzer:
         """Re-apply a cached factorization to this problem's bounds."""
         assert entry.x_offset is not None and entry.x_basis is not None
         t_names = tuple(f"t{k + 1}" for k in range(len(entry.x_basis)))
+        # Bounds transform lazily (flat-first) on cascade entry; a
+        # with-bounds memo hit right after this never transforms at all.
         transformed = TransformedSystem(
             t_names=t_names,
-            system=ConstraintSystem(t_names),
             x_offset=entry.x_offset,
             x_basis=entry.x_basis,
             problem=problem,
         )
-        for con in problem.bounds.constraints:
-            transformed.system.add_constraint(transformed.transform_constraint(con))
         return GcdOutcome(independent=False, transformed=transformed)
 
     # -- the inequality cascade ------------------------------------------------------
@@ -839,10 +900,17 @@ class DependenceAnalyzer:
         current = system
         completions = []
         result = None
+        # Stage timers: top-level queries (record=True) always observe;
+        # direction-refinement sub-queries (record=False) fan out up to
+        # 3^depth cascade runs per query, so their per-stage histogram
+        # updates are skipped unless a trace sink is attached — the
+        # refinement tests are still counted via record_direction_test.
+        observe = record or sink.enabled
         for test in self._cascade:
             scope.tick()
             result = test.run(current, sink, scope)
-            self.stats.observe_stage_ns(test.name, result.elapsed_ns)
+            if observe:
+                self.stats.observe_stage_ns(test.name, result.elapsed_ns)
             if sink.enabled:
                 sink.emit(
                     CascadeStage(

@@ -141,6 +141,7 @@ class _RefineState:
         self.scope = scope
         self.tests = 0
         self.exact = True
+        self.use_flat = getattr(analyzer, "use_flat", False)
         self._cache: dict[tuple[str, ...], tuple[Verdict, bool]] = {}
 
     def test(self, vector: tuple[str, ...]) -> tuple[Verdict, bool]:
@@ -152,10 +153,17 @@ class _RefineState:
             if self.sink.enabled:
                 self.sink.emit(DirectionNode(vector=vector, action="cached"))
             return self._cache[vector]
-        extra: list[LinearConstraint] = []
-        for level, direction in enumerate(vector):
-            extra.extend(self.problem.direction_constraints(level, direction))
-        system = self.transformed.with_extra_constraints(extra)
+        system = None
+        if self.use_flat:
+            rows: list = []
+            for level, direction in enumerate(vector):
+                rows.extend(self.problem.direction_rows(level, direction))
+            system = self.transformed.with_extra_flat(rows)
+        if system is None:  # object path (flat off, or int64 overflow)
+            extra: list[LinearConstraint] = []
+            for level, direction in enumerate(vector):
+                extra.extend(self.problem.direction_constraints(level, direction))
+            system = self.transformed.with_extra_constraints(extra)
         decision = self.analyzer._run_cascade(
             system, record=False, sink=self.sink, scope=self.scope
         )

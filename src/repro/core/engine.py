@@ -220,12 +220,16 @@ def _run_shard(payload):
     """Analyze one shard of unique problems (runs in a worker process).
 
     ``payload`` is ``(reps, warm_blob, opts)`` where ``reps`` is a list
-    of ``(rep_index, ref1, nest1, ref2, nest2)`` tuples.  Returns the
+    of ``(rep_index, ref1, nest1, ref2, nest2)`` tuples; an optional
+    fourth element maps rep indices to the problems stage 2 already
+    built (attached only on the in-process path, where they are shared
+    objects rather than pickled copies).  Returns the
     per-representative answers plus this worker's stats, serialized
     memo tables, and (when tracing) collected trace events for the
     reduce step.
     """
-    reps, warm_blob, opts = payload
+    reps, warm_blob, opts = payload[:3]
+    prebuilt = payload[3] if len(payload) > 3 else None
     if warm_blob is not None:
         memoizer = _memo_loads(warm_blob)
     else:
@@ -240,6 +244,14 @@ def _run_shard(payload):
         sink=shard_sink,
         budget=opts.get("budget"),
     )
+    if prebuilt is not None:
+        # Seed the analyzer's problem cache with the systems stage 2
+        # already constructed, so each representative skips a second
+        # build_problem + key encoding round.
+        for rep_index, ref1, nest1, ref2, nest2 in reps:
+            problem = prebuilt.get(rep_index)
+            if problem is not None:
+                analyzer._problem_cache[(ref1, nest1, ref2, nest2)] = problem
     answers = []
     for rep_index, ref1, nest1, ref2, nest2 in reps:
         result = analyzer.analyze(ref1, nest1, ref2, nest2)
@@ -254,6 +266,11 @@ def _run_shard(payload):
                 )
         answers.append((rep_index, result, directions))
     events = shard_sink.events if shard_sink is not None else []
+    if opts.get("pickle_wire"):
+        # Plain pool path: ship the memoizer itself (pickled by the
+        # pool transparently) instead of a JSON dump — the checkpoint
+        # format is the only consumer that needs the JSON blob.
+        return answers, analyzer.stats, memoizer, events
     return answers, analyzer.stats, _memo_dumps(memoizer), events
 
 
@@ -400,63 +417,72 @@ def analyze_batch(
             f"(improved={warm.improved}, symmetry={warm.symmetry})"
         )
 
-    # Stage 1: constant screen + structural dedup.  Unequal-constant
-    # subscripts are independent with no system at all; identical
-    # (ref, nest) tuples collapse before any problem is built.
-    structural: dict[tuple, int] = {}
+    # Stage 1: constant screen + structural dedup, one dict probe per
+    # repeated query.  Unequal-constant subscripts are independent
+    # with no system at all; identical (ref, nest) tuples collapse
+    # before any problem is built.  The first occurrence of a pair
+    # decides screen-vs-dedup; every repeat reuses that decision (and
+    # the screened pair's shared immutable result objects) from the
+    # same structural map.
+    structural: dict[tuple, int | tuple] = {}
     unique_items: list[PairQuery] = []
     owners: list[list[int]] = []
     n_screened = 0
     for idx, item in enumerate(items):
-        constant = DependenceAnalyzer._constant_fast_path(
-            item.ref1, item.ref2
-        )
-        if constant is not None and not constant.dependent:
-            screen_stats.total_queries += 1
-            screen_stats.constant_cases += 1
-            if trace:
-                n_common = item.nest1.common_prefix_depth(item.nest2)
-                screen_events.append(
-                    QueryStart(
-                        op="analyze",
-                        ref1=str(item.ref1),
-                        ref2=str(item.ref2),
-                        n_common=n_common,
-                        query_id=screen_qid,
-                    )
-                )
-                screen_events.append(
-                    ConstantScreen(independent=True, query_id=screen_qid)
-                )
-                screen_events.append(
-                    QueryEnd(
-                        dependent=False,
-                        decided_by=constant.decided_by,
-                        exact=True,
-                        elapsed_ns=0,
-                        query_id=screen_qid,
-                    )
-                )
-                screen_qid += 1
-            directions = None
-            if want_directions:
-                directions = DirectionResult(
-                    vectors=frozenset(),
-                    n_common=item.nest1.common_prefix_depth(item.nest2),
-                )
-            outcomes[idx] = PairOutcome(
-                query=item, result=constant, directions=directions
-            )
-            n_screened += 1
-            continue
         key = (item.ref1, item.nest1, item.ref2, item.nest2)
-        position = structural.get(key)
-        if position is None:
-            position = len(unique_items)
-            structural[key] = position
-            unique_items.append(item)
-            owners.append([])
-        owners[position].append(idx)
+        entry = structural.get(key)
+        if entry is None:
+            constant = DependenceAnalyzer._constant_fast_path(
+                item.ref1, item.ref2
+            )
+            if constant is not None and not constant.dependent:
+                n_common = item.nest1.common_prefix_depth(item.nest2)
+                directions = None
+                if want_directions:
+                    directions = DirectionResult(
+                        vectors=frozenset(), n_common=n_common
+                    )
+                entry = (constant, directions, n_common)
+                structural[key] = entry
+            else:
+                position = len(unique_items)
+                structural[key] = position
+                unique_items.append(item)
+                owners.append([idx])
+                continue
+        elif type(entry) is int:
+            owners[entry].append(idx)
+            continue
+        constant, directions, n_common = entry
+        screen_stats.total_queries += 1
+        screen_stats.constant_cases += 1
+        if trace:
+            screen_events.append(
+                QueryStart(
+                    op="analyze",
+                    ref1=str(item.ref1),
+                    ref2=str(item.ref2),
+                    n_common=n_common,
+                    query_id=screen_qid,
+                )
+            )
+            screen_events.append(
+                ConstantScreen(independent=True, query_id=screen_qid)
+            )
+            screen_events.append(
+                QueryEnd(
+                    dependent=False,
+                    decided_by=constant.decided_by,
+                    exact=True,
+                    elapsed_ns=0,
+                    query_id=screen_qid,
+                )
+            )
+            screen_qid += 1
+        outcomes[idx] = PairOutcome(
+            query=item, result=constant, directions=directions
+        )
+        n_screened += 1
 
     # Stage 2: canonical dedup.  Problems serializing to the same full
     # key vector are the same integer system (alpha-renamed twins), so
@@ -465,6 +491,8 @@ def analyze_batch(
     # direction lifting depends on each query's own loop structure.
     canonical: dict[tuple[int, ...], int] = {}
     reps: list[PairQuery] = []
+    rep_problems: list = []
+    rep_costs: list[int] = []
     rep_owners: list[list[int]] = []
     for position, item in enumerate(unique_items):
         problem = build_problem(item.ref1, item.nest1, item.ref2, item.nest2)
@@ -474,6 +502,14 @@ def analyze_batch(
             rep_position = len(reps)
             canonical[key] = rep_position
             reps.append(item)
+            rep_problems.append(problem)
+            # Cost proxy for shard balancing: direction refinement is
+            # the dominant per-problem cost and grows with both the
+            # system size and the number of common loops to refine.
+            rep_costs.append(
+                (len(problem.bounds.constraints) + 1)
+                * (item.nest1.common_prefix_depth(item.nest2) + 1)
+            )
             rep_owners.append([])
         rep_owners[rep_position].append(position)
 
@@ -490,17 +526,47 @@ def analyze_batch(
         "want_directions": want_directions,
         "trace": trace,
         "budget": budget,
+        # Workers return live Memoizer objects over the pool's pickle
+        # channel unless a checkpoint needs the JSON memo blob.
+        "pickle_wire": checkpoint is None,
     }
 
-    # Stage 3: deterministic round-robin sharding and fan-out.
+    # Stage 3: deterministic cost-balanced sharding and fan-out.
+    # Greedy longest-processing-time assignment on the stage-2 cost
+    # proxy: heaviest representative first, onto the least-loaded
+    # shard (ties to the lowest shard index).  A pure function of the
+    # input — replay order stays deterministic — and it keeps one
+    # pathological shard from serializing the whole fan-out.
     shards: list[list[tuple]] = [[] for _ in range(jobs)]
-    for rep_index, item in enumerate(reps):
-        shards[rep_index % jobs].append(
-            (rep_index, item.ref1, item.nest1, item.ref2, item.nest2)
+    loads = [0] * jobs
+    order = sorted(
+        range(len(reps)), key=lambda i: (-rep_costs[i], i)
+    )
+    for rep_index in order:
+        shard_index = min(range(jobs), key=lambda j: (loads[j], j))
+        loads[shard_index] += rep_costs[rep_index]
+        shards[shard_index].append(rep_index)
+    payloads = []
+    for shard in shards:
+        if not shard:
+            continue
+        shard.sort()
+        payloads.append(
+            (
+                [
+                    (
+                        rep_index,
+                        reps[rep_index].ref1,
+                        reps[rep_index].nest1,
+                        reps[rep_index].ref2,
+                        reps[rep_index].nest2,
+                    )
+                    for rep_index in shard
+                ],
+                warm_blob,
+                opts,
+            )
         )
-    payloads = [
-        (shard, warm_blob, opts) for shard in shards if shard
-    ]
     quarantine: list = []
     watchdog_stats: list[AnalyzerStats] = []
     if checkpoint is not None or shard_timeout is not None:
@@ -539,9 +605,22 @@ def analyze_batch(
         )
         shard_outputs = [output for group in groups for output in group]
     elif len(payloads) <= 1 or jobs == 1:
-        shard_outputs = [_run_shard(payload) for payload in payloads]
+        prebuilt = dict(enumerate(rep_problems))
+        shard_outputs = [
+            _run_shard(payload + (prebuilt,)) for payload in payloads
+        ]
     elif pool_map is not None:
         shard_outputs = pool_map(payloads)
+    elif (os.cpu_count() or 1) < 2:
+        # One CPU: forked workers would timeshare the core and pay
+        # fork + IPC for nothing.  Run the same shard payloads
+        # in-process, in order — identical outputs, no pool tax — and
+        # hand each shard the stage-2 problem objects (shared, not
+        # pickled) to skip rebuilding them.
+        prebuilt = dict(enumerate(rep_problems))
+        shard_outputs = [
+            _run_shard(payload + (prebuilt,)) for payload in payloads
+        ]
     else:
         context = _pool_context()
         with context.Pool(processes=len(payloads)) as pool:
@@ -554,7 +633,10 @@ def analyze_batch(
         + watchdog_stats
         + [stats for _, stats, _, _ in shard_outputs]
     )
-    worker_memos = [_memo_loads(blob) for _, _, blob, _ in shard_outputs]
+    worker_memos = [
+        blob if isinstance(blob, Memoizer) else _memo_loads(blob)
+        for _, _, blob, _ in shard_outputs
+    ]
     if worker_memos:
         merged_memo = merge_memoizers(worker_memos)
     elif warm is not None:
@@ -563,7 +645,8 @@ def analyze_batch(
         merged_memo = Memoizer(improved=improved, symmetry=symmetry)
 
     if trace:
-        # Shards are dealt round-robin and pool.map preserves payload
+        # Shard assignment is a deterministic function of the input
+        # (greedy on stage-2 costs) and pool.map preserves payload
         # order, so this replay order is a pure function of the input.
         streams = [screen_events]
         streams.extend(events for _, _, _, events in shard_outputs)

@@ -38,17 +38,69 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-__all__ = ["MemoTable", "MemoStats", "paper_hash"]
+__all__ = [
+    "MemoTable",
+    "MemoStats",
+    "paper_hash",
+    "encode_key",
+    "intern_key",
+]
 
 
-def paper_hash(vector: tuple[int, ...], table_size: int) -> int:
-    """The paper's hash: ``h(z) = size(z) + sum_i 2^i * z_i`` mod table size."""
+def paper_hash(vector, table_size: int) -> int:
+    """The paper's hash: ``h(z) = size(z) + sum_i 2^i * z_i`` mod table size.
+
+    Works on any integer sequence — including ``bytes`` keys, which
+    iterate as their octets — so the bucket structure (the published
+    scheme) stays well-defined for both key representations.
+    """
     acc = len(vector)
     weight = 1
     for z in vector:
         acc += weight * z
         weight = (weight * 2) % table_size
     return acc % table_size
+
+
+def encode_key(vector) -> bytes:
+    """Zigzag-varint encode an integer sequence into a stable byte key.
+
+    Each element encodes independently (zigzag to fold sign, then 7-bit
+    groups with a continuation bit), so the encoding of a concatenated
+    sequence is the concatenation of the encodings — the analyzer
+    relies on this to append pre-encoded option tails to a problem's
+    cached key bytes.  The per-element encoding is prefix-free, making
+    the sequence encoding injective: distinct key vectors never collide
+    as bytes.
+    """
+    out = bytearray()
+    append = out.append
+    for z in vector:
+        u = z + z if z >= 0 else -z - z - 1
+        while u > 0x7F:
+            append((u & 0x7F) | 0x80)
+            u >>= 7
+        append(u)
+    return bytes(out)
+
+
+# Global intern table for byte keys.  Problems repeat heavily (that is
+# the whole premise of memoization), so interning makes every repeated
+# probe reuse one bytes object — one dict hit here, then one dict hit in
+# the memo table, with zero tuple construction.  ``bytes`` cannot go
+# through ``sys.intern`` (str-only); a plain setdefault dict gives the
+# same sharing.  The table is process-global and append-only; shard
+# workers each build their own and the keys re-intern on merge/restore
+# (see repro.core.persist).
+_INTERN: dict[bytes, bytes] = {}
+
+
+def intern_key(data: bytes) -> bytes:
+    """Return the canonical shared instance of ``data``."""
+    return _INTERN.setdefault(data, data)
+
+
+_ABSENT = object()  # lookup sidecar miss sentinel (None is a legal value)
 
 
 @dataclass
@@ -58,7 +110,10 @@ class MemoStats:
     queries: int = 0
     hits: int = 0
     inserts: int = 0
-    probe_collisions: int = 0  # bucket entries inspected that did not match
+    # Retained for dashboard compatibility: the exact-probe sidecar
+    # answers lookups in one dict hit, so bucket probes (and therefore
+    # collisions) no longer occur on the lookup path.
+    probe_collisions: int = 0
 
     @property
     def unique(self) -> int:
@@ -96,6 +151,11 @@ class MemoTable:
         self._buckets: list[list[tuple[tuple[int, ...], Any]]] = [
             [] for _ in range(size)
         ]
+        # Exact-probe sidecar: mirrors the buckets key-for-key so a
+        # lookup is one native dict probe (zero tuple/bucket walking).
+        # The buckets remain authoritative for iteration, resize and
+        # the published open-hashing structure.
+        self._exact: dict[Any, Any] = {}
         self._count = 0
         self.stats = MemoStats()
 
@@ -103,25 +163,29 @@ class MemoTable:
     def load_factor(self) -> float:
         return self._count / self.size
 
-    def lookup(self, key: tuple[int, ...]) -> tuple[bool, Any]:
+    def lookup(self, key) -> tuple[bool, Any]:
         """Return ``(hit, value)``; counts the query."""
-        self.stats.queries += 1
-        bucket = self._buckets[paper_hash(key, self.size)]
-        for stored_key, value in bucket:
-            if stored_key == key:
-                self.stats.hits += 1
-                return True, value
-            self.stats.probe_collisions += 1
+        stats = self.stats
+        stats.queries += 1
+        value = self._exact.get(key, _ABSENT)
+        if value is not _ABSENT:
+            stats.hits += 1
+            return True, value
         return False, None
 
-    def _store(self, key: tuple[int, ...], value: Any) -> bool:
+    def _store(self, key, value: Any) -> bool:
         """Insert or overwrite; returns True when the key was new."""
-        bucket = self._buckets[paper_hash(key, self.size)]
-        for i, (stored_key, _) in enumerate(bucket):
-            if stored_key == key:
-                bucket[i] = (key, value)
-                return False
-        bucket.append((key, value))
+        exact = self._exact
+        if key in exact:
+            exact[key] = value
+            bucket = self._buckets[paper_hash(key, self.size)]
+            for i, (stored_key, _) in enumerate(bucket):
+                if stored_key == key:
+                    bucket[i] = (key, value)
+                    break
+            return False
+        exact[key] = value
+        self._buckets[paper_hash(key, self.size)].append((key, value))
         self._count += 1
         if not self.fixed_size and self._count > self.max_load * self.size:
             self.resize(self.size * 2)

@@ -23,7 +23,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.core.analyzer import _CachedDirections, _CachedVerdict, _GcdCacheEntry
-from repro.core.memo import Memoizer, MemoTable
+from repro.core.memo import Memoizer, MemoTable, intern_key
 
 __all__ = [
     "save_memoizer",
@@ -33,6 +33,8 @@ __all__ = [
     "loads",
     "encode_memo_value",
     "decode_memo_value",
+    "encode_memo_key",
+    "decode_memo_key",
     "merge_memoizers",
     "atomic_write_text",
 ]
@@ -117,10 +119,26 @@ encode_memo_value = _encode_value
 decode_memo_value = _decode_value
 
 
+def encode_memo_key(key) -> dict:
+    """JSON fields describing a memo key (tuple or interned bytes)."""
+    if isinstance(key, bytes):
+        return {"key": list(key), "key_type": "b"}
+    return {"key": list(key)}
+
+
+def decode_memo_key(entry: dict):
+    """Inverse of :func:`encode_memo_key`; bytes keys re-intern."""
+    if entry.get("key_type") == "b":
+        return intern_key(bytes(entry["key"]))
+    return tuple(entry["key"])
+
+
 def _encode_table(table: MemoTable) -> dict:
     entries = []
     for key, value in table.items():
-        entries.append({"key": list(key), "value": _encode_value(value)})
+        blob = encode_memo_key(key)
+        blob["value"] = _encode_value(value)
+        entries.append(blob)
     return {
         "size": table.size,
         "fixed_size": table.fixed_size,
@@ -133,7 +151,7 @@ def _decode_table(blob: dict) -> MemoTable:
         size=blob["size"], fixed_size=blob.get("fixed_size", False)
     )
     for entry in blob["entries"]:
-        table.update(tuple(entry["key"]), _decode_value(entry["value"]))
+        table.update(decode_memo_key(entry), _decode_value(entry["value"]))
     return table
 
 

@@ -11,7 +11,7 @@ __all__ = ["DependenceResult", "DirectionResult", "DECIDED_CONSTANT"]
 DECIDED_CONSTANT = "constant"
 
 
-@dataclass
+@dataclass(slots=True)
 class DependenceResult:
     """Outcome of a plain (no direction vectors) dependence query.
 
@@ -53,7 +53,7 @@ class DependenceResult:
         return self.degraded_reason is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectionResult:
     """Outcome of a direction-vector query (paper section 6).
 

@@ -130,9 +130,16 @@ def separable_directions(
                 vectors=frozenset(), n_common=problem.n_common
             )
         feasible: set[str] = set()
+        use_flat = getattr(analyzer, "use_flat", False)
         for direction in Direction.ALL:
-            extra = sub.direction_constraints(0, direction)
-            system = outcome.transformed.with_extra_constraints(extra)
+            system = None
+            if use_flat:
+                system = outcome.transformed.with_extra_flat(
+                    sub.direction_rows(0, direction)
+                )
+            if system is None:
+                extra = sub.direction_constraints(0, direction)
+                system = outcome.transformed.with_extra_constraints(extra)
             decision = analyzer._run_cascade(
                 system, record=False, sink=sink, scope=scope
             )

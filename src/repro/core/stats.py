@@ -27,6 +27,13 @@ __all__ = ["AnalyzerStats", "TEST_ORDER"]
 # columns at render time.
 TEST_ORDER = ("svpc", "acyclic", "loop_residue", "fourier_motzkin")
 
+# test name -> "time.cascade.<name>", built on demand: the cascade hot
+# path attributes a timing per stage and must not pay an f-string each
+# time.  Process-global; the handful of test names never grows.
+_STAGE_TIMERS: dict[str, str] = {
+    name: f"time.cascade.{name}" for name in TEST_ORDER
+}
+
 
 def _scalar(name: str, doc: str) -> property:
     def fget(self: "AnalyzerStats") -> int:
@@ -101,7 +108,10 @@ class AnalyzerStats:
 
     def observe_stage_ns(self, test_name: str, elapsed_ns: int) -> None:
         """Attribute one cascade stage's wall time to its test's timer."""
-        self.registry.observe(f"time.cascade.{test_name}", elapsed_ns)
+        name = _STAGE_TIMERS.get(test_name)
+        if name is None:
+            name = _STAGE_TIMERS[test_name] = f"time.cascade.{test_name}"
+        self.registry.observe(name, elapsed_ns)
 
     @property
     def unique_cases_no_bounds(self) -> int:

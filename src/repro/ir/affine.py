@@ -26,7 +26,7 @@ _Scalar = Union[int, "AffineExpr"]
 class AffineExpr:
     """An immutable integer affine expression ``const + sum(coeff*name)``."""
 
-    __slots__ = ("constant", "_terms")
+    __slots__ = ("constant", "_terms", "_hash")
 
     def __init__(self, constant: int = 0, terms: Mapping[str, int] | None = None):
         self.constant = int(constant)
@@ -37,6 +37,7 @@ class AffineExpr:
                 if coeff != 0:
                     clean[name] = coeff
         self._terms: dict[str, int] = clean
+        self._hash: int | None = None
 
     # -- constructors --------------------------------------------------------
 
@@ -153,7 +154,13 @@ class AffineExpr:
         return self.constant == other.constant and self._terms == other._terms
 
     def __hash__(self) -> int:
-        return hash((self.constant, tuple(sorted(self._terms.items()))))
+        # Hashing sorts the term map; expressions are hashed repeatedly
+        # (memo keys, dedup sets), so the result is computed once.
+        h = self._hash
+        if h is None:
+            h = hash((self.constant, tuple(sorted(self._terms.items()))))
+            self._hash = h
+        return h
 
     def __repr__(self) -> str:
         return f"AffineExpr({self})"

@@ -17,7 +17,7 @@ class AccessKind:
     WRITE = "write"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ArrayRef:
     """A subscripted reference ``array[sub0][sub1]...`` with an access kind."""
 

@@ -17,7 +17,7 @@ from repro.ir.affine import AffineExpr
 __all__ = ["Loop", "LoopNest"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Loop:
     """``for var = lower to upper`` (inclusive, step 1)."""
 
@@ -43,10 +43,11 @@ class Loop:
 class LoopNest:
     """An ordered sequence of loops, outermost first."""
 
-    __slots__ = ("loops",)
+    __slots__ = ("loops", "_hash")
 
     def __init__(self, loops: Sequence[Loop]):
         self.loops: tuple[Loop, ...] = tuple(loops)
+        self._hash: int | None = None
         seen: set[str] = set()
         for loop in self.loops:
             if loop.var in seen:
@@ -124,7 +125,11 @@ class LoopNest:
         return self.loops == other.loops
 
     def __hash__(self) -> int:
-        return hash(self.loops)
+        value = self._hash
+        if value is None:
+            value = hash(self.loops)
+            self._hash = value
+        return value
 
     def __repr__(self) -> str:
         return f"LoopNest({list(self.loops)!r})"

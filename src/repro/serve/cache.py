@@ -37,7 +37,12 @@ from pathlib import Path
 from typing import Any, Awaitable, Callable
 
 from repro.core.memo import Memoizer, MemoTable, paper_hash
-from repro.core.persist import decode_memo_value, encode_memo_value
+from repro.core.persist import (
+    decode_memo_key,
+    decode_memo_value,
+    encode_memo_key,
+    encode_memo_value,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.protocol import PROTOCOL_VERSION
 
@@ -121,6 +126,7 @@ class RecencyMemoTable(MemoTable):
                 if stored_key == key:
                     del bucket[i]
                     self._count -= 1
+                    self._exact.pop(key, None)
                     break
             self.used.pop(key, None)
 
@@ -195,7 +201,7 @@ class ServeCache:
                 table: RecencyMemoTable = getattr(self.memoizer, table_name)
                 for entry in blob["tables"][table_name]:
                     table.restore(
-                        tuple(entry["key"]),
+                        decode_memo_key(entry),
                         decode_memo_value(entry["value"]),
                         int(entry["used"]),
                     )
@@ -225,11 +231,9 @@ class ServeCache:
             for table_name in ("no_bounds", "with_bounds"):
                 table: RecencyMemoTable = getattr(self.memoizer, table_name)
                 for key, value in table.items():
-                    entry = {
-                        "key": list(key),
-                        "value": encode_memo_value(value),
-                        "used": table.used.get(key, 0),
-                    }
+                    entry = encode_memo_key(key)
+                    entry["value"] = encode_memo_value(value)
+                    entry["used"] = table.used.get(key, 0)
                     size = len(json.dumps(entry, separators=(",", ":")))
                     encoded.append((entry["used"], table_name, entry, size))
             encoded.sort(key=lambda item: item[0])
@@ -242,7 +246,7 @@ class ServeCache:
             while encoded and total > budget:
                 _, table_name, entry, size = encoded.pop(0)
                 table = getattr(self.memoizer, table_name)
-                table.drop(tuple(entry["key"]))
+                table.drop(decode_memo_key(entry))
                 total -= size + _ENTRY_OVERHEAD
                 evicted += 1
             if evicted:

@@ -30,6 +30,7 @@ One process keeps the analyzer warm for every caller:
 from __future__ import annotations
 
 import asyncio
+import json
 import signal
 import sys
 import threading
@@ -52,6 +53,64 @@ from repro.serve.pool import WorkerPool
 from repro.serve.protocol import ErrorCode, ProtocolError, Request
 
 __all__ = ["ServeConfig", "DependenceServer"]
+
+
+class _WireFastLane:
+    """Pre-serialized answers for repeated ``analyze`` requests.
+
+    Maps the request's canonical params text to the ``canonical_json``
+    bytes of a prior non-degraded result.  A hit is answered by splicing
+    the cached bytes straight into a response frame — no report object,
+    no session, no executor hop, no admission bookkeeping.  The splice
+    is bit-identical to the slow path because the response encoding
+    sorts its top-level keys (``"id" < "ok" < "result"``) and the cached
+    segment *is* the slow path's own serialization of the result.
+
+    Bounded LRU: insertion order doubles as recency (hits re-insert).
+    Only ever touched from the event loop, so no lock is needed.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._entries: dict[str, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> bytes | None:
+        entries = self._entries
+        data = entries.get(key)
+        if data is not None:
+            del entries[key]  # re-insert: dict order is recency order
+            entries[key] = data
+        return data
+
+    def put(self, key: str, data: bytes) -> None:
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        elif len(entries) >= self.capacity:
+            del entries[next(iter(entries))]
+        entries[key] = data
+
+
+def _ok_frame(request_id: Any, result_bytes: bytes) -> bytes:
+    """Splice a cached result into a complete ``ok`` response line.
+
+    Bit-identical to ``encode_response(ok_response(id, result))``:
+    ``canonical_json`` sorts the top-level keys, which already appear
+    here in sorted order, and ``result_bytes`` is itself canonical.
+    """
+    head = json.dumps(request_id, sort_keys=True, separators=(",", ":"))
+    return (
+        b'{"id":'
+        + head.encode("utf-8")
+        + b',"ok":true,"result":'
+        + result_bytes
+        + b"}\n"
+    )
 
 
 @dataclass
@@ -94,6 +153,7 @@ class DependenceServer:
         )
         self.pool = WorkerPool(jobs=self.config.pool_jobs)
         self.flight = SingleFlight(registry=self.registry)
+        self.fastlane = _WireFastLane()
         self.started = threading.Event()
         self.bound_host: str | None = None
         self.bound_port: int | None = None
@@ -306,9 +366,15 @@ class DependenceServer:
         self,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
-        response: dict,
+        response: dict | bytes,
     ) -> None:
-        payload = protocol.encode_response(response)
+        # Fast-lane hits arrive pre-framed as bytes; everything else is
+        # a response dict that encodes canonically here.
+        payload = (
+            response
+            if isinstance(response, bytes)
+            else protocol.encode_response(response)
+        )
         try:
             async with write_lock:
                 writer.write(payload)
@@ -321,7 +387,7 @@ class DependenceServer:
         request: Request,
         session: AnalysisSession,
         explain_lock: threading.Lock,
-    ) -> dict:
+    ) -> dict | bytes:
         op = request.op
         self.registry.inc_family("serve.requests", op)
         if op == "health":
@@ -339,6 +405,17 @@ class DependenceServer:
             return protocol.error_response(
                 request.id, ErrorCode.SHUTTING_DOWN, "server is draining"
             )
+        params_text = protocol.canonical_json(request.params)
+        lane_key: str | None = None
+        if op == "analyze":
+            # Zero-copy fast lane: a repeated query is answered from the
+            # pre-serialized wire bytes of its previous answer, before
+            # admission — it costs no worker thread and no queue slot.
+            lane_key = params_text
+            cached = self.fastlane.get(lane_key)
+            if cached is not None:
+                self.registry.inc("serve.fastlane.hits")
+                return _ok_frame(request.id, cached)
         limit = self.config.max_inflight + self.config.queue_limit
         if self._admitted >= limit:
             self.registry.inc("serve.backpressure")
@@ -353,11 +430,21 @@ class DependenceServer:
         self.registry.put("serve.inflight", self._admitted)
         start = _now_ns()
         try:
-            flight_key = (op, protocol.canonical_json(request.params))
+            flight_key = (op, params_text)
             result = await self.flight.run(
                 flight_key,
                 lambda: self._run_analysis_op(request, session, explain_lock),
             )
+            if (
+                lane_key is not None
+                and isinstance(result, dict)
+                and not result.get("degraded", True)
+            ):
+                # Serialize the result once: it becomes both this
+                # response's payload and the fast-lane entry.
+                data = protocol.canonical_json(result).encode("utf-8")
+                self.fastlane.put(lane_key, data)
+                return _ok_frame(request.id, data)
             return protocol.ok_response(request.id, result)
         except ProtocolError as err:
             self.registry.inc_family("serve.errors", err.code)
@@ -601,6 +688,7 @@ class DependenceServer:
                 "draining": self.draining,
                 "connections": self._sessions_open,
                 "pool_recycles": self.pool.recycles,
+                "fastlane_entries": len(self.fastlane),
             },
         }
 

@@ -32,7 +32,7 @@ NEG_INF = float("-inf")
 POS_INF = float("inf")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinearConstraint:
     """An immutable, gcd-normalized inequality ``coeffs . t <= bound``."""
 
@@ -95,7 +95,7 @@ class LinearConstraint:
         return f"{lhs} <= {self.bound}"
 
 
-@dataclass
+@dataclass(slots=True)
 class Interval:
     """A (possibly unbounded) integer interval ``[lo, hi]``."""
 
@@ -125,7 +125,7 @@ class Interval:
         return 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ConstraintSystem:
     """A set of constraints over named integer variables."""
 

@@ -44,7 +44,22 @@ class Direction:
     ALL = (LT, EQ, GT)
 
 
-@dataclass
+# Lazily bound byte-key codec.  ``repro.core.memo`` owns the encoder
+# and the global intern table, but importing it at module scope would
+# cycle through ``repro.core.__init__`` back into this module.
+_CODEC: tuple = ()
+
+
+def _memo_codec():
+    global _CODEC
+    if not _CODEC:
+        from repro.core.memo import encode_key, intern_key
+
+        _CODEC = (encode_key, intern_key)
+    return _CODEC
+
+
+@dataclass(slots=True)
 class DependenceProblem:
     """The integer system whose solvability decides dependence.
 
@@ -124,6 +139,30 @@ class DependenceProblem:
             return [make(1, -1, 0), make(-1, 1, 0)]
         raise ValueError(f"bad direction {relation!r}")
 
+    def direction_rows(
+        self, level: int, relation: str
+    ) -> list[tuple[tuple[tuple[int, int], ...], int]]:
+        """Sparse form of :meth:`direction_constraints` for the flat path.
+
+        Each row is ``(((var, coeff), ...), bound)`` over the x
+        variables.  The rows have unit coefficients, so they are
+        already gcd-normalized — transforming and appending them to a
+        :class:`~repro.system.flat.FlatSystem` produces exactly the
+        constraints :meth:`direction_constraints` would.
+        """
+        if relation == Direction.ANY:
+            return []
+        if level >= self.n_common:
+            raise IndexError(f"level {level} beyond common depth {self.n_common}")
+        i1, i2 = self.var1(level), self.var2(level)
+        if relation == Direction.LT:
+            return [(((i1, 1), (i2, -1)), -1)]
+        if relation == Direction.GT:
+            return [(((i1, -1), (i2, 1)), -1)]
+        if relation == Direction.EQ:
+            return [(((i1, 1), (i2, -1)), 0), (((i1, -1), (i2, 1)), 0)]
+        raise ValueError(f"bad direction {relation!r}")
+
     def distance_coeffs(self, level: int) -> tuple[list[int], int]:
         """The expression ``i'_level - i_level`` as (coeffs over x, const)."""
         coeffs = [0] * self.n_vars
@@ -145,6 +184,11 @@ class DependenceProblem:
         cached = self._key_cache.get(with_bounds)
         if cached is not None:
             return cached
+        key = tuple(self._key_elements(with_bounds))
+        self._key_cache[with_bounds] = key
+        return key
+
+    def _key_elements(self, with_bounds: bool) -> list[int]:
         vec: list[int] = [
             self.n1,
             self.n2,
@@ -168,9 +212,26 @@ class DependenceProblem:
                 vec.append(len(entries))
                 for j, c in entries:
                     vec.extend((j, c))
-        key = tuple(vec)
-        self._key_cache[with_bounds] = key
-        return key
+        return vec
+
+    def key_bytes(self, with_bounds: bool) -> bytes:
+        """The key vector as interned zigzag-varint bytes (memo keys).
+
+        ``key_bytes(b) == encode_key(key_vector(b))`` by construction;
+        the bytes form skips the tuple entirely and is interned through
+        the global table in :mod:`repro.core.memo`, so a repeated
+        problem's memo probe hashes one shared bytes object.
+        """
+        # Cache slots 2/3 (bytes) are disjoint from the tuple slots
+        # False==0 / True==1.
+        slot = 3 if with_bounds else 2
+        cached = self._key_cache.get(slot)
+        if cached is not None:
+            return cached
+        encode, intern = _memo_codec()
+        data = intern(encode(self._key_elements(with_bounds)))
+        self._key_cache[slot] = data
+        return data
 
     def swapped(self) -> "DependenceProblem":
         """The same dependence question with the two references swapped.
@@ -274,7 +335,19 @@ class DependenceProblem:
         two variables are *both* unused and whose loop has constant
         bounds, so :meth:`DependenceAnalyzer.directions` keeps every
         other level in the system instead of dropping it.
+
+        The result is cached per ``extra_keep`` (problems are immutable
+        once built, and the analyzer's problem cache replays identical
+        queries against the same instance).
         """
+        cache_key = (
+            "elim",
+            None if extra_keep is None else frozenset(extra_keep),
+        )
+        cached = self._key_cache.get(cache_key)
+        if cached is not None:
+            reduced, surviving = cached
+            return reduced, list(surviving)
         used = self.used_variable_closure(extra_keep)
         keep = sorted(used)
         remap = {old: new for new, old in enumerate(keep)}
@@ -327,7 +400,9 @@ class DependenceProblem:
             n_common=n_common_new,
             symbols=new_symbols,
         )
-        return reduced, surviving_common[:n_common_new]
+        surviving = surviving_common[:n_common_new]
+        self._key_cache[cache_key] = (reduced, tuple(surviving))
+        return reduced, surviving
 
     def __str__(self) -> str:
         eqs = "\n".join(
@@ -377,23 +452,39 @@ def build_problem(
     symbols = sorted(free1 | free2)
 
     names = tuple(vars1) + tuple(prime_map[v] for v in vars2) + tuple(symbols)
-    order = list(names)
+    # Equations and bounds are assembled straight from the expressions'
+    # term maps — equivalent to the AffineExpr arithmetic
+    # (``sub1 - sub2``, ``lower - var``, ``var - upper``) but without
+    # allocating the intermediate expression objects, which dominated
+    # the cold-query profile.
+    slot = {name: j for j, name in enumerate(names)}
+    n = len(names)
 
     equations: list[tuple[tuple[int, ...], int]] = []
     for sub1, sub2 in zip(ref1.subscripts, ref2p.subscripts):
-        diff = sub1 - sub2
-        coeffs = tuple(diff.coefficients(order))
-        equations.append((coeffs, -diff.constant))
+        row = [0] * n
+        for name, c in sub1._terms.items():
+            row[slot[name]] += c
+        for name, c in sub2._terms.items():
+            row[slot[name]] -= c
+        # sub1 - sub2 == 0  ==>  row . x == sub2.const - sub1.const
+        equations.append((tuple(row), sub2.constant - sub1.constant))
 
     bounds = ConstraintSystem(names)
     for loop in list(nest1) + loops2p:
-        index_var = AffineExpr.variable(loop.var)
+        var_slot = slot[loop.var]
         # lower <= var   ==>   (lower - var) <= 0
-        low = loop.lower - index_var
-        bounds.add(low.coefficients(order), -low.constant)
+        row = [0] * n
+        for name, c in loop.lower._terms.items():
+            row[slot[name]] += c
+        row[var_slot] -= 1
+        bounds.add(row, -loop.lower.constant)
         # var <= upper   ==>   (var - upper) <= 0
-        high = index_var - loop.upper
-        bounds.add(high.coefficients(order), -high.constant)
+        row = [0] * n
+        for name, c in loop.upper._terms.items():
+            row[slot[name]] -= c
+        row[var_slot] += 1
+        bounds.add(row, loop.upper.constant)
 
     return DependenceProblem(
         names=names,

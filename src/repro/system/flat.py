@@ -1,0 +1,215 @@
+"""Flat array-backed constraint systems for the cascade hot path.
+
+Profiling the query inner loop (``repro bench --profile``) shows the
+dependence *math* is cheap; the cost is Python object churn — one
+frozen-dataclass :class:`~repro.system.constraints.LinearConstraint`
+per row, a tuple per coefficient vector, and per-row method dispatch.
+:class:`FlatSystem` stores every row of ``A x <= b`` in one contiguous
+``array('q')`` coefficient buffer (row-major, one signed 64-bit slot
+per coefficient) plus a parallel bounds array, so building, copying and
+scanning a system never allocates per-row objects.
+
+The object API stays available as a thin view: the ``constraints``
+property materializes :class:`LinearConstraint` rows lazily and caches
+them, and :meth:`copy` shares the already-materialized prefix (rows are
+append-only and immutable once written), so a refinement run that adds
+two direction rows per vector constructs exactly two new objects — the
+base system's rows are materialized at most once per query no matter
+how many vectors are tested.
+
+Rows are gcd-normalized exactly as :meth:`LinearConstraint.make` does
+(divide by the coefficient gcd, floor the bound), keeping flat and
+object cascades bit-identical — verdicts, witnesses and residuals all
+agree, which ``tests/test_flat_equivalence.py`` checks property-style
+on every fuzz tier.
+
+``array('q')`` overflows past 64 bits; callers build flat systems
+inside ``try/except OverflowError`` and fall back to the object path
+(see :class:`repro.system.transform.TransformedSystem`), so pathological
+coefficient growth degrades to the old representation instead of
+crashing.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Sequence
+
+from repro.linalg.gcdext import floor_div, gcd_all
+from repro.system.constraints import ConstraintSystem, Interval, LinearConstraint
+
+__all__ = ["FlatSystem"]
+
+
+class FlatSystem:
+    """Row-major ``A x <= b`` over one contiguous int64 buffer.
+
+    Duck-types the slice of the :class:`ConstraintSystem` API the
+    cascade consumes: SVPC runs natively on the buffer; tests that need
+    object rows (Acyclic's elimination, Fourier-Motzkin) go through the
+    lazily-materialized ``constraints`` view.
+    """
+
+    __slots__ = ("names", "n_vars", "data", "bounds", "_objects")
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        data: array | None = None,
+        bounds: array | None = None,
+        objects: list[LinearConstraint] | None = None,
+    ):
+        self.names = tuple(names)
+        self.n_vars = len(self.names)
+        self.data = data if data is not None else array("q")
+        self.bounds = bounds if bounds is not None else array("q")
+        # Prefix cache of materialized LinearConstraint rows: always
+        # covers rows [0, len(_objects)).  Shared across copies.
+        self._objects: list[LinearConstraint] = (
+            objects if objects is not None else []
+        )
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.bounds)
+
+    def __len__(self) -> int:
+        return len(self.bounds)
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, coeffs: Sequence[int], bound: int) -> None:
+        """Append a row, gcd-normalizing like :meth:`LinearConstraint.make`."""
+        g = gcd_all(coeffs)
+        if g > 1:
+            coeffs = [c // g for c in coeffs]
+            bound = floor_div(bound, g)
+        self.data.extend(coeffs)
+        self.bounds.append(bound)
+
+    def add_row(self, coeffs: Sequence[int], bound: int) -> None:
+        """Append an already-normalized row (no gcd division)."""
+        self.data.extend(coeffs)
+        self.bounds.append(bound)
+
+    def copy(self) -> "FlatSystem":
+        return FlatSystem(
+            self.names, self.data[:], self.bounds[:], list(self._objects)
+        )
+
+    @classmethod
+    def from_system(cls, system: ConstraintSystem) -> "FlatSystem":
+        """Flat view of an object system (rows assumed normalized)."""
+        flat = cls(system.names)
+        data = flat.data
+        bounds = flat.bounds
+        for con in system.constraints:
+            data.extend(con.coeffs)
+            bounds.append(con.bound)
+        flat._objects = list(system.constraints)
+        return flat
+
+    def to_system(self) -> ConstraintSystem:
+        return ConstraintSystem(self.names, list(self.constraints))
+
+    # -- object view ---------------------------------------------------------
+
+    @property
+    def constraints(self) -> list[LinearConstraint]:
+        """Materialized object rows (lazily built, cached, shared by copies)."""
+        objs = self._objects
+        n_rows = len(self.bounds)
+        if len(objs) < n_rows:
+            n = self.n_vars
+            data = self.data
+            bounds = self.bounds
+            for r in range(len(objs), n_rows):
+                base = r * n
+                objs.append(
+                    LinearConstraint(tuple(data[base : base + n]), bounds[r])
+                )
+        return objs
+
+    # -- cascade queries (native, no object rows) ----------------------------
+
+    def max_vars_per_constraint(self) -> int:
+        data = self.data
+        n = self.n_vars
+        best = 0
+        base = 0
+        for _ in range(len(self.bounds)):
+            count = 0
+            for k in range(base, base + n):
+                if data[k]:
+                    count += 1
+            if count > best:
+                best = count
+            base += n
+        return best
+
+    def has_contradiction(self) -> bool:
+        data = self.data
+        n = self.n_vars
+        base = 0
+        for b in self.bounds:
+            if b < 0:
+                for k in range(base, base + n):
+                    if data[k]:
+                        break
+                else:
+                    return True
+            base += n
+        return False
+
+    def single_variable_intervals(self) -> list[Interval]:
+        """Same contract as :meth:`ConstraintSystem.single_variable_intervals`."""
+        intervals = [Interval() for _ in range(self.n_vars)]
+        data = self.data
+        n = self.n_vars
+        base = 0
+        for b in self.bounds:
+            var = -1
+            for k in range(base, base + n):
+                if data[k]:
+                    if var >= 0:
+                        var = -2  # multi-variable row: skip
+                        break
+                    var = k - base
+            if var >= 0:
+                a = data[base + var]
+                if a > 0:
+                    intervals[var].tighten_hi(floor_div(b, a))
+                else:
+                    intervals[var].tighten_lo(-floor_div(b, -a))
+            base += n
+        return intervals
+
+    def used_variables(self) -> set[int]:
+        used: set[int] = set()
+        data = self.data
+        n = self.n_vars
+        base = 0
+        for _ in range(len(self.bounds)):
+            for k in range(base, base + n):
+                if data[k]:
+                    used.add(k - base)
+            base += n
+        return used
+
+    def evaluate(self, point: Sequence[int]) -> bool:
+        data = self.data
+        n = self.n_vars
+        base = 0
+        for b in self.bounds:
+            acc = 0
+            for k in range(base, base + n):
+                c = data[k]
+                if c:
+                    acc += c * point[k - base]
+            if acc > b:
+                return False
+            base += n
+        return True
+
+    def __str__(self) -> str:
+        return str(self.to_system())

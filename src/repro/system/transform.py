@@ -26,27 +26,93 @@ from repro.linalg.echelon import echelon_factor
 from repro.linalg.matrix import IntMatrix
 from repro.system.constraints import ConstraintSystem, LinearConstraint
 from repro.system.depsystem import DependenceProblem
+from repro.system.flat import FlatSystem
 
 __all__ = ["TransformedSystem", "GcdOutcome", "gcd_transform"]
 
+# Sentinel: the flat build hit int64 overflow; use the object path.
+_OVERFLOW = object()
 
-@dataclass
+
 class TransformedSystem:
     """The bound constraints re-expressed over the free ``t`` variables.
 
     ``x_offset`` and ``x_basis`` encode the general integer solution of
     the equalities:  ``x[j] = x_offset[j] + sum_f t[f] * x_basis[f][j]``.
+
+    The t-space system exists in two forms, both built lazily from the
+    problem's bounds on first access: ``flat`` (the array-backed
+    :class:`FlatSystem` the cascade runs on) and ``system`` (the
+    :class:`ConstraintSystem` object view, kept for tests, serde and the
+    int64-overflow fallback).  Constructing the transform itself costs
+    nothing — a memo hit that never reaches the cascade never transforms
+    a single bound.
     """
 
-    t_names: tuple[str, ...]
-    system: ConstraintSystem
-    x_offset: tuple[int, ...]
-    x_basis: tuple[tuple[int, ...], ...]
-    problem: DependenceProblem
+    __slots__ = ("t_names", "x_offset", "x_basis", "problem", "_system", "_flat")
+
+    def __init__(
+        self,
+        t_names: tuple[str, ...],
+        system: ConstraintSystem | None = None,
+        x_offset: tuple[int, ...] = (),
+        x_basis: tuple[tuple[int, ...], ...] = (),
+        problem: DependenceProblem | None = None,
+    ):
+        self.t_names = t_names
+        self.x_offset = x_offset
+        self.x_basis = x_basis
+        self.problem = problem
+        self._system = system
+        self._flat: FlatSystem | object | None = None
 
     @property
     def n_free(self) -> int:
         return len(self.t_names)
+
+    @property
+    def flat(self) -> FlatSystem | None:
+        """The transformed bounds as a :class:`FlatSystem` (None on overflow)."""
+        if self._flat is None:
+            try:
+                self._flat = self._build_flat()
+            except OverflowError:
+                self._flat = _OVERFLOW
+        return None if self._flat is _OVERFLOW else self._flat
+
+    @property
+    def system(self) -> ConstraintSystem:
+        """Object view of the transformed bounds (materialized on demand)."""
+        if self._system is None:
+            flat = self.flat
+            if flat is not None:
+                self._system = ConstraintSystem(
+                    self.t_names, list(flat.constraints)
+                )
+            else:
+                built = ConstraintSystem(self.t_names)
+                for con in self.problem.bounds.constraints:
+                    built.add_constraint(self.transform_constraint(con))
+                self._system = built
+        return self._system
+
+    def _build_flat(self) -> FlatSystem:
+        flat = FlatSystem(self.t_names)
+        offset = self.x_offset
+        basis = self.x_basis
+        n_free = len(basis)
+        for con in self.problem.bounds.constraints:
+            row = [0] * n_free
+            const = 0
+            for j, a in enumerate(con.coeffs):
+                if a:
+                    const += a * offset[j]
+                    for f in range(n_free):
+                        b = basis[f][j]
+                        if b:
+                            row[f] += a * b
+            flat.add(row, con.bound - const)
+        return flat
 
     def transform_constraint(self, constraint: LinearConstraint) -> LinearConstraint:
         """Rewrite an x-space constraint into t-space."""
@@ -57,11 +123,10 @@ class TransformedSystem:
         self, coeffs_x: Sequence[int], const: int
     ) -> tuple[list[int], int]:
         """Rewrite ``coeffs_x . x + const`` as ``coeffs_t . t + const'``."""
-        new_const = const + sum(
-            a * off for a, off in zip(coeffs_x, self.x_offset)
-        )
+        entries = [(j, a) for j, a in enumerate(coeffs_x) if a]
+        new_const = const + sum(a * self.x_offset[j] for j, a in entries)
         coeffs_t = [
-            sum(a * basis_row[j] for j, a in enumerate(coeffs_x))
+            sum(a * basis_row[j] for j, a in entries)
             for basis_row in self.x_basis
         ]
         return coeffs_t, new_const
@@ -83,6 +148,38 @@ class TransformedSystem:
         for con in extra:
             system.add_constraint(self.transform_constraint(con))
         return system
+
+    def with_extra_flat(
+        self, extra_rows: Sequence[tuple[tuple[tuple[int, int], ...], int]]
+    ) -> FlatSystem | None:
+        """The flat t-system plus transformed sparse x-space rows.
+
+        ``extra_rows`` are ``((var, coeff), ...), bound`` pairs (see
+        :meth:`DependenceProblem.direction_rows`).  Returns None when
+        the flat representation overflowed int64 — callers fall back to
+        :meth:`with_extra_constraints`.
+        """
+        base = self.flat
+        if base is None:
+            return None
+        out = base.copy()
+        offset = self.x_offset
+        basis = self.x_basis
+        n_free = len(basis)
+        try:
+            for entries, bound in extra_rows:
+                row = [0] * n_free
+                const = 0
+                for j, a in entries:
+                    const += a * offset[j]
+                    for f in range(n_free):
+                        b = basis[f][j]
+                        if b:
+                            row[f] += a * b
+                out.add(row, bound - const)
+        except OverflowError:
+            return None
+        return out
 
 
 @dataclass
@@ -155,13 +252,11 @@ def _build_transformed(
     x_basis = [tuple(u.row(k)) for k in range(rank, n)]
     t_names = tuple(f"t{k + 1}" for k in range(len(x_basis)))
 
+    # The t-space bound system is built lazily (flat first) on access.
     transformed = TransformedSystem(
         t_names=t_names,
-        system=ConstraintSystem(t_names),
         x_offset=tuple(x_offset),
         x_basis=tuple(x_basis),
         problem=problem,
     )
-    for con in problem.bounds.constraints:
-        transformed.system.add_constraint(transformed.transform_constraint(con))
     return GcdOutcome(independent=False, transformed=transformed)

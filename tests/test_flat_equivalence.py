@@ -1,0 +1,132 @@
+"""Flat-array hot path == object path, property-tested at scale.
+
+The cascade can run on two representations of the same constraint
+system: the array-backed :class:`repro.system.flat.FlatSystem` (the
+default hot path) and the original per-constraint object
+:class:`~repro.system.constraints.ConstraintSystem` (the reference
+path, forced with ``use_flat=False``).  These tests drive both
+analyzers over the deterministic fuzz corpus — 500 cases on each of the
+five tiers — and require bitwise-equal answers: verdicts, deciding
+tests, exactness, distances and direction-vector sets.
+
+Also covered here: the byte memo keys are exactly the zigzag-varint
+encoding of the published integer key vectors (so the two keyspaces
+cannot drift), and the sharded batch engine still produces
+bit-identical outcomes to the serial engine with the flat path on.
+"""
+
+import pytest
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.memo import Memoizer, encode_key
+from repro.fuzz.generator import TIERS, generate_case
+from repro.system.depsystem import build_problem
+from repro.system.flat import FlatSystem
+
+SEED = 20260807
+N_CASES = 500
+
+
+def _answers(analyzer, case):
+    plain = analyzer.analyze(case.ref1, case.nest1, case.ref2, case.nest2)
+    vectors = analyzer.directions(
+        case.ref1, case.nest1, case.ref2, case.nest2
+    )
+    return (
+        plain.dependent,
+        plain.decided_by,
+        plain.exact,
+        plain.distance,
+        vectors.exact,
+        frozenset(vectors.vectors),
+        vectors.n_common,
+    )
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_flat_path_matches_object_path(tier):
+    """Same verdicts/directions on both representations, 500 cases/tier.
+
+    Both analyzers memoize, so the equivalence also covers the
+    warm-path interplay (memo hits must agree with fresh computation
+    on either representation).
+    """
+    flat = DependenceAnalyzer(memoizer=Memoizer(), use_flat=True)
+    obj = DependenceAnalyzer(memoizer=Memoizer(), use_flat=False)
+    for index in range(N_CASES):
+        case = generate_case(SEED, index, tier)
+        assert _answers(flat, case) == _answers(obj, case), (
+            f"flat/object divergence at tier={tier} index={index}"
+        )
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_byte_keys_encode_the_key_vectors(tier):
+    """``key_bytes`` is exactly ``encode_key(key_vector)`` — per tier.
+
+    The memo keyspace must not depend on which accessor built the key;
+    the byte form is the varint encoding of the published integer
+    vector, for both the with-bounds and no-bounds tables.
+    """
+    for index in range(0, N_CASES, 5):
+        case = generate_case(SEED, index, tier)
+        problem = build_problem(case.ref1, case.nest1, case.ref2, case.nest2)
+        for with_bounds in (True, False):
+            vector = problem.key_vector(with_bounds=with_bounds)
+            data = problem.key_bytes(with_bounds=with_bounds)
+            assert data == encode_key(vector)
+        reduced, _ = problem.eliminate_unused()
+        assert reduced.key_bytes(True) == encode_key(reduced.key_vector(True))
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_flat_system_mirrors_object_system(tier):
+    """Structural round trip: FlatSystem answers == ConstraintSystem's."""
+    for index in range(0, N_CASES, 5):
+        case = generate_case(SEED, index, tier)
+        problem = build_problem(case.ref1, case.nest1, case.ref2, case.nest2)
+        system = problem.bounds
+        flat = FlatSystem.from_system(system)
+        assert flat.n_rows == len(system.constraints)
+        assert list(flat.constraints) == list(system.constraints)
+        assert flat.used_variables() == system.used_variables()
+        assert (
+            flat.max_vars_per_constraint() == system.max_vars_per_constraint()
+        )
+        assert flat.has_contradiction() == system.has_contradiction()
+        assert (
+            flat.single_variable_intervals()
+            == system.single_variable_intervals()
+        )
+        back = flat.to_system()
+        assert back.names == system.names
+        assert back.constraints == system.constraints
+
+
+def test_serial_matches_sharded_with_flat_path():
+    """The sharded engine stays bitwise-equal to serial on the flat path."""
+    from repro.core.engine import analyze_batch, queries_from_suite
+    from repro.perfect import load_suite
+
+    queries = queries_from_suite(load_suite(include_symbolic=True, scale=0.02))
+
+    def canon(report):
+        out = []
+        for outcome in report.outcomes:
+            result, directions = outcome.result, outcome.directions
+            out.append(
+                (
+                    str(outcome.query.ref1),
+                    str(outcome.query.ref2),
+                    result.dependent,
+                    result.decided_by,
+                    result.exact,
+                    result.distance,
+                    sorted(directions.vectors) if directions else None,
+                )
+            )
+        return out
+
+    serial = analyze_batch(queries, jobs=1, want_directions=True)
+    sharded = analyze_batch(queries, jobs=3, want_directions=True)
+    assert canon(serial) == canon(sharded)
