@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""CI chaos test for the serve cluster (repro.serve.cluster).
+
+End-to-end, at the process level:
+
+1. start ``python -m repro serve --cluster 4`` and read the announced
+   router port plus every worker's pid;
+2. fire 200 queries from 8 concurrent clients (each pipelines the
+   full stream) and assert every response is **bit-identical** to a
+   serial ``analyze_batch`` run over the same queries;
+3. ``kill -9`` one worker while a second wave of load is in flight and
+   assert **zero lost queries**: every client still receives an answer
+   for every query, and every answer is still bit-identical — the
+   router replays the dead worker's debt onto the re-sharded ring and
+   the supervisor restarts it;
+4. SIGTERM the supervisor and assert a clean drain (exit 0);
+5. dump the router's merged metrics to ``cluster_stats.json`` as the
+   CI artifact.
+
+Exits 0 when all checks pass, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.api import DependenceReport  # noqa: E402
+from repro.core.engine import analyze_batch, queries_from_suite  # noqa: E402
+from repro.ir.serde import query_to_dict  # noqa: E402
+from repro.perfect import load_suite  # noqa: E402
+from repro.serve import protocol  # noqa: E402
+from repro.serve.client import Client  # noqa: E402
+
+N_QUERIES = 200
+N_CLIENTS = 8
+N_WORKERS = 4
+STATS_OUT = "cluster_stats.json"
+
+
+def build_workload():
+    queries = queries_from_suite(
+        load_suite(include_symbolic=True, scale=0.02)
+    )[:N_QUERIES]
+    assert len(queries) == N_QUERIES, f"corpus too small: {len(queries)}"
+    serial = analyze_batch(queries, jobs=1, want_directions=True)
+    expected = [
+        protocol.report_to_wire(
+            DependenceReport.from_results(
+                str(outcome.query.ref1),
+                str(outcome.query.ref2),
+                outcome.result,
+                outcome.directions,
+            )
+        )
+        for outcome in serial.outcomes
+    ]
+    calls = [
+        (
+            "analyze",
+            {
+                "query": query_to_dict(q.ref1, q.nest1, q.ref2, q.nest2),
+                "directions": True,
+            },
+        )
+        for q in queries
+    ]
+    return calls, expected
+
+
+def start_cluster() -> tuple[subprocess.Popen, dict]:
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--cluster",
+            str(N_WORKERS),
+            "--queue-limit",
+            "50000",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=str(REPO),
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    line = proc.stdout.readline()
+    announce = json.loads(line)["serving"]
+    assert announce["cluster"] is True, announce
+    assert len(announce["workers"]) == N_WORKERS, announce
+    return proc, announce
+
+
+def fire_clients(
+    endpoint: str, calls, expected, kill_pid: int | None = None
+) -> list[str]:
+    """8 pipelined clients; optionally kill -9 a worker mid-load.
+
+    Every client must get one bit-identical answer per query — no
+    losses, no errors — whether or not a worker dies under it.
+    """
+    failures: list[str] = []
+    fired = threading.Event()
+
+    def worker(index: int):
+        try:
+            with Client(endpoint, timeout=240.0, retry_for=10.0) as client:
+                results = client.call_many(calls)
+            if len(results) != len(calls):
+                failures.append(
+                    f"client {index}: {len(results)}/{len(calls)} answers"
+                )
+                return
+            for i, (got, want) in enumerate(zip(results, expected)):
+                if got != want:
+                    failures.append(
+                        f"client {index} query {i}: {got!r} != {want!r}"
+                    )
+                    return
+        except Exception as err:
+            failures.append(f"client {index}: {err!r}")
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(N_CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    if kill_pid is not None:
+        time.sleep(0.1)  # the wave is connecting/pipelining right now
+        os.kill(kill_pid, signal.SIGKILL)
+        fired.set()
+    for t in threads:
+        t.join(600)
+        if t.is_alive():
+            failures.append("client thread hung")
+    return failures
+
+
+def dump_stats(endpoint: str) -> None:
+    with Client(endpoint, timeout=60.0) as client:
+        stats = client.stats()
+    artifact = {
+        "workers": N_WORKERS,
+        "clients": N_CLIENTS,
+        "queries": N_QUERIES,
+        "router": stats["router"],
+        "ring": stats["ring"],
+    }
+    pathlib.Path(STATS_OUT).write_text(json.dumps(artifact, indent=2))
+    print(f"wrote {STATS_OUT}")
+
+
+def main() -> int:
+    print(f"building workload: {N_QUERIES} queries, serial reference ...")
+    calls, expected = build_workload()
+
+    print(f"starting --cluster {N_WORKERS} ...")
+    proc, announce = start_cluster()
+    endpoint = f"cluster://{announce['host']}:{announce['port']}"
+    pids = {w["id"]: w["pid"] for w in announce["workers"]}
+    try:
+        print(
+            f"router on {endpoint}, workers {pids}; firing "
+            f"{N_CLIENTS} clients x {N_QUERIES} queries ..."
+        )
+        failures = fire_clients(endpoint, calls, expected)
+        if failures:
+            print(f"FAIL: {failures[0]}", file=sys.stderr)
+            return 1
+        print(
+            f"ok: {N_CLIENTS * N_QUERIES} responses bit-identical to "
+            "serial analyze_batch"
+        )
+
+        victim = pids["w1"]
+        print(f"second wave with kill -9 of worker w1 (pid {victim}) ...")
+        failures = fire_clients(endpoint, calls, expected, kill_pid=victim)
+        if failures:
+            print(f"FAIL: {failures[0]}", file=sys.stderr)
+            return 1
+        print(
+            f"ok: zero lost queries, {N_CLIENTS * N_QUERIES} responses "
+            "still bit-identical across the kill -9"
+        )
+
+        dump_stats(endpoint)
+
+        print("SIGTERM the supervisor ...")
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=120)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            print("FAIL: supervisor did not exit", file=sys.stderr)
+            return 1
+        if code != 0:
+            print(f"FAIL: supervisor exited {code}", file=sys.stderr)
+            print(proc.stderr.read()[-4000:], file=sys.stderr)
+            return 1
+        print("ok: clean drain, exit code 0")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    start = time.perf_counter()
+    status = main()
+    print(f"cluster smoke finished in {time.perf_counter() - start:.1f}s")
+    sys.exit(status)

@@ -50,6 +50,7 @@ __all__ = [
     "ExplainResult",
     "run_fuzz",
     "connect",
+    "Client",
 ]
 
 
@@ -72,21 +73,45 @@ def connect(
     timeout: float | None = 30.0,
     retry_for: float = 0.0,
 ):
-    """Open a client to a running dependence daemon (see :mod:`repro.serve`).
+    """Deprecated alias for :class:`repro.serve.client.Client`.
 
-    Lazy forwarder to :meth:`repro.serve.client.ServeClient.connect`,
-    so facade users get at the serving layer without a second import
-    surface — and importing ``repro.api`` never pulls in asyncio/socket
-    machinery::
+    The unified client takes an endpoint URL and speaks to bare
+    workers (``tcp://``), cluster routers (``cluster://``) and private
+    child daemons (``stdio:``) with one call surface::
 
-        client = connect(port=4733)
+        from repro.api import Client
+
+        client = Client("tcp://127.0.0.1:4733")
         verdict = client.analyze(source=text, pair=0)
+
+    This shim keeps old ``connect(host, port)`` callers working but
+    warns; it will be removed in a future release.
     """
+    import warnings
+
+    warnings.warn(
+        "repro.api.connect(host, port) is deprecated; use "
+        "repro.api.Client('tcp://HOST:PORT') "
+        "(or cluster://HOST:PORT, stdio:) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.serve.client import ServeClient
 
     return ServeClient.connect(
         host, port, timeout=timeout, retry_for=retry_for
     )
+
+
+def __getattr__(name: str):
+    # Lazy re-export: ``from repro.api import Client`` reaches the
+    # unified serve client without importing socket/subprocess
+    # machinery for the facade's (much more common) pure-analysis uses.
+    if name == "Client":
+        from repro.serve.client import Client
+
+        return Client
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)

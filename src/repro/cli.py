@@ -522,7 +522,67 @@ def _cmd_deps(args: argparse.Namespace) -> int:
     return EXIT_DEPENDENCE if count else EXIT_OK
 
 
+def _worker_passthrough_args(args: argparse.Namespace) -> tuple[str, ...]:
+    """Re-spell the serve flags for a cluster worker's child argv.
+
+    Whatever the operator passed to ``repro serve --cluster N`` rides
+    through to every worker daemon, so the fleet behaves like N copies
+    of the single-daemon configuration.  (``--cache`` stays out: the
+    workers would race on one store file; warmth sharing inside a
+    cluster goes through the spill directory instead.)
+    """
+    out: list[str] = [
+        "--cache-max-bytes",
+        str(args.cache_max_bytes),
+        "--max-inflight",
+        str(args.max_inflight),
+        "--queue-limit",
+        str(args.queue_limit),
+        "--fm-budget",
+        str(args.fm_budget),
+    ]
+    if args.deadline_ms is not None:
+        out += ["--deadline-ms", str(args.deadline_ms)]
+    if args.jobs is not None:
+        out += ["--jobs", str(args.jobs)]
+    if args.symmetry:
+        out.append("--symmetry")
+    for flag, value in (
+        ("--deadline-s", args.deadline_s),
+        ("--max-fm-nodes", args.max_fm_nodes),
+        ("--max-constraints", args.max_constraints),
+        ("--max-coeff-bits", args.max_coeff_bits),
+        ("--max-depth", args.max_depth),
+    ):
+        if value is not None:
+            out += [flag, str(value)]
+    return tuple(out)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.cluster is not None:
+        from repro.serve.cluster import ClusterConfig, ClusterSupervisor
+
+        if args.stdio:
+            print("error: --cluster and --stdio are exclusive", file=sys.stderr)
+            return EXIT_USAGE
+        if args.cache:
+            print(
+                "error: --cluster workers cannot share one --cache store; "
+                "use --spill-dir for warmth sharing",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        config = ClusterConfig(
+            workers=args.cluster,
+            host=args.host,
+            port=args.port,
+            spill_dir=args.spill_dir,
+            spill_interval_s=args.spill_interval,
+            worker_args=_worker_passthrough_args(args),
+        )
+        return ClusterSupervisor(config).run()
+
     from repro.serve.server import DependenceServer, ServeConfig
 
     config = ServeConfig(
@@ -538,12 +598,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         symmetry=args.symmetry,
         fm_budget=args.fm_budget,
         budget=_budget_from_args(args),
+        worker_id=args.worker_id,
+        spill_dir=args.spill_dir,
+        spill_interval_s=args.spill_interval,
     )
     return DependenceServer(config).run()
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.serve.client import ServeClient, ServeError
+    from repro.serve.client import Client, ServeError
     from repro.serve.protocol import ErrorCode
 
     usage_codes = {
@@ -553,13 +616,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
         ErrorCode.VERSION,
         ErrorCode.SOURCE,
     }
-    try:
-        client = ServeClient.connect(
-            args.host, args.port, retry_for=args.retry_for
+    if args.endpoint is not None:
+        endpoint = args.endpoint
+    elif args.port is not None:
+        endpoint = f"tcp://{args.host}:{args.port}"
+    else:
+        print(
+            "error: give --endpoint URL or --port PORT", file=sys.stderr
         )
+        return EXIT_USAGE
+    try:
+        client = Client(endpoint, retry_for=args.retry_for)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return EXIT_USAGE
     except OSError as err:
         print(
-            f"error: cannot reach server at {args.host}:{args.port}: {err}",
+            f"error: cannot reach server at {endpoint}: {err}",
             file=sys.stderr,
         )
         return EXIT_INTERNAL
@@ -885,6 +958,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_serve.add_argument("--symmetry", action="store_true")
     p_serve.add_argument("--fm-budget", type=int, default=256)
+    p_serve.add_argument(
+        "--cluster",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run a consistent-hash router over N worker daemons "
+        "instead of one server (see repro.serve.cluster)",
+    )
+    p_serve.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="this daemon's ring id inside a cluster (set by the "
+        "cluster supervisor)",
+    )
+    p_serve.add_argument(
+        "--spill-dir",
+        metavar="DIR",
+        default=None,
+        help="memo-warmth gossip directory: periodically spill this "
+        "daemon's memo table there and absorb peers' images",
+    )
+    p_serve.add_argument(
+        "--spill-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="gossip period for --spill-dir (default 2.0)",
+    )
     _add_budget_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
@@ -897,8 +999,15 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="mini-Fortran source file, or - (not needed for control ops)",
     )
+    p_query.add_argument(
+        "--endpoint",
+        default=None,
+        metavar="URL",
+        help="tcp://HOST:PORT, cluster://HOST:PORT, or stdio: "
+        "(overrides --host/--port)",
+    )
     p_query.add_argument("--host", default="127.0.0.1")
-    p_query.add_argument("--port", type=int, required=True)
+    p_query.add_argument("--port", type=int, default=None)
     p_query.add_argument(
         "--op",
         default="analyze",

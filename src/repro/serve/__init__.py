@@ -21,25 +21,48 @@ caller, forever.  This package is that daemon plus its client:
   sessions, request pipelining, bounded concurrency with explicit
   backpressure, per-query deadlines that degrade to a conservative
   flagged verdict, and SIGTERM-triggered graceful drain;
-* :mod:`repro.serve.client` — a pipelining synchronous client.
+* :mod:`repro.serve.client` — the unified pipelining synchronous
+  client (``tcp://``, ``cluster://`` and ``stdio:`` endpoints behind
+  one :class:`~repro.serve.client.Client`);
+* :mod:`repro.serve.router` — the consistent-hash cluster router:
+  shards the canonical query-key space over a worker fleet and replays
+  in-flight queries across worker loss;
+* :mod:`repro.serve.cluster` — the fleet supervisor behind
+  ``repro serve --cluster N``: N worker daemons, memo-warmth gossip,
+  crash restarts and rolling restarts.
 
 CLI entry points: ``repro serve`` and ``repro query``.
 """
 
 from repro.serve.cache import ServeCache, SingleFlight
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import Client, ServeClient, ServeError
+from repro.serve.cluster import ClusterConfig, ClusterSupervisor
 from repro.serve.pool import WorkerPool
-from repro.serve.protocol import PROTOCOL_VERSION, ErrorCode
+from repro.serve.protocol import (
+    MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    ErrorCode,
+)
+from repro.serve.router import ClusterRouter, HashRing, RouterConfig
 from repro.serve.server import DependenceServer, ServeConfig
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "ErrorCode",
     "ServeCache",
     "SingleFlight",
+    "Client",
     "ServeClient",
     "ServeError",
     "WorkerPool",
     "DependenceServer",
     "ServeConfig",
+    "HashRing",
+    "ClusterRouter",
+    "RouterConfig",
+    "ClusterConfig",
+    "ClusterSupervisor",
 ]

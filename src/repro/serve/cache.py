@@ -38,10 +38,13 @@ from typing import Any, Awaitable, Callable
 
 from repro.core.memo import Memoizer, MemoTable, paper_hash
 from repro.core.persist import (
+    atomic_write_text,
     decode_memo_key,
     decode_memo_value,
+    dumps as _memo_dumps,
     encode_memo_key,
     encode_memo_value,
+    load_memoizer_safe,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.protocol import PROTOCOL_VERSION
@@ -286,6 +289,52 @@ class ServeCache:
         self.last_save_bytes = len(text)
         self.registry.inc("serve.cache.saves")
         return len(text)
+
+    # -- warmth sharing (cluster spill) ------------------------------------
+
+    def spill(self, path: str | Path) -> int:
+        """Atomically write the memo tables as a warm-start image.
+
+        The cluster's warmth-sharing channel: each worker periodically
+        spills its tables to a shared directory and absorbs its peers'
+        images, so a hit on any node warms the fleet.  The image is the
+        standard :mod:`repro.core.persist` format — which structurally
+        cannot represent a degraded verdict (degraded answers are never
+        memoized), so no degraded frame is ever gossiped.  Returns the
+        number of entries written.
+        """
+        with self._lock:
+            text = _memo_dumps(self.memoizer)
+            count = self.entry_count()
+        atomic_write_text(path, text, chaos_site="serve.spill")
+        self.registry.inc("serve.spill.saves")
+        return count
+
+    def absorb(self, path: str | Path) -> int:
+        """Merge a peer worker's spilled image into the live tables.
+
+        Corrupt, truncated or keying-incompatible images are skipped
+        with a warning (peer warmth is a bonus, never a dependency).
+        Returns the number of entries gained.
+        """
+        memo = load_memoizer_safe(path)
+        if memo is None:
+            self.registry.inc("serve.spill.load_failures")
+            return 0
+        if not self.memoizer.compatible_with(memo):
+            warnings.warn(
+                f"ignoring peer spill {path}: incompatible memo keying",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.registry.inc("serve.spill.load_failures")
+            return 0
+        before = self.entry_count()
+        self.memoizer.merge_from(memo)
+        gained = self.entry_count() - before
+        if gained:
+            self.registry.inc("serve.spill.absorbed", gained)
+        return gained
 
     # -- introspection -----------------------------------------------------
 

@@ -1,25 +1,46 @@
-"""A small synchronous client for the dependence daemon.
+"""The unified client for the dependence-analysis service.
 
-Speaks the JSON-lines protocol over TCP.  Supports one-shot calls and
-**pipelining**: :meth:`ServeClient.call_many` writes a whole batch of
-request lines before reading any response, then matches responses back
-to requests by id (the server may answer out of order).
+One class, :class:`Client`, speaks the JSON-lines protocol to every
+kind of serving endpoint, selected by URL scheme::
+
+    Client("tcp://127.0.0.1:4733")      # one bare worker daemon
+    Client("cluster://127.0.0.1:4700")  # a consistent-hash router
+    Client("stdio:")                    # a private child daemon
+
+``tcp://`` connects to a running :class:`~repro.serve.server
+.DependenceServer`; ``cluster://`` connects to a
+:class:`~repro.serve.router.ClusterRouter` and verifies the endpoint
+really is one (the health frame must advertise ``cluster: true``);
+``stdio:`` spawns a private ``repro serve --stdio`` child process and
+talks over its pipes.  The call surface — :meth:`Client.call`,
+:meth:`Client.call_many`, :meth:`Client.analyze` and friends — is
+identical across all three: the wire protocol is the same protocol,
+only the transport differs.
+
+Pipelining: :meth:`Client.call_many` writes a whole batch of request
+lines before reading any response, then matches responses back to
+requests by id (the server may answer out of order).
 
 Typed server errors surface as :class:`ServeError` carrying the wire
 error code, so callers can distinguish ``overloaded`` (retry later)
 from ``bad_request`` (don't).
+
+:class:`ServeClient` remains as the (host, port) constructor spelling
+of a ``tcp://`` client; ``repro.api.connect()`` is a deprecated alias.
 """
 
 from __future__ import annotations
 
 import socket
+import subprocess
+import sys
 import time
 from typing import Any
 
 from repro.serve import protocol
 from repro.serve.protocol import ProtocolError
 
-__all__ = ["ServeClient", "ServeError"]
+__all__ = ["Client", "ServeClient", "ServeError", "parse_endpoint"]
 
 
 class ServeError(Exception):
@@ -31,27 +52,146 @@ class ServeError(Exception):
         self.message = message
 
 
-class ServeClient:
-    """One connection to a running :class:`DependenceServer`."""
+def parse_endpoint(endpoint: str) -> tuple[str, str | None, int | None]:
+    """Split an endpoint URL into ``(scheme, host, port)``.
 
-    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+    Accepted forms: ``tcp://HOST:PORT``, ``cluster://HOST:PORT``,
+    ``stdio:`` (also spelled ``stdio://``).  Anything else raises
+    :class:`ValueError` naming the supported schemes.
+    """
+    if endpoint in ("stdio:", "stdio://"):
+        return "stdio", None, None
+    for scheme in ("tcp", "cluster"):
+        prefix = f"{scheme}://"
+        if endpoint.startswith(prefix):
+            rest = endpoint[len(prefix) :]
+            host, sep, port_text = rest.rpartition(":")
+            if not sep or not host or not port_text.isdigit():
+                raise ValueError(
+                    f"endpoint {endpoint!r} needs the form "
+                    f"{scheme}://HOST:PORT"
+                )
+            return scheme, host, int(port_text)
+    raise ValueError(
+        f"unsupported endpoint {endpoint!r} "
+        "(use tcp://HOST:PORT, cluster://HOST:PORT, or stdio:)"
+    )
+
+
+class _SocketTransport:
+    """A TCP connection's buffered line-oriented file pair."""
+
+    def __init__(self, host: str, port: int, timeout: float | None):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
-        self._next_id = 0
 
-    @classmethod
-    def connect(
-        cls,
-        host: str,
-        port: int,
+    def write(self, data: bytes) -> None:
+        self._file.write(data)
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def readline(self) -> bytes:
+        return self._file.readline()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+
+class _StdioTransport:
+    """A private ``repro serve --stdio`` child and its pipes."""
+
+    def __init__(self, args: tuple[str, ...]):
+        import os
+        from pathlib import Path
+
+        import repro
+
+        # The child must import the same repro this process runs,
+        # installed or straight from a source tree.
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self._proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--stdio", *args],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+
+    def write(self, data: bytes) -> None:
+        assert self._proc.stdin is not None
+        self._proc.stdin.write(data)
+
+    def flush(self) -> None:
+        assert self._proc.stdin is not None
+        self._proc.stdin.flush()
+
+    def readline(self) -> bytes:
+        assert self._proc.stdout is not None
+        return self._proc.stdout.readline()
+
+    def close(self) -> None:
+        # Closing stdin is the stdio daemon's EOF: it drains and exits.
+        try:
+            if self._proc.stdin is not None:
+                self._proc.stdin.close()
+            self._proc.wait(timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            self._proc.kill()
+            self._proc.wait(timeout=5)
+
+
+class Client:
+    """One connection to a dependence-analysis endpoint.
+
+    ``endpoint`` selects the transport by scheme (see module
+    docstring); ``retry_for`` keeps retrying a refused TCP connection
+    for that many seconds (a server that is still coming up);
+    ``stdio_args`` appends extra ``repro serve`` flags when spawning a
+    ``stdio:`` child.
+    """
+
+    def __init__(
+        self,
+        endpoint: str,
         timeout: float | None = 30.0,
         retry_for: float = 0.0,
-    ) -> "ServeClient":
-        """Connect, optionally retrying while the server comes up."""
+        stdio_args: tuple[str, ...] = (),
+    ):
+        self.endpoint = endpoint
+        self.scheme, self.host, self.port = parse_endpoint(endpoint)
+        self._next_id = 0
+        if self.scheme == "stdio":
+            self._transport: Any = _StdioTransport(stdio_args)
+        else:
+            self._transport = self._connect_tcp(timeout, retry_for)
+        if self.scheme == "cluster":
+            # cluster:// promises a router; fail loudly when pointed at
+            # a bare worker instead of silently losing the fleet.
+            info = self.health()
+            if not info.get("cluster"):
+                self.close()
+                raise ValueError(
+                    f"endpoint {endpoint!r} is not a cluster router "
+                    "(health did not advertise cluster: true); "
+                    "use tcp:// for a bare worker"
+                )
+
+    def _connect_tcp(
+        self, timeout: float | None, retry_for: float
+    ) -> _SocketTransport:
+        assert self.host is not None and self.port is not None
         deadline = time.monotonic() + retry_for
         while True:
             try:
-                return cls(host, port, timeout=timeout)
+                return _SocketTransport(self.host, self.port, timeout)
             except (ConnectionRefusedError, OSError):
                 if time.monotonic() >= deadline:
                     raise
@@ -60,12 +200,9 @@ class ServeClient:
     # -- plumbing ----------------------------------------------------------
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._transport.close()
 
-    def __enter__(self) -> "ServeClient":
+    def __enter__(self) -> "Client":
         return self
 
     def __exit__(self, *exc: Any) -> None:
@@ -76,7 +213,7 @@ class ServeClient:
         return self._next_id
 
     def _read_response(self) -> dict:
-        line = self._file.readline()
+        line = self._transport.readline()
         if not line:
             raise ConnectionError("server closed the connection")
         return protocol.decode_response(line)
@@ -96,8 +233,8 @@ class ServeClient:
     def call(self, op: str, params: dict | None = None) -> Any:
         """One request, one response; raises :class:`ServeError` on errors."""
         request_id = self._fresh_id()
-        self._file.write(protocol.encode_request(op, params, request_id))
-        self._file.flush()
+        self._transport.write(protocol.encode_request(op, params, request_id))
+        self._transport.flush()
         response = self._read_response()
         if response.get("id") != request_id:
             raise ProtocolError(
@@ -122,8 +259,10 @@ class ServeClient:
         for op, params in calls:
             request_id = self._fresh_id()
             ids.append(request_id)
-            self._file.write(protocol.encode_request(op, params, request_id))
-        self._file.flush()
+            self._transport.write(
+                protocol.encode_request(op, params, request_id)
+            )
+        self._transport.flush()
         by_id: dict[int, Any] = {}
         for _ in calls:
             response = self._read_response()
@@ -175,3 +314,25 @@ class ServeClient:
 
     def shutdown(self) -> dict:
         return self.call("shutdown")
+
+
+class ServeClient(Client):
+    """The ``(host, port)`` spelling of a ``tcp://`` :class:`Client`."""
+
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+        super().__init__(f"tcp://{host}:{port}", timeout=timeout)
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        retry_for: float = 0.0,
+    ) -> "ServeClient":
+        """Connect, optionally retrying while the server comes up."""
+        client = cls.__new__(cls)
+        Client.__init__(
+            client, f"tcp://{host}:{port}", timeout=timeout, retry_for=retry_for
+        )
+        return client

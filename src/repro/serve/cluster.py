@@ -1,0 +1,271 @@
+"""The cluster supervisor: a worker fleet behind one router process.
+
+``repro serve --cluster N`` runs this supervisor: it launches N
+:class:`~repro.serve.server.DependenceServer` worker daemons as child
+processes (each on its own OS process — N processes beat one GIL-bound
+process on a multi-core host), embeds a
+:class:`~repro.serve.router.ClusterRouter` in its own event loop, and
+keeps the fleet healthy:
+
+* **announce** — one ``{"serving": ...}`` line on stdout describing the
+  router endpoint and every worker (id, port, pid — the pids are what
+  the chaos harness kills);
+* **warmth sharing** — every worker gets the same ``--spill-dir``, so
+  their memo tables gossip through periodic spill images and a hit on
+  any node warms the fleet;
+* **crash supervision** — a worker that dies unexpectedly (kill -9) is
+  ejected from the ring (its in-flight queries replay onto the
+  re-sharded ring; see :mod:`repro.serve.router`) and restarted with
+  the same ring id, moving its segment back once it announces;
+* **rolling restart** — :meth:`ClusterSupervisor.rolling_restart`
+  drains one worker at a time through the SIGTERM drain path while the
+  router re-shards around it, so the fleet upgrades with zero lost
+  queries;
+* **graceful drain** — SIGTERM (or the ``shutdown`` op at the router)
+  first drains the router (new analysis ops get ``shutting_down``,
+  pending forwarded work completes), then SIGTERMs every worker and
+  exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import tempfile
+import threading
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.serve import protocol
+from repro.serve.router import ClusterRouter, RouterConfig
+
+__all__ = ["ClusterConfig", "ClusterSupervisor"]
+
+
+@dataclass
+class ClusterConfig:
+    """Everything the supervisor can be configured with."""
+
+    workers: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0  # router port; 0 picks a free one (announced)
+    announce: bool = True
+    replicas: int = 64  # ring positions per worker
+    spill_dir: str | None = None  # None: a private tempdir per cluster
+    spill_interval_s: float = 2.0
+    worker_start_timeout_s: float = 60.0
+    restart_backoff_s: float = 0.1
+    # Extra CLI flags appended to every worker's ``repro serve`` argv
+    # (budgets, queue limits, deadlines, ... — whatever the operator
+    # passed to ``repro serve --cluster N`` rides through verbatim).
+    worker_args: tuple[str, ...] = field(default_factory=tuple)
+
+
+class ClusterSupervisor:
+    """Runs the router plus N supervised worker daemons until drained."""
+
+    def __init__(self, config: ClusterConfig | None = None):
+        self.config = config if config is not None else ClusterConfig()
+        if self.config.workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        self.router = ClusterRouter(
+            RouterConfig(
+                host=self.config.host,
+                port=self.config.port,
+                announce=False,
+                replicas=self.config.replicas,
+                install_signal_handlers=False,
+            ),
+            on_shutdown=None,  # router drain is awaited inline below
+        )
+        self.started = threading.Event()
+        self.procs: dict[str, asyncio.subprocess.Process] = {}
+        self.restarts = 0
+        self.spill_dir: Path | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._draining = False
+        self._expected_exits: set[str] = set()
+        self._tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> int:
+        """Supervise until drained; returns the process exit code (0)."""
+        asyncio.run(self._main())
+        return 0
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful cluster drain; safe from any thread."""
+        self.router.request_shutdown()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self.request_shutdown)
+            except (RuntimeError, NotImplementedError, ValueError):
+                break
+        self.spill_dir = Path(
+            self.config.spill_dir
+            if self.config.spill_dir is not None
+            else tempfile.mkdtemp(prefix="repro-cluster-")
+        )
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+
+        router_done = self._spawn(self.router._main())
+        while not self.router.started.is_set():
+            await asyncio.sleep(0.01)
+        try:
+            for index in range(self.config.workers):
+                await self._start_worker(f"w{index}")
+            if self.config.announce:
+                print(
+                    protocol.canonical_json({"serving": self.router.describe()}),
+                    flush=True,
+                )
+            self.started.set()
+            # The router's _main returns once a drain was requested (via
+            # signal or the shutdown op) and its pending work finished.
+            await router_done
+        finally:
+            await self._stop_workers()
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    async def _stop_workers(self) -> None:
+        self._draining = True
+        for worker_id, proc in tuple(self.procs.items()):
+            if proc.returncode is None:
+                try:
+                    proc.send_signal(signal.SIGTERM)
+                except ProcessLookupError:
+                    pass
+        for worker_id, proc in tuple(self.procs.items()):
+            try:
+                await asyncio.wait_for(proc.wait(), timeout=30.0)
+            except asyncio.TimeoutError:
+                proc.kill()
+                await proc.wait()
+        for task in tuple(self._tasks):
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    # -- workers -----------------------------------------------------------
+
+    def _worker_argv(self, worker_id: str) -> list[str]:
+        assert self.spill_dir is not None
+        return [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            self.config.host,
+            "--port",
+            "0",
+            "--worker-id",
+            worker_id,
+            "--spill-dir",
+            str(self.spill_dir),
+            "--spill-interval",
+            str(self.config.spill_interval_s),
+            *self.config.worker_args,
+        ]
+
+    async def _start_worker(self, worker_id: str) -> None:
+        env = dict(os.environ)
+        # The children must import the same repro the supervisor runs,
+        # installed or straight from a source tree.
+        import repro
+
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = await asyncio.create_subprocess_exec(
+            *self._worker_argv(worker_id),
+            stdout=asyncio.subprocess.PIPE,
+            stderr=None,
+            env=env,
+        )
+        try:
+            line = await asyncio.wait_for(
+                proc.stdout.readline(),
+                timeout=self.config.worker_start_timeout_s,
+            )
+            announce = json.loads(line)["serving"]
+        except Exception:
+            proc.kill()
+            await proc.wait()
+            raise RuntimeError(
+                f"worker {worker_id} failed to announce its port"
+            ) from None
+        self.procs[worker_id] = proc
+        self._spawn(self._drain_stdout(proc))
+        self._spawn(self._watch(worker_id, proc))
+        self.router.add_worker(
+            worker_id, announce["host"], announce["port"], pid=proc.pid
+        )
+
+    async def _drain_stdout(self, proc: asyncio.subprocess.Process) -> None:
+        """Keep the child's stdout pipe from ever filling up."""
+        assert proc.stdout is not None
+        while await proc.stdout.readline():
+            pass
+
+    async def _watch(
+        self, worker_id: str, proc: asyncio.subprocess.Process
+    ) -> None:
+        """Supervise one worker: restart it when it dies unexpectedly."""
+        code = await proc.wait()
+        if self._draining or worker_id in self._expected_exits:
+            return
+        if self.procs.get(worker_id) is not proc:
+            return  # already superseded by a restart
+        # Unexpected death (kill -9, crash): take it off the ring now —
+        # in-flight queries replay onto the re-sharded ring — and bring
+        # a replacement up under the same ring id.
+        self.router.registry.inc("cluster.worker_restarts")
+        self.router._on_loop(self.router._eject_worker, worker_id, "lost")
+        self.restarts += 1
+        backoff = min(
+            2.0, self.config.restart_backoff_s * (1 + self.restarts // 5)
+        )
+        await asyncio.sleep(backoff)
+        if self._draining:
+            return
+        try:
+            await self._start_worker(worker_id)
+        except (RuntimeError, OSError):
+            traceback.print_exc(file=sys.stderr)
+
+    async def rolling_restart(self) -> None:
+        """Replace every worker, one at a time, losing zero queries.
+
+        Each worker is drained through its SIGTERM path while the
+        router re-shards its ring segment; once it has exited, a fresh
+        worker rejoins under the same ring id before the next one
+        drains.  The replacement starts warm: it absorbs the drained
+        worker's final spill image on its first gossip round.
+        """
+        for worker_id in sorted(self.procs):
+            proc = self.procs[worker_id]
+            if proc.returncode is not None:
+                continue
+            self._expected_exits.add(worker_id)
+            self.router.begin_drain(worker_id)
+            try:
+                proc.send_signal(signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+            await asyncio.wait_for(proc.wait(), timeout=60.0)
+            self._expected_exits.discard(worker_id)
+            await self._start_worker(worker_id)

@@ -54,6 +54,8 @@ from repro.system.depsystem import Direction
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "OPS",
     "ErrorCode",
     "ProtocolError",
@@ -69,7 +71,19 @@ __all__ = [
     "canonical_json",
 ]
 
-PROTOCOL_VERSION = 1
+#: Version 2 (the cluster release) added capability advertisement:
+#: ``health`` results carry ``cluster`` (is this endpoint a
+#: consistent-hash router fronting a worker fleet?) plus ``worker_id``
+#: on bare workers.  The request/response framing and every analysis
+#: op are unchanged, so version 1 requests are still accepted —
+#: negotiation is one-sided and backward: an old client may talk to a
+#: new router, and a new client may talk to a bare worker, without
+#: either noticing.
+PROTOCOL_VERSION = 2
+MIN_PROTOCOL_VERSION = 1
+SUPPORTED_VERSIONS = frozenset(
+    range(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION + 1)
+)
 
 OPS = frozenset(
     {"analyze", "analyze_program", "explain", "stats", "health", "shutdown"}
@@ -161,11 +175,11 @@ def decode_request(line: str | bytes) -> Request:
         )
     request_id = blob.get("id")
     version = blob.get("v", PROTOCOL_VERSION)
-    if not isinstance(version, int) or version != PROTOCOL_VERSION:
+    if not isinstance(version, int) or version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             ErrorCode.VERSION,
             f"protocol version {version!r} not supported "
-            f"(server speaks {PROTOCOL_VERSION})",
+            f"(server speaks {MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION})",
             request_id,
         )
     op = blob.get("op")

@@ -1,0 +1,413 @@
+"""Tests for the cluster router (repro.serve.router) in-process.
+
+The acceptance bar, exercised without subprocesses (the process-level
+kill -9 chaos run lives in ``scripts/cluster_smoke.py``):
+
+* answers through the router are **bit-identical** to the serial batch
+  engine — serial ≡ 1-worker ≡ 8-worker on a 500-case fuzz corpus;
+* protocol negotiation works in every direction: an old (v1) client
+  against the router, a new (v2) client against a bare worker, and an
+  unknown version gets the typed ``version_mismatch`` refusal; the
+  router's health frame carries the ``cluster: true`` capability;
+* a worker's SIGTERM drain (``shutting_down`` refusals) re-shards its
+  ring segment and **replays** its queries — zero lost, still
+  bit-identical;
+* degraded (blown-deadline) verdicts bypass the wire fast lane and the
+  memo on workers even when reached through the router — never cached,
+  so never spilled/gossiped either;
+* memo warmth gossips between workers sharing a spill directory;
+* an empty ring yields an explicit ``overloaded`` error, not a hang.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api import DependenceReport
+from repro.core.engine import PairQuery, analyze_batch
+from repro.fuzz.generator import generate_cases
+from repro.ir.serde import query_to_dict
+from repro.serve import protocol
+from repro.serve.client import Client, ServeError
+from repro.serve.router import ClusterRouter, RouterConfig
+from repro.serve.server import DependenceServer, ServeConfig
+
+from tests.test_serve_server import SOURCE, _RunningServer, _SlowServer
+
+
+class _RunningRouter:
+    """A ClusterRouter on a background thread, with its exit code."""
+
+    def __init__(self, config: RouterConfig | None = None):
+        if config is None:
+            config = RouterConfig()
+        config.announce = False
+        config.install_signal_handlers = False
+        self.router = ClusterRouter(config)
+        self.exit_codes: list[int] = []
+        self.thread = threading.Thread(
+            target=lambda: self.exit_codes.append(self.router.run()),
+            daemon=True,
+        )
+        self.thread.start()
+        assert self.router.started.wait(10), "router did not start"
+
+    def add(self, handle: _RunningServer, worker_id: str) -> None:
+        self.router.add_worker(
+            worker_id,
+            handle.server.bound_host,
+            handle.server.bound_port,
+        )
+
+    def client(self, **kwargs) -> Client:
+        return Client(
+            f"cluster://{self.router.bound_host}:{self.router.bound_port}",
+            retry_for=5.0,
+            **kwargs,
+        )
+
+    def stop(self) -> int:
+        if self.thread.is_alive():
+            self.router.request_shutdown()
+        self.thread.join(15)
+        assert not self.thread.is_alive(), "router did not drain"
+        return self.exit_codes[0]
+
+
+class _RunningCluster:
+    """N in-process workers behind one in-process router."""
+
+    def __init__(self, n_workers: int, worker_cls=DependenceServer, **cfg):
+        self.workers = [
+            _RunningServer(ServeConfig(announce=False, **cfg), cls=worker_cls)
+            for _ in range(n_workers)
+        ]
+        self.router = _RunningRouter()
+        for index, handle in enumerate(self.workers):
+            self.router.add(handle, f"w{index}")
+
+    def client(self, **kwargs) -> Client:
+        return self.router.client(**kwargs)
+
+    def stop(self) -> None:
+        code = self.router.stop()
+        assert code == 0
+        for handle in self.workers:
+            assert handle.stop() == 0
+
+
+def _raw_call(host: str, port: int, line: bytes) -> dict:
+    """One raw request line, one decoded response — no client sugar."""
+    with socket.create_connection((host, port), timeout=30) as sock:
+        stream = sock.makefile("rwb")
+        stream.write(line)
+        stream.flush()
+        return json.loads(stream.readline())
+
+
+# -- bit-identity ----------------------------------------------------------
+
+N_FUZZ_CASES = 500
+
+
+@pytest.fixture(scope="module")
+def fuzz_workload():
+    """500 fuzz queries plus the serial batch engine's wire answers."""
+    cases = generate_cases(seed=7, iterations=N_FUZZ_CASES)
+    queries = [
+        PairQuery(case.ref1, case.nest1, case.ref2, case.nest2)
+        for case in cases
+    ]
+    serial = analyze_batch(queries, jobs=1, want_directions=True)
+    expected = [
+        protocol.report_to_wire(
+            DependenceReport.from_results(
+                str(outcome.query.ref1),
+                str(outcome.query.ref2),
+                outcome.result,
+                outcome.directions,
+            )
+        )
+        for outcome in serial.outcomes
+    ]
+    calls = [
+        (
+            "analyze",
+            {
+                "query": query_to_dict(q.ref1, q.nest1, q.ref2, q.nest2),
+                "directions": True,
+            },
+        )
+        for q in queries
+    ]
+    return calls, expected
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("n_workers", [1, 8])
+    def test_serial_equals_cluster(self, fuzz_workload, n_workers):
+        calls, expected = fuzz_workload
+        cluster = _RunningCluster(n_workers, queue_limit=50_000)
+        try:
+            with cluster.client(timeout=300.0) as client:
+                got = client.call_many(calls)
+        finally:
+            cluster.stop()
+        mismatches = [
+            index
+            for index, (have, want) in enumerate(zip(got, expected))
+            if have != want
+        ]
+        assert not mismatches, (
+            f"{len(mismatches)}/{len(calls)} answers diverged via "
+            f"{n_workers} worker(s); first at {mismatches[0]}: "
+            f"{got[mismatches[0]]!r} != {expected[mismatches[0]]!r}"
+        )
+
+    def test_repeat_pass_is_warm_and_still_identical(self, fuzz_workload):
+        calls, expected = fuzz_workload
+        cluster = _RunningCluster(2, queue_limit=50_000)
+        try:
+            with cluster.client(timeout=300.0) as client:
+                cold = client.call_many(calls[:100])
+                warm = client.call_many(calls[:100])
+        finally:
+            cluster.stop()
+        assert cold == expected[:100]
+        assert warm == expected[:100]
+
+
+# -- protocol negotiation --------------------------------------------------
+
+class TestNegotiation:
+    def test_router_health_advertises_the_cluster_capability(self):
+        cluster = _RunningCluster(2)
+        try:
+            with cluster.client() as client:
+                health = client.health()
+        finally:
+            cluster.stop()
+        assert health["cluster"] is True
+        assert health["protocol"] == protocol.PROTOCOL_VERSION
+        assert health["ring"] == ["w0", "w1"]
+
+    def test_old_v1_client_speaks_to_the_router(self):
+        """A pre-cluster client pins v1; the router must serve it."""
+        cluster = _RunningCluster(1)
+        try:
+            response = _raw_call(
+                cluster.router.router.bound_host,
+                cluster.router.router.bound_port,
+                protocol.encode_request(
+                    "analyze",
+                    {"source": SOURCE, "pair": 0},
+                    request_id=7,
+                    version=1,
+                ),
+            )
+        finally:
+            cluster.stop()
+        assert response["ok"] is True
+        assert response["id"] == 7
+        assert response["result"]["dependent"] is True
+
+    def test_new_v2_client_speaks_to_a_bare_worker(self):
+        handle = _RunningServer()
+        try:
+            response = _raw_call(
+                handle.server.bound_host,
+                handle.server.bound_port,
+                protocol.encode_request(
+                    "health", {}, request_id=1, version=2
+                ),
+            )
+        finally:
+            handle.stop()
+        assert response["ok"] is True
+        # The capability field old clients ignore and the unified
+        # client's cluster:// guard keys on:
+        assert response["result"]["cluster"] is False
+
+    def test_unknown_version_gets_the_typed_refusal_from_both(self):
+        cluster = _RunningCluster(1)
+        try:
+            targets = [
+                (
+                    cluster.router.router.bound_host,
+                    cluster.router.router.bound_port,
+                ),
+                (
+                    cluster.workers[0].server.bound_host,
+                    cluster.workers[0].server.bound_port,
+                ),
+            ]
+            for host, port in targets:
+                response = _raw_call(
+                    host,
+                    port,
+                    protocol.encode_request(
+                        "health", {}, request_id=1, version=99
+                    ),
+                )
+                assert response["ok"] is False
+                assert (
+                    response["error"]["code"] == protocol.ErrorCode.VERSION
+                )
+                assert "1..2" in response["error"]["message"]
+        finally:
+            cluster.stop()
+
+
+# -- drain / replay --------------------------------------------------------
+
+class TestDrainReplay:
+    def test_worker_drain_mid_load_loses_zero_queries(self):
+        """SIGTERM-drain one of two workers while pipelined cold load
+        is in flight: every query still gets an answer — the router
+        re-shards the drained segment and replays its debt — and a
+        warm re-run over the surviving worker returns the identical
+        bytes."""
+        sources = [
+            SOURCE.replace("a[i - 1]", f"a[i - {k}]") for k in range(1, 25)
+        ]
+        calls = [
+            ("analyze", {"source": source, "pair": 0}) for source in sources
+        ]
+        cluster = _RunningCluster(2, worker_cls=_SlowServer)
+        try:
+            with cluster.client(timeout=120.0) as client:
+                results: list = []
+                loader = threading.Thread(
+                    target=lambda: results.extend(client.call_many(calls))
+                )
+                loader.start()
+                time.sleep(_SlowServer.DELAY)  # load is in flight now
+                cluster.workers[0].server.request_shutdown()
+                loader.join(120)
+                assert not loader.is_alive(), "load never finished"
+                verify = client.call_many(calls)  # only w1 remains
+        finally:
+            cluster.workers[0].stop()
+            cluster.router.stop()
+            cluster.workers[1].stop()
+        assert len(results) == len(calls), "queries were lost"
+        assert all(isinstance(r, dict) for r in results), next(
+            r for r in results if not isinstance(r, dict)
+        )
+        assert results == verify, "replayed answers diverged"
+        ejected = cluster.router.router.registry.to_dict()["families"].get(
+            "cluster.worker_ejected", {}
+        )
+        assert ejected, "the drained worker never left the ring"
+
+    def test_empty_ring_is_an_explicit_overloaded_error(self):
+        handle = _RunningRouter(RouterConfig(reroute_wait_s=0.2))
+        try:
+            with handle.client() as client:
+                with pytest.raises(ServeError) as excinfo:
+                    client.analyze(source=SOURCE, pair=0)
+        finally:
+            handle.stop()
+        assert excinfo.value.code == protocol.ErrorCode.OVERLOADED
+
+    def test_draining_router_refuses_analysis_with_shutting_down(self):
+        cluster = _RunningCluster(1)
+        try:
+            with cluster.client() as client:
+                client.shutdown()
+                with pytest.raises(ServeError) as excinfo:
+                    client.analyze(source=SOURCE, pair=0)
+            assert excinfo.value.code == protocol.ErrorCode.SHUTTING_DOWN
+        finally:
+            cluster.stop()
+
+
+# -- the degraded invariant ------------------------------------------------
+
+class _SlowWorkServer(DependenceServer):
+    """Pads the analysis callable itself so a deadline reliably blows
+    (mirrors tests/test_serve_server.py)."""
+
+    PAD = 0.5
+
+    async def _with_deadline(self, work, degrade):
+        import time as _time
+
+        def padded():
+            _time.sleep(self.PAD)
+            return work()
+
+        return await super()._with_deadline(padded, degrade)
+
+
+class TestDegradedInvariant:
+    def test_degraded_reports_bypass_fastlane_and_memo_via_router(self):
+        """The single-daemon invariant (PR 5) holds through the router:
+        a blown-deadline verdict is recomputed every time — never
+        stored in the wire fast lane, the memo table, or (therefore)
+        any spill image a peer could absorb."""
+        cluster = _RunningCluster(
+            2, worker_cls=_SlowWorkServer, deadline_ms=20.0
+        )
+        try:
+            with cluster.client(timeout=120.0) as client:
+                first = client.analyze(source=SOURCE, pair=0)
+                second = client.analyze(source=SOURCE, pair=0)
+                stats = client.stats()
+        finally:
+            cluster.stop()
+        assert first["degraded"] is True
+        assert second == first, "degraded answers must stay deterministic"
+        degraded_count = 0
+        for worker_id, worker_stats in stats["workers"].items():
+            assert worker_stats["server"]["fastlane_entries"] == 0, worker_id
+            assert worker_stats["cache"]["entries"] == 0, worker_id
+            degraded_count += (
+                worker_stats["registry"]["scalars"].get("serve.degraded", 0)
+            )
+        # Both queries were recomputed (same home worker both times —
+        # consistent hashing — so both increments land on one worker).
+        assert degraded_count >= 2
+
+
+# -- warmth gossip ---------------------------------------------------------
+
+class TestWarmthGossip:
+    def test_peers_absorb_each_others_spill_images(self, tmp_path):
+        spill = str(tmp_path / "spill")
+        first = _RunningServer(
+            ServeConfig(
+                announce=False,
+                worker_id="a",
+                spill_dir=spill,
+                spill_interval_s=0.1,
+            )
+        )
+        second = _RunningServer(
+            ServeConfig(
+                announce=False,
+                worker_id="b",
+                spill_dir=spill,
+                spill_interval_s=0.1,
+            )
+        )
+        try:
+            with first.client() as client:
+                report = client.analyze(source=SOURCE, pair=0)
+                assert report["dependent"] is True
+                assert client.health()["cache_entries"] > 0
+            deadline = time.monotonic() + 15.0
+            warmed = 0
+            while time.monotonic() < deadline:
+                with second.client() as client:
+                    warmed = client.health()["cache_entries"]
+                if warmed:
+                    break
+                time.sleep(0.1)
+            assert warmed > 0, "peer never absorbed the spill image"
+        finally:
+            assert first.stop() == 0
+            assert second.stop() == 0

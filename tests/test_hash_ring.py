@@ -1,0 +1,148 @@
+"""Tests for the consistent-hash ring (repro.serve.router.HashRing).
+
+The cluster's correctness leans on three ring properties:
+
+* **determinism** — placement is a pure function of (nodes, replicas,
+  key), identical across runs AND processes (no process-seeded
+  ``hash()`` anywhere), so every client/router/test agrees on each
+  key's home;
+* **minimal movement** — removing one node moves only the keys that
+  homed on it (about 1/N of the key space), which is what makes the
+  drain/re-shard protocol cheap and keeps the rest of the fleet warm;
+* **balance** — 64 virtual nodes per worker spread the key space
+  evenly enough that no worker becomes a hot spot.
+"""
+
+import json
+import subprocess
+import sys
+from collections import Counter
+
+import pytest
+
+from repro.serve.router import HashRing, shard_key
+
+WORKERS = tuple(f"w{i}" for i in range(8))
+
+
+def _keys(count: int) -> list[bytes]:
+    return [shard_key({"source": f"case {i}", "pair": i % 3}) for i in range(count)]
+
+
+class TestDeterminism:
+    def test_same_placement_across_instances(self):
+        first = HashRing(WORKERS)
+        second = HashRing(tuple(reversed(WORKERS)))  # insertion order is moot
+        for key in _keys(500):
+            assert first.node_for(key) == second.node_for(key)
+
+    def test_same_placement_across_processes(self):
+        """A fresh interpreter (fresh PYTHONHASHSEED) places every key
+        exactly where this process does."""
+        keys = _keys(100)
+        script = (
+            "import json, sys\n"
+            "from repro.serve.router import HashRing\n"
+            "ring = HashRing(tuple(json.loads(sys.argv[1])))\n"
+            "keys = [bytes.fromhex(k) for k in json.loads(sys.argv[2])]\n"
+            "print(json.dumps([ring.node_for(k) for k in keys]))\n"
+        )
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                script,
+                json.dumps(list(WORKERS)),
+                json.dumps([k.hex() for k in keys]),
+            ],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        ours = HashRing(WORKERS)
+        assert json.loads(out.stdout) == [ours.node_for(k) for k in keys]
+
+    def test_shard_key_is_canonical(self):
+        assert shard_key({"b": 1, "a": 2}) == shard_key({"a": 2, "b": 1})
+        assert shard_key({"a": 1}) != shard_key({"a": 2})
+
+
+class TestMovement:
+    def test_removal_moves_only_the_lost_nodes_keys(self):
+        keys = _keys(2000)
+        ring = HashRing(WORKERS)
+        before = {key: ring.node_for(key) for key in keys}
+        ring.remove("w3")
+        for key in keys:
+            after = ring.node_for(key)
+            if before[key] == "w3":
+                assert after != "w3"
+            else:
+                assert after == before[key]
+
+    def test_removal_moves_at_most_2_over_n(self):
+        """The re-shard movement bound the drain protocol relies on:
+        losing one of N workers re-homes at most ~2/N of the keys."""
+        keys = _keys(2000)
+        ring = HashRing(WORKERS)
+        before = {key: ring.node_for(key) for key in keys}
+        ring.remove("w5")
+        moved = sum(1 for key in keys if ring.node_for(key) != before[key])
+        assert moved / len(keys) <= 2 / len(WORKERS)
+
+    def test_rejoin_restores_the_original_placement(self):
+        keys = _keys(1000)
+        ring = HashRing(WORKERS)
+        before = {key: ring.node_for(key) for key in keys}
+        ring.remove("w2")
+        ring.add("w2")
+        assert {key: ring.node_for(key) for key in keys} == before
+
+    def test_addition_only_steals_for_the_new_node(self):
+        keys = _keys(1000)
+        ring = HashRing(WORKERS)
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add("w8")
+        for key in keys:
+            after = ring.node_for(key)
+            assert after == before[key] or after == "w8"
+
+
+class TestBalance:
+    def test_no_worker_owns_a_gross_share(self):
+        ring = HashRing(WORKERS)
+        counts = Counter(ring.node_for(key) for key in _keys(4000))
+        assert set(counts) == set(WORKERS)
+        fair = 4000 / len(WORKERS)
+        for worker, count in counts.items():
+            assert 0.4 * fair <= count <= 2.0 * fair, (worker, count)
+
+
+class TestEdges:
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().node_for(b"anything")
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(("only",))
+        assert all(ring.node_for(key) == "only" for key in _keys(50))
+
+    def test_remove_unknown_is_a_noop(self):
+        ring = HashRing(("a", "b"))
+        ring.remove("ghost")
+        assert ring.nodes == ["a", "b"]
+
+    def test_double_add_is_a_noop(self):
+        ring = HashRing(("a",), replicas=16)
+        ring.add("a")
+        assert len(ring._positions) == 16
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_membership_and_nodes(self):
+        ring = HashRing(("b", "a"))
+        assert "a" in ring and "c" not in ring
+        assert ring.nodes == ["a", "b"]
+        assert len(ring) == 2

@@ -1,0 +1,123 @@
+"""Tests for the unified client (repro.serve.client.Client).
+
+One ``Client`` class, three endpoint schemes — ``tcp://`` (a bare
+worker), ``cluster://`` (a router, verified via the protocol-v2
+capability frame) and ``stdio:`` (a private child daemon) — with
+identical call/call_many/analyze semantics.  ``ServeClient`` and
+``repro.api.connect()`` remain as the backward-compatible spellings
+(the latter deprecated).
+"""
+
+import pytest
+
+from repro.serve.client import Client, ServeClient, ServeError, parse_endpoint
+
+from tests.test_serve_server import SOURCE, _RunningServer
+
+
+class TestParseEndpoint:
+    def test_tcp(self):
+        assert parse_endpoint("tcp://127.0.0.1:4733") == ("tcp", "127.0.0.1", 4733)
+
+    def test_cluster(self):
+        assert parse_endpoint("cluster://example:80") == ("cluster", "example", 80)
+
+    def test_stdio(self):
+        assert parse_endpoint("stdio:") == ("stdio", None, None)
+        assert parse_endpoint("stdio://") == ("stdio", None, None)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "http://x:1",
+            "tcp://missingport",
+            "tcp://:99",
+            "cluster://host:notaport",
+            "127.0.0.1:4733",
+            "",
+        ],
+    )
+    def test_rejects_everything_else(self, bad):
+        with pytest.raises(ValueError):
+            parse_endpoint(bad)
+
+
+class TestTcpEndpoint:
+    def test_analyze_roundtrip(self, running):
+        endpoint = (
+            f"tcp://{running.server.bound_host}:{running.server.bound_port}"
+        )
+        with Client(endpoint) as client:
+            report = client.analyze(source=SOURCE, pair=0)
+        assert report["dependent"] is True
+
+    def test_call_many_preserves_order_and_isolates_errors(self, running):
+        with running.client() as client:
+            results = client.call_many(
+                [
+                    ("analyze", {"source": SOURCE, "pair": 0}),
+                    ("analyze", {"source": SOURCE, "pair": 99}),
+                    ("health", {}),
+                ]
+            )
+        assert results[0]["dependent"] is True
+        assert isinstance(results[1], ServeError)
+        assert results[2]["status"] == "ok"
+
+    def test_cluster_scheme_rejects_a_bare_worker(self, running):
+        """cluster:// must point at a router; a worker's health frame
+        advertises ``cluster: false`` and the client refuses it."""
+        endpoint = (
+            f"cluster://{running.server.bound_host}:{running.server.bound_port}"
+        )
+        with pytest.raises(ValueError, match="not a cluster router"):
+            Client(endpoint)
+
+
+@pytest.fixture
+def running():
+    handle = _RunningServer()
+    yield handle
+    handle.stop()
+
+
+class TestStdioEndpoint:
+    def test_full_call_surface_over_pipes(self):
+        with Client("stdio:") as client:
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["cluster"] is False
+            report = client.analyze(source=SOURCE, pair=0)
+            assert report["dependent"] is True
+            many = client.call_many(
+                [("analyze", {"source": SOURCE, "pair": 0})] * 3
+            )
+            assert all(r == report for r in many)
+
+
+class TestBackCompat:
+    def test_serve_client_is_a_tcp_client(self, running):
+        client = ServeClient.connect(
+            running.server.bound_host,
+            running.server.bound_port,
+            retry_for=5.0,
+        )
+        with client:
+            assert isinstance(client, Client)
+            assert client.scheme == "tcp"
+            assert client.analyze(source=SOURCE, pair=0)["dependent"] is True
+
+    def test_api_connect_warns_and_still_works(self, running):
+        import repro.api
+
+        with pytest.warns(DeprecationWarning, match="Client\\('tcp://"):
+            client = repro.api.connect(
+                running.server.bound_host, running.server.bound_port
+            )
+        with client:
+            assert client.analyze(source=SOURCE, pair=0)["dependent"] is True
+
+    def test_api_exports_the_unified_client(self):
+        from repro.api import Client as ApiClient
+
+        assert ApiClient is Client
