@@ -308,6 +308,9 @@ class AnalysisSession:
             sink=self.config.sink,
             budget=self.config.budget,
         )
+        # Lazily created by update(): the incremental re-analysis
+        # engine, sharing this session's memo table.
+        self._incremental = None
 
     @property
     def stats(self) -> AnalyzerStats:
@@ -415,6 +418,42 @@ class AnalysisSession:
         return ProgramReport(
             pairs=pairs, stats=report.stats, summary=report.summary()
         )
+
+    # -- incremental re-analysis -------------------------------------------
+
+    def update(self, program: Program, verify: bool = False):
+        """Incrementally (re-)analyze a program as it is edited.
+
+        The first call runs a full analysis and retains the program's
+        dependence graph plus a per-pair answer cache keyed on
+        canonical fingerprints (:mod:`repro.ir.fingerprint`).  Every
+        later call diffs statement fingerprints and re-queries *only*
+        pairs an edit dirtied, through the batch engine with the
+        session's warm memo table — the spliced graph is bit-identical
+        to a cold full re-analysis (``verify=True`` asserts it).
+
+        Returns an :class:`repro.core.incremental.UpdateReport`; the
+        retained graph is ``session.graph``.
+        """
+        if self._incremental is None:
+            from repro.core.incremental import IncrementalSession
+
+            self._incremental = IncrementalSession(
+                memoizer=self.memoizer,
+                jobs=self.config.jobs or 1,
+                improved=self.config.improved,
+                symmetry=self.config.symmetry,
+                fm_budget=self.config.fm_budget,
+                budget=self.config.budget,
+            )
+        return self._incremental.update(program, verify=verify)
+
+    @property
+    def graph(self):
+        """The dependence graph retained by :meth:`update` (or None)."""
+        if self._incremental is None:
+            return None
+        return self._incremental.graph
 
     # -- tracing -----------------------------------------------------------
 

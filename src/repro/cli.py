@@ -32,6 +32,10 @@ Subcommands:
 * ``query`` — one-shot client for a running daemon: ``analyze``,
   ``explain`` or ``analyze_program`` a source file, or hit the
   ``health`` / ``stats`` / ``shutdown`` control ops.
+* ``watch FILE`` — incremental re-analysis as the file is edited:
+  poll its mtime and re-analyze only the pairs each edit dirtied
+  (:mod:`repro.core.incremental`), locally or against a daemon's
+  protocol-v3 session ops via ``--endpoint``.
 
 Reads from stdin when ``FILE`` is ``-``.
 
@@ -670,6 +674,128 @@ def _cmd_query(args: argparse.Namespace) -> int:
             return EXIT_INTERNAL
 
 
+def _watch_summary(index: int, summary: dict, verified: bool) -> str:
+    """One human line per watch update from an UpdateReport summary."""
+    fraction = summary.get("requery_fraction", 1.0)
+    line = (
+        f"[{index}] {summary.get('statements', '?')} stmts, "
+        f"{summary.get('pairs', '?')} pairs: "
+        f"reused {summary.get('reused', 0)}, "
+        f"re-queried {summary.get('requeried', 0)} ({fraction:.1%}), "
+        f"{summary.get('edges', '?')} edges "
+        f"in {summary.get('elapsed_ms', 0.0):.1f}ms"
+    )
+    if summary.get("degraded_pairs"):
+        line += f"  ({summary['degraded_pairs']} degraded)"
+    if verified:
+        line += "  [verified ≡ full]"
+    return line
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time as _time
+
+    if args.file == "-":
+        print("error: watch needs a real file, not -", file=sys.stderr)
+        return EXIT_USAGE
+    path = Path(args.file)
+    if not path.exists():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return EXIT_USAGE
+
+    client = None
+    session_id = None
+    local_session = None
+    if args.endpoint is not None:
+        from repro.serve.client import Client
+
+        try:
+            client = Client(args.endpoint, retry_for=args.retry_for)
+        except (ValueError, OSError) as err:
+            print(f"error: cannot reach {args.endpoint}: {err}", file=sys.stderr)
+            return EXIT_INTERNAL
+        health = client.health()
+        if not health.get("sessions"):
+            print(
+                f"error: {args.endpoint} does not serve incremental "
+                "sessions (protocol v3 workers only; cluster routers "
+                "decline them)",
+                file=sys.stderr,
+            )
+            client.close()
+            return EXIT_USAGE
+        session_id = client.open_session()["session"]
+    else:
+        from repro.api import AnalysisConfig
+
+        local_session = AnalysisSession(
+            AnalysisConfig(budget=_budget_from_args(args))
+        )
+
+    def run_update(text: str, index: int) -> bool:
+        """One re-analysis; returns False when the edit didn't parse."""
+        if client is not None:
+            from repro.serve.client import ServeError
+
+            try:
+                summary = client.update_source(
+                    session_id, text, verify=args.verify
+                )
+            except ServeError as err:
+                print(
+                    f"warning: {err} (keeping last graph)", file=sys.stderr
+                )
+                return False
+            if summary.get("degraded") and "pairs" not in summary:
+                print(
+                    f"[{index}] degraded: deadline hit, session catches "
+                    "up in the background",
+                )
+                return True
+            print(_watch_summary(index, summary, args.verify))
+            return True
+        try:
+            result = compile_source(text, name=str(path), strict=False)
+        except LangError as err:
+            print(
+                f"warning: parse error: {err} (keeping last graph)",
+                file=sys.stderr,
+            )
+            return False
+        for message in result.skipped:
+            print(f"warning: skipped {message}", file=sys.stderr)
+        report = local_session.update(result.program, verify=args.verify)
+        print(_watch_summary(index, report.summary(), report.verified))
+        return True
+
+    updates = 0
+    last_mtime = None
+    try:
+        while True:
+            try:
+                mtime = path.stat().st_mtime_ns
+            except OSError as err:
+                print(f"warning: {err}", file=sys.stderr)
+                _time.sleep(args.interval)
+                continue
+            if mtime != last_mtime:
+                last_mtime = mtime
+                try:
+                    text = path.read_text()
+                except OSError as err:
+                    print(f"warning: {err}", file=sys.stderr)
+                    _time.sleep(args.interval)
+                    continue
+                if run_update(text, updates):
+                    updates += 1
+            if args.count is not None and updates >= args.count:
+                return EXIT_OK
+            _time.sleep(args.interval)
+    finally:
+        if client is not None:
+            client.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -1033,6 +1159,47 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds to retry connecting while the server comes up",
     )
     p_query.set_defaults(func=_cmd_query)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="incremental re-analysis of a file as it is edited",
+    )
+    p_watch.add_argument("file", help="mini-Fortran source file to watch")
+    p_watch.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="mtime poll period (default 0.5)",
+    )
+    p_watch.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N successful updates (default: watch forever)",
+    )
+    p_watch.add_argument(
+        "--endpoint",
+        default=None,
+        metavar="URL",
+        help="use a running daemon's protocol-v3 session ops "
+        "(tcp://HOST:PORT) instead of analyzing in-process",
+    )
+    p_watch.add_argument(
+        "--retry-for",
+        type=float,
+        default=0.0,
+        help="seconds to retry connecting while the server comes up",
+    )
+    p_watch.add_argument(
+        "--verify",
+        action="store_true",
+        help="after every update, run a cold full analysis and assert "
+        "the delta graph is identical (slow; for debugging)",
+    )
+    _add_budget_flags(p_watch)
+    p_watch.set_defaults(func=_cmd_watch)
 
     p_tables = sub.add_parser(
         "tables", help="regenerate the paper's tables (see repro.harness)"

@@ -230,12 +230,16 @@ def _run_shard(payload):
     """
     reps, warm_blob, opts = payload[:3]
     prebuilt = payload[3] if len(payload) > 3 else None
-    if warm_blob is not None:
-        memoizer = _memo_loads(warm_blob)
-    else:
+    if warm_blob is None:
         memoizer = Memoizer(
             improved=opts["improved"], symmetry=opts["symmetry"]
         )
+    elif isinstance(warm_blob, Memoizer):
+        # share_warm serial path: the caller's live table, extended in
+        # place — no dump/load round trip (see analyze_batch).
+        memoizer = warm_blob
+    else:
+        memoizer = _memo_loads(warm_blob)
     shard_sink = CollectingSink() if opts.get("trace") else None
     analyzer = DependenceAnalyzer(
         memoizer=memoizer,
@@ -359,6 +363,7 @@ def analyze_batch(
     resume: bool = False,
     shard_timeout: float | None = None,
     shard_retries: int = 1,
+    share_warm: bool = False,
 ) -> BatchReport:
     """Analyze a whole batch of dependence queries, sharded over workers.
 
@@ -396,6 +401,18 @@ def analyze_batch(
     recomputing — the resumed run's report is identical to an
     uninterrupted one.  ``checkpoint`` cannot be combined with a trace
     ``sink`` (event streams are not checkpointable).
+
+    ``share_warm=True`` lets the serial in-process path (one shard, or
+    ``jobs=1``) use the caller's ``warm`` :class:`Memoizer` *object*
+    directly instead of round-tripping it through the JSON dump format:
+    the shard extends it in place and :attr:`BatchReport.memoizer` *is*
+    that object.  Answers are identical either way (memo entries are
+    pure); the only observable difference is that the caller's table
+    gains the batch's entries without a merge step — exactly what a
+    long-lived incremental session wants, and a large constant saving
+    when the warm table dwarfs the query list.  Ignored on
+    multi-process, pool and supervised paths (workers need a
+    serializable copy).
     """
     items = [_as_pair(query) for query in queries]
     n_queries = len(items)
@@ -517,7 +534,24 @@ def analyze_batch(
         jobs = os.cpu_count() or 1
     jobs = max(1, min(jobs, max(1, len(reps))))
 
-    warm_blob = _memo_dumps(warm) if warm is not None else None
+    # The serial in-process fan-out (mirrors the branch order below:
+    # supervised first, then single-payload/jobs==1, then pool_map,
+    # then the single-CPU fallback).
+    serial = (
+        checkpoint is None
+        and shard_timeout is None
+        and (
+            jobs == 1
+            or len(reps) <= 1
+            or (pool_map is None and (os.cpu_count() or 1) < 2)
+        )
+    )
+    if warm is None:
+        warm_blob = None
+    elif share_warm and serial:
+        warm_blob = warm  # live object: the shard extends it in place
+    else:
+        warm_blob = _memo_dumps(warm)
     opts = {
         "improved": improved,
         "symmetry": symmetry,
@@ -637,7 +671,11 @@ def analyze_batch(
         blob if isinstance(blob, Memoizer) else _memo_loads(blob)
         for _, _, blob, _ in shard_outputs
     ]
-    if worker_memos:
+    if worker_memos and all(memo is warm for memo in worker_memos):
+        # share_warm serial path: every shard extended the caller's
+        # table in place; it already is the merge.
+        merged_memo = warm
+    elif worker_memos:
         merged_memo = merge_memoizers(worker_memos)
     elif warm is not None:
         merged_memo = warm

@@ -69,6 +69,34 @@ class DependenceGraph:
 
     # -- export ------------------------------------------------------------------
 
+    def edge_dicts(self) -> list[dict]:
+        """Canonical plain-data form of every edge, in graph order.
+
+        The serde half of the delta ≡ full invariant: two graphs over
+        the same program are interchangeable iff their ``edge_dicts``
+        (and :meth:`to_dot`) compare equal, so the incremental engine,
+        the serve ``graph`` op and the CI smoke jobs all diff this one
+        encoding.
+        """
+        return [
+            {
+                "source": {
+                    "stmt": edge.source.stmt_index,
+                    "site": edge.source.site_index,
+                    "ref": str(edge.source.ref),
+                },
+                "sink": {
+                    "stmt": edge.sink.stmt_index,
+                    "site": edge.sink.site_index,
+                    "ref": str(edge.sink.ref),
+                },
+                "kind": edge.kind,
+                "vector": list(edge.vector),
+                "loop_carried": edge.loop_carried,
+            }
+            for edge in self.edges
+        ]
+
     def to_dot(self) -> str:
         """Graphviz DOT text: one node per statement, labelled edges."""
         lines = ["digraph dependences {", "  rankdir=TB;"]

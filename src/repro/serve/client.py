@@ -306,6 +306,29 @@ class Client:
             merged["source"] = source
         return self.call("explain", merged)
 
+    def open_session(self, source: str | None = None, **params: Any) -> dict:
+        """Open an incremental session; returns ``{"session": id, ...}``.
+
+        With ``source`` the first full analysis runs immediately and
+        the result carries its ``update`` summary.  Requires a server
+        whose ``health`` advertises ``sessions: true`` (protocol v3
+        workers; cluster routers decline).
+        """
+        merged = dict(params)
+        if source is not None:
+            merged["source"] = source
+        return self.call("open_session", merged)
+
+    def update_source(self, session: str, source: str, **params: Any) -> dict:
+        """Re-analyze an edited program; only dirty pairs are re-queried."""
+        return self.call(
+            "update_source", {"session": session, "source": source, **params}
+        )
+
+    def graph(self, session: str, **params: Any) -> dict:
+        """The session's retained graph: canonical edges + DOT text."""
+        return self.call("graph", {"session": session, **params})
+
     def stats(self) -> dict:
         return self.call("stats")
 

@@ -29,6 +29,14 @@ op                   params → result
 ``health``           ``{}`` → status / protocol / inflight snapshot
 ``shutdown``         ``{}`` → ``{"draining": true}``; server drains
                      in-flight work and exits 0
+``open_session``     optional ``source`` → ``{"session": id, ...}``; opens
+                     an incremental re-analysis session on this connection
+                     (analyzing ``source`` when given)
+``update_source``    ``session`` + ``source`` → delta statistics
+                     (kept/dirty/requeried pairs, edge count); re-analyzes
+                     only what the edit dirtied
+``graph``            ``session`` → retained dependence graph as canonical
+                     ``edges`` serde + ``dot`` text + last-update summary
 ===================  =======================================================
 
 The **canonical report** encoding (:func:`report_to_wire`) contains
@@ -74,19 +82,32 @@ __all__ = [
 #: Version 2 (the cluster release) added capability advertisement:
 #: ``health`` results carry ``cluster`` (is this endpoint a
 #: consistent-hash router fronting a worker fleet?) plus ``worker_id``
-#: on bare workers.  The request/response framing and every analysis
-#: op are unchanged, so version 1 requests are still accepted —
+#: on bare workers.  Version 3 (the incremental release) added the
+#: stateful session ops — ``open_session`` / ``update_source`` /
+#: ``graph`` — and the ``sessions`` capability flag in ``health``.
+#: The request/response framing and every pre-existing op are unchanged
+#: in both revisions, so version 1 and 2 requests are still accepted —
 #: negotiation is one-sided and backward: an old client may talk to a
-#: new router, and a new client may talk to a bare worker, without
-#: either noticing.
-PROTOCOL_VERSION = 2
+#: new server, and a new client probes ``health`` for capabilities
+#: before relying on them.
+PROTOCOL_VERSION = 3
 MIN_PROTOCOL_VERSION = 1
 SUPPORTED_VERSIONS = frozenset(
     range(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION + 1)
 )
 
 OPS = frozenset(
-    {"analyze", "analyze_program", "explain", "stats", "health", "shutdown"}
+    {
+        "analyze",
+        "analyze_program",
+        "explain",
+        "stats",
+        "health",
+        "shutdown",
+        "open_session",
+        "update_source",
+        "graph",
+    }
 )
 
 # One line must always fit in a bounded buffer: requests beyond this

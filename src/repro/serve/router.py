@@ -397,6 +397,9 @@ class ClusterRouter:
             "protocol": protocol.PROTOCOL_VERSION,
             "server": repro.__version__,
             "cluster": True,
+            # Incremental session ops are per-connection state a hash
+            # router cannot pin to one worker; not served here.
+            "sessions": False,
             "workers": len(self.ring),
             "ring": self.ring.nodes,
             "inflight": self._pending_total,
@@ -579,7 +582,21 @@ class _ClientSession:
             )
             return
 
-        assert op in _FORWARDED_OPS, op
+        if op not in _FORWARDED_OPS:
+            # Protocol-v3 incremental session ops are stateful and
+            # per-connection; a consistent-hash router has no worker
+            # affinity to pin them to, so it declines them outright —
+            # clients probe ``health`` for the ``sessions`` capability
+            # and connect to a worker directly for watch mode.
+            await self._respond(
+                protocol.error_response(
+                    request_id,
+                    ErrorCode.UNSUPPORTED,
+                    f"op {op!r} is not served by a cluster router; "
+                    "open incremental sessions against a worker directly",
+                )
+            )
+            return
         if router.draining or router._shutdown_requested.is_set():
             router.registry.inc_family(
                 "serve.errors", ErrorCode.SHUTTING_DOWN

@@ -24,7 +24,17 @@ One process keeps the analyzer warm for every caller:
   same moment share one computation;
 * **graceful drain** — SIGTERM (or the ``shutdown`` op) stops
   accepting work, answers everything already in flight, persists the
-  cache, and exits 0.
+  cache, and exits 0;
+* **incremental sessions** (protocol v3) — ``open_session`` /
+  ``update_source`` / ``graph`` keep a per-connection
+  :class:`~repro.core.incremental.IncrementalSession`, so an editor
+  can stream successive versions of a program and pay only for the
+  pairs each edit dirtied.  Session ops bypass the fast lane and
+  single-flight (they are stateful) but share the admission limit,
+  the deadline and the in-analyzer budget; a deadline-degraded
+  response never contaminates the retained graph — the shielded
+  computation finishes in its worker thread and the session keeps
+  only the exact result.
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ from typing import Any
 
 from repro.api import AnalysisConfig, AnalysisSession, DependenceReport
 from repro.core.engine import analyze_batch, queries_from_program
+from repro.core.incremental import IncrementalSession
 from repro.core.persist import dumps as _memo_dumps, loads as _memo_loads
 from repro.ir.program import Program, reference_pairs
 from repro.ir.serde import query_from_dict
@@ -96,6 +107,23 @@ class _WireFastLane:
         elif len(entries) >= self.capacity:
             del entries[next(iter(entries))]
         entries[key] = data
+
+
+class _IncrementalSessions:
+    """One connection's incremental re-analysis sessions.
+
+    The lock serializes every stateful op on the connection: a
+    pipelined ``update_source`` racing a still-running ``open_session``
+    simply waits for it, so ops apply in the order they were sent even
+    though each runs on its own worker thread.
+    """
+
+    __slots__ = ("lock", "sessions", "last")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.sessions: dict[str, IncrementalSession] = {}
+        self.last: dict[str, dict] = {}  # session id → last update summary
 
 
 def _ok_frame(request_id: Any, result_bytes: bytes) -> bytes:
@@ -183,6 +211,7 @@ class DependenceServer:
         self._writers: set[asyncio.StreamWriter] = set()
         self._session_registries: list[MetricsRegistry] = []
         self._sessions_open = 0
+        self._session_counter = 0  # incremental session ids (event loop only)
         self._spill_task: asyncio.Task | None = None
         self._peer_mtimes: dict[str, int] = {}
         self._last_spilled_entries = -1
@@ -377,6 +406,7 @@ class DependenceServer:
         self.registry.inc("serve.connections")
         write_lock = asyncio.Lock()
         explain_lock = threading.Lock()
+        inc_sessions = _IncrementalSessions()
         self._writers.add(writer)
         try:
             while True:
@@ -392,7 +422,12 @@ class DependenceServer:
                     continue
                 task = asyncio.create_task(
                     self._handle_line(
-                        line, writer, write_lock, session, explain_lock
+                        line,
+                        writer,
+                        write_lock,
+                        session,
+                        explain_lock,
+                        inc_sessions,
                     )
                 )
                 self._pending.add(task)
@@ -417,6 +452,7 @@ class DependenceServer:
         write_lock: asyncio.Lock,
         session: AnalysisSession,
         explain_lock: threading.Lock,
+        inc_sessions: _IncrementalSessions,
     ) -> None:
         try:
             request = protocol.decode_request(line)
@@ -428,7 +464,9 @@ class DependenceServer:
             )
             self.registry.inc_family("serve.errors", err.code)
             return
-        response = await self._dispatch(request, session, explain_lock)
+        response = await self._dispatch(
+            request, session, explain_lock, inc_sessions
+        )
         await self._write(writer, write_lock, response)
 
     async def _write(
@@ -451,11 +489,19 @@ class DependenceServer:
         except (ConnectionError, RuntimeError):
             pass  # client went away; the work still warmed the cache
 
+    #: Ops that mutate per-connection session state.  They bypass the
+    #: fast lane and single-flight — replaying a cached answer or
+    #: coalescing two updates would skip a state transition — but share
+    #: the draining check, admission limit, worker pool and deadline
+    #: with every other analysis op.
+    _STATEFUL_OPS = frozenset({"open_session", "update_source", "graph"})
+
     async def _dispatch(
         self,
         request: Request,
         session: AnalysisSession,
         explain_lock: threading.Lock,
+        inc_sessions: _IncrementalSessions,
     ) -> dict | bytes:
         op = request.op
         self.registry.inc_family("serve.requests", op)
@@ -499,11 +545,18 @@ class DependenceServer:
         self.registry.put("serve.inflight", self._admitted)
         start = _now_ns()
         try:
-            flight_key = (op, params_text)
-            result = await self.flight.run(
-                flight_key,
-                lambda: self._run_analysis_op(request, session, explain_lock),
-            )
+            if op in self._STATEFUL_OPS:
+                result = await self._run_analysis_op(
+                    request, session, explain_lock, inc_sessions
+                )
+            else:
+                flight_key = (op, params_text)
+                result = await self.flight.run(
+                    flight_key,
+                    lambda: self._run_analysis_op(
+                        request, session, explain_lock, inc_sessions
+                    ),
+                )
             if (
                 lane_key is not None
                 and isinstance(result, dict)
@@ -536,6 +589,7 @@ class DependenceServer:
         request: Request,
         session: AnalysisSession,
         explain_lock: threading.Lock,
+        inc_sessions: _IncrementalSessions,
     ) -> Any:
         assert self._semaphore is not None
         async with self._semaphore:
@@ -549,6 +603,12 @@ class DependenceServer:
                     )
                 if request.op == "analyze_program":
                     return await self._op_analyze_program(request, session)
+                if request.op == "open_session":
+                    return await self._op_open_session(request, inc_sessions)
+                if request.op == "update_source":
+                    return await self._op_update_source(request, inc_sessions)
+                if request.op == "graph":
+                    return await self._op_graph(request, inc_sessions)
                 raise ProtocolError(
                     ErrorCode.UNSUPPORTED, f"unknown op {request.op!r}"
                 )
@@ -729,6 +789,138 @@ class DependenceServer:
 
         return await self._with_deadline(work, degrade)
 
+    # -- incremental session ops (protocol v3) -----------------------------
+
+    def _open_incremental(self) -> IncrementalSession:
+        # Same snapshot/merge-back pattern as analyze_program: the
+        # session warm-starts from everything the server ever computed,
+        # and every update folds its new memo entries back in.
+        return IncrementalSession(
+            memoizer=_memo_loads(_memo_dumps(self.cache.memoizer)),
+            jobs=1,
+            improved=self.config.improved,
+            symmetry=self.config.symmetry,
+            fm_budget=self.config.fm_budget,
+            budget=self.config.budget,
+        )
+
+    def _apply_update(
+        self,
+        inc_sessions: _IncrementalSessions,
+        sid: str,
+        session: IncrementalSession,
+        program: Program,
+        verify: bool,
+    ) -> dict:
+        """Run one update under the connection lock; returns its summary.
+
+        Caller holds ``inc_sessions.lock``.
+        """
+        report = session.update(program, verify=verify)
+        self.cache.memoizer.merge_from(session.memoizer)
+        summary = report.summary()
+        summary["session"] = sid
+        summary["degraded"] = False
+        if report.degraded_pairs:
+            self.registry.inc("serve.sessions.degraded_pairs")
+        inc_sessions.last[sid] = summary
+        return summary
+
+    async def _op_open_session(
+        self, request: Request, inc_sessions: _IncrementalSessions
+    ):
+        # The id is allocated before the work runs, so a deadline can
+        # degrade the *response* while the shielded computation still
+        # completes and the session remains usable under this id.
+        self._session_counter += 1
+        sid = f"s{self._session_counter}"
+        source = request.params.get("source")
+        program = self._compile(source) if source is not None else None
+        verify = bool(request.params.get("verify", False))
+
+        def work() -> dict:
+            with inc_sessions.lock:
+                session = self._open_incremental()
+                inc_sessions.sessions[sid] = session
+                self.registry.inc("serve.sessions.opened")
+                result = {"session": sid, "degraded": False}
+                if program is not None:
+                    result["update"] = self._apply_update(
+                        inc_sessions, sid, session, program, verify
+                    )
+                return result
+
+        def degrade() -> dict:
+            return {"session": sid, "degraded": True}
+
+        return await self._with_deadline(work, degrade)
+
+    async def _op_update_source(
+        self, request: Request, inc_sessions: _IncrementalSessions
+    ):
+        sid = request.params.get("session")
+        if "source" not in request.params:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST, "update_source needs 'source'"
+            )
+        program = self._compile(request.params["source"])
+        verify = bool(request.params.get("verify", False))
+
+        def work() -> dict:
+            # Session lookup happens under the lock, not at dispatch
+            # time: a pipelined update racing its own open_session must
+            # wait for the open to land, not fail on a missing id.
+            with inc_sessions.lock:
+                session = inc_sessions.sessions.get(sid)
+                if session is None:
+                    raise ProtocolError(
+                        ErrorCode.BAD_REQUEST, f"unknown session {sid!r}"
+                    )
+                return self._apply_update(
+                    inc_sessions, sid, session, program, verify
+                )
+
+        def degrade() -> dict:
+            # The hedge covers only this response.  The shielded update
+            # still completes under the lock, and only its exact result
+            # is retained — a degraded verdict never enters the
+            # session's graph or pair cache via the deadline path.
+            return {"session": sid, "degraded": True}
+
+        return await self._with_deadline(work, degrade)
+
+    async def _op_graph(
+        self, request: Request, inc_sessions: _IncrementalSessions
+    ):
+        sid = request.params.get("session")
+
+        def work() -> dict:
+            with inc_sessions.lock:
+                session = inc_sessions.sessions.get(sid)
+                if session is None:
+                    raise ProtocolError(
+                        ErrorCode.BAD_REQUEST, f"unknown session {sid!r}"
+                    )
+                graph = session.graph
+                if graph is None or session.program is None:
+                    raise ProtocolError(
+                        ErrorCode.BAD_REQUEST,
+                        f"session {sid!r} has not analyzed a program yet",
+                    )
+                return {
+                    "session": sid,
+                    "statements": len(session.program.statements),
+                    "edges": graph.edge_dicts(),
+                    "dot": graph.to_dot(),
+                    "update": inc_sessions.last.get(sid),
+                    "degraded": False,
+                }
+
+        def degrade() -> dict:
+            return {"session": sid, "degraded": True}
+
+        return await self._with_deadline(work, degrade)
+
     # -- control-plane ops -------------------------------------------------
 
     def _health(self) -> dict:
@@ -741,6 +933,9 @@ class DependenceServer:
             # Capability advertisement (protocol v2): this endpoint is a
             # bare worker, not a consistent-hash router.
             "cluster": False,
+            # Capability advertisement (protocol v3): incremental
+            # session ops are served here.
+            "sessions": True,
             "worker_id": self.config.worker_id,
             "inflight": self._admitted,
             "connections": self._sessions_open,

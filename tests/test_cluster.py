@@ -256,7 +256,11 @@ class TestNegotiation:
                 assert (
                     response["error"]["code"] == protocol.ErrorCode.VERSION
                 )
-                assert "1..2" in response["error"]["message"]
+                span = (
+                    f"{protocol.MIN_PROTOCOL_VERSION}.."
+                    f"{protocol.PROTOCOL_VERSION}"
+                )
+                assert span in response["error"]["message"]
         finally:
             cluster.stop()
 
@@ -411,3 +415,36 @@ class TestWarmthGossip:
         finally:
             assert first.stop() == 0
             assert second.stop() == 0
+
+
+class TestSessionOpsStayOnWorkers:
+    """Incremental sessions are per-connection state; the router's
+    consistent-hash forwarding cannot pin a connection to one worker,
+    so it refuses session ops with a typed ``unsupported`` error and
+    advertises ``sessions: false`` in its health frame."""
+
+    def test_router_declines_session_ops(self):
+        cluster = _RunningCluster(1)
+        try:
+            with cluster.client() as client:
+                for op, params in (
+                    ("open_session", {}),
+                    ("update_source", {"session": "s1", "source": SOURCE}),
+                    ("graph", {"session": "s1"}),
+                ):
+                    with pytest.raises(ServeError) as err:
+                        client.call(op, params)
+                    assert err.value.code == protocol.ErrorCode.UNSUPPORTED
+                    assert "worker" in str(err.value)
+        finally:
+            cluster.stop()
+
+    def test_health_capability_flags(self):
+        cluster = _RunningCluster(1)
+        try:
+            with cluster.client() as client:
+                assert client.health()["sessions"] is False
+            with cluster.workers[0].client() as client:
+                assert client.health()["sessions"] is True
+        finally:
+            cluster.stop()

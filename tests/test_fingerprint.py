@@ -1,0 +1,192 @@
+"""Tests for canonical IR fingerprints (repro.ir.fingerprint).
+
+The incremental engine's correctness rests on two properties pinned
+here: fingerprints are *stable* (a pure function of IR meaning —
+unparse/re-parse round trips, whitespace and labels never move them)
+and *discriminating* (any analysis-relevant edit moves them).
+"""
+
+import random
+
+import pytest
+
+from repro.fuzz.edits import mutate, storm_program
+from repro.ir.affine import const, var
+from repro.ir.arrays import AccessKind, ArrayRef
+from repro.ir.fingerprint import (
+    diff_fingerprints,
+    nest_fingerprint,
+    pair_key,
+    program_fingerprint,
+    statement_fingerprint,
+)
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.program import Program, Statement, reference_pairs
+from repro.lang.unparse import program_to_source
+from repro.opt import compile_source
+
+
+def _nest(upper: int = 10) -> LoopNest:
+    return LoopNest([Loop("i", const(1), const(upper))])
+
+
+def _stmt(offset: int = 0, label: str | None = None) -> Statement:
+    return Statement(
+        nest=_nest(),
+        write=ArrayRef("a", (var("i"),), AccessKind.WRITE),
+        reads=(ArrayRef("a", (var("i") + offset,), AccessKind.READ),),
+        label=label,
+    )
+
+
+class TestStability:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_unparse_roundtrip_preserves_every_fingerprint(self, seed):
+        program = storm_program(seed, statements=10, arrays=5)
+        source = program_to_source(program)
+        reparsed = compile_source(source, strict=False).program
+        assert program_fingerprint(reparsed) == program_fingerprint(program)
+
+    def test_whitespace_and_comments_are_invisible(self):
+        dense = "for i = 1 to 10 do\na[i] = a[i - 1]\nend\n"
+        airy = (
+            "\n\nfor i = 1 to 10 do\n"
+            "    a[ i ] =   a[ i - 1 ]\n"
+            "end\n\n"
+        )
+        fp1 = program_fingerprint(compile_source(dense, strict=False).program)
+        fp2 = program_fingerprint(compile_source(airy, strict=False).program)
+        assert fp1 == fp2
+
+    def test_labels_are_excluded(self):
+        assert statement_fingerprint(_stmt(label="S1")) == (
+            statement_fingerprint(_stmt(label=None))
+        )
+
+    def test_program_name_is_excluded(self):
+        s = _stmt()
+        assert program_fingerprint(Program("x", [s])) == (
+            program_fingerprint(Program("y", [s]))
+        )
+
+
+class TestDiscrimination:
+    def test_bound_edit_moves_nest_and_statement(self):
+        assert nest_fingerprint(_nest(10)) != nest_fingerprint(_nest(11))
+        wide = Statement(
+            nest=_nest(11), write=_stmt().write, reads=_stmt().reads
+        )
+        assert statement_fingerprint(wide) != statement_fingerprint(_stmt())
+
+    def test_subscript_edit_moves_statement(self):
+        assert statement_fingerprint(_stmt(0)) != statement_fingerprint(
+            _stmt(1)
+        )
+
+    def test_access_kind_matters(self):
+        as_read = Statement(
+            nest=_nest(),
+            write=None,
+            reads=(ArrayRef("a", (var("i"),), AccessKind.READ),),
+        )
+        as_write = Statement(
+            nest=_nest(),
+            write=ArrayRef("a", (var("i"),), AccessKind.WRITE),
+            reads=(),
+        )
+        assert statement_fingerprint(as_read) != statement_fingerprint(
+            as_write
+        )
+
+
+class TestPairKey:
+    def test_identical_questions_share_a_key(self):
+        program = Program("p", [_stmt(1), _stmt(1)])
+        pairs = reference_pairs(program)
+        keys = {pair_key(s1, s2) for s1, s2 in pairs}
+        # a[i]/a[i] write-write, a[i]/a[i+1] write-read twice (shared),
+        # a[i+1]/a[i+1] read-read, a[i+1]/a[i] read-write twice (shared)
+        assert len(keys) < len(pairs)
+
+    def test_order_matters(self):
+        program = Program("p", [_stmt(1)])
+        ((s1, s2),) = [
+            p for p in reference_pairs(program) if p[0].ref is not p[1].ref
+        ][:1]
+        assert pair_key(s1, s2) != pair_key(s2, s1)
+
+    def test_key_survives_index_shift(self):
+        head = _stmt(2)
+        tail = _stmt(3)
+        before = Program("p", [head, tail])
+        after = Program("p", [head, _stmt(5), tail])
+        keys_before = {
+            pair_key(a, b)
+            for a, b in reference_pairs(before)
+        }
+        keys_after = {
+            pair_key(a, b)
+            for a, b in reference_pairs(after)
+        }
+        # every question the 2-statement program posed is still posed
+        # verbatim after the insertion shifted statement indices
+        assert keys_before <= keys_after
+
+
+class TestDiff:
+    def test_self_diff_is_all_kept(self):
+        program = storm_program(1, statements=8)
+        fp = program_fingerprint(program)
+        delta = diff_fingerprints(fp, fp)
+        assert delta.unchanged
+        assert delta.kept == tuple((i, i) for i in range(8))
+
+    def test_duplicates_pair_positionally(self):
+        s = _stmt()
+        fp = program_fingerprint(Program("p", [s, s, s]))
+        delta = diff_fingerprints(fp, fp)
+        assert delta.kept == ((0, 0), (1, 1), (2, 2))
+
+    def test_insert_is_one_dirty_no_removed(self):
+        before = Program("p", [_stmt(1), _stmt(2)])
+        after = Program("p", [_stmt(1), _stmt(7), _stmt(2)])
+        delta = diff_fingerprints(
+            program_fingerprint(before), program_fingerprint(after)
+        )
+        assert delta.dirty == (1,)
+        assert delta.removed == ()
+        assert delta.kept == ((0, 0), (1, 2))
+
+    def test_delete_is_one_removed_no_dirty(self):
+        before = Program("p", [_stmt(1), _stmt(7), _stmt(2)])
+        after = Program("p", [_stmt(1), _stmt(2)])
+        delta = diff_fingerprints(
+            program_fingerprint(before), program_fingerprint(after)
+        )
+        assert delta.dirty == ()
+        assert delta.removed == (1,)
+        assert delta.kept == ((0, 0), (2, 1))
+
+    def test_edit_is_one_dirty_one_removed(self):
+        before = Program("p", [_stmt(1), _stmt(2)])
+        after = Program("p", [_stmt(1), _stmt(3)])
+        delta = diff_fingerprints(
+            program_fingerprint(before), program_fingerprint(after)
+        )
+        assert delta.dirty == (1,)
+        assert delta.removed == (1,)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_storm_edits_dirty_at_most_one_statement(self, seed):
+        rng = random.Random(seed)
+        program = storm_program(seed, statements=10)
+        for _ in range(20):
+            edited, _ = mutate(program, rng)
+            delta = diff_fingerprints(
+                program_fingerprint(program), program_fingerprint(edited)
+            )
+            # one editor action touches at most one statement (an edit
+            # may collide with an existing twin and count as kept)
+            assert len(delta.dirty) <= 1
+            assert len(delta.removed) <= 1
+            program = edited

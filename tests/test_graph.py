@@ -70,3 +70,55 @@ class TestDotExport:
         graph = build_graph(B.program("empty"))
         assert len(graph) == 0
         assert "digraph" in graph.to_dot()
+
+
+GOLDEN_DOT = """digraph dependences {
+  rankdir=TB;
+  s0 [label="S0: a[i]" shape=box];
+  s1 [label="S1: b[i]" shape=box];
+  s2 [label="S2: c[i]" shape=box];
+  s0 -> s1 [label="flow (<)" style=solid];
+  s1 -> s0 [label="flow (<)" style=solid];
+  s2 -> s2 [label="anti (=)" style=dashed];
+}"""
+
+
+class TestGoldenDot:
+    """Pin the exact DOT text: node order, edge order, styling.
+
+    The incremental engine's delta ≡ full contract compares ``to_dot``
+    output byte-for-byte, so the rendering must stay deterministic —
+    statements in program order, edges in ``reference_pairs`` order.
+    Update the golden only for a deliberate format change.
+    """
+
+    def test_dot_is_byte_identical_to_golden(self):
+        graph = build_graph(compile_source(SOURCE).program)
+        assert graph.to_dot() == GOLDEN_DOT
+
+    def test_dot_is_deterministic_across_builds(self):
+        first = build_graph(compile_source(SOURCE).program)
+        second = build_graph(compile_source(SOURCE).program)
+        assert first.to_dot() == second.to_dot()
+        assert first.edge_dicts() == second.edge_dicts()
+
+
+class TestEdgeDicts:
+    def test_edge_dicts_shape(self):
+        graph = build_graph(compile_source(SOURCE).program)
+        dicts = graph.edge_dicts()
+        assert len(dicts) == len(graph.edges)
+        for blob, edge in zip(dicts, graph.edges):
+            assert blob["kind"] == edge.kind
+            assert blob["vector"] == list(edge.vector)
+            assert blob["source"]["stmt"] == edge.source.stmt_index
+            assert blob["sink"]["site"] == edge.sink.site_index
+            assert blob["loop_carried"] == edge.loop_carried
+
+    def test_edge_dicts_are_json_serializable(self):
+        import json
+
+        graph = build_graph(compile_source(SOURCE).program)
+        assert json.loads(json.dumps(graph.edge_dicts())) == (
+            graph.edge_dicts()
+        )

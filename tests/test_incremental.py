@@ -1,0 +1,231 @@
+"""The incremental re-analysis gauntlet (repro.core.incremental).
+
+The module's contract is *delta ≡ full*: after any sequence of edits,
+the incrementally maintained graph must be bit-identical — same edge
+list, same DOT text, same ``edge_dicts`` serde — to a cold full
+re-analysis of the current program.  This suite enforces it over a
+500-edit seeded storm, pins the efficiency claim (a single-statement
+edit on a ~100-nest program re-queries < 10% of pairs), and checks the
+degradation rule (a budget-degraded verdict is answered conservatively
+but never retained).
+"""
+
+import random
+
+import pytest
+
+from repro.api import AnalysisConfig, AnalysisSession
+from repro.core.incremental import (
+    IncrementalMismatchError,
+    IncrementalSession,
+    full_graph,
+)
+from repro.fuzz.edits import EDIT_KINDS, mutate, storm_program
+from repro.ir.program import reference_pairs
+from repro.robust.budget import ResourceBudget
+from repro.system.depsystem import Direction
+
+
+def _assert_identical(session: IncrementalSession, program) -> None:
+    reference = full_graph(program)
+    assert session.graph.edges == reference.edges
+    assert session.graph.to_dot() == reference.to_dot()
+    assert session.graph.edge_dicts() == reference.edge_dicts()
+
+
+class TestFirstUpdate:
+    def test_first_update_is_a_full_analysis(self):
+        program = storm_program(seed=0, statements=8, arrays=4)
+        session = IncrementalSession()
+        report = session.update(program)
+        assert report.requery_fraction == 1.0
+        assert report.reused_pairs == 0
+        assert report.delta.dirty == tuple(range(8))
+        _assert_identical(session, program)
+
+    def test_unchanged_program_reuses_everything(self):
+        program = storm_program(seed=0, statements=8, arrays=4)
+        session = IncrementalSession()
+        session.update(program)
+        report = session.update(program)
+        assert report.delta.unchanged
+        assert report.requeried_pairs == 0
+        assert report.requery_fraction == 0.0
+        _assert_identical(session, program)
+
+    def test_summary_shape(self):
+        program = storm_program(seed=0, statements=4, arrays=3)
+        report = IncrementalSession().update(program)
+        summary = report.summary()
+        for key in (
+            "statements",
+            "kept",
+            "dirty",
+            "removed",
+            "pairs",
+            "reused",
+            "requeried",
+            "requery_fraction",
+            "degraded_pairs",
+            "edges",
+            "elapsed_ms",
+        ):
+            assert key in summary
+
+
+class TestEditStorm:
+    """The 500-edit gauntlet: every step verified against full."""
+
+    def test_500_seeded_edits_stay_identical_to_full(self):
+        rng = random.Random(20260807)
+        program = storm_program(seed=20260807, statements=8, arrays=4)
+        session = IncrementalSession()
+        session.update(program, verify=True)
+        kinds_seen = set()
+        reused_any = 0
+        for _ in range(500):
+            program, description = mutate(program, rng, arrays=4)
+            kinds_seen.add(description.split()[0])
+            # verify=True runs the cold full analysis and raises
+            # IncrementalMismatchError on any divergence.
+            report = session.update(program, verify=True)
+            assert report.verified
+            reused_any += report.reused_pairs
+        # the storm actually exercised every edit kind, and the delta
+        # path actually reused work (it isn't full re-analysis in
+        # disguise)
+        assert kinds_seen == {"insert", "delete", "mutate"}
+        assert reused_any > 0
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_interleaved_storms_with_shared_session(self, seed):
+        """Alternating between two diverging programs still verifies:
+        the pair cache only ever holds the *current* program's pairs,
+        so flip-flopping editors cannot resurrect stale answers."""
+        rng = random.Random(seed)
+        base = storm_program(seed=seed, statements=6, arrays=3)
+        left, _ = mutate(base, rng, arrays=3)
+        right, _ = mutate(base, rng, arrays=3)
+        session = IncrementalSession()
+        for program in (base, left, right, left, base, right):
+            session.update(program, verify=True)
+
+
+class TestRequeryBound:
+    """The headline efficiency claim on a ~100-nest program."""
+
+    def test_single_statement_edits_requery_under_ten_percent(self):
+        program = storm_program(seed=2026, statements=100, arrays=12)
+        session = IncrementalSession()
+        first = session.update(program)
+        assert first.total_pairs > 500  # the program is actually dense
+        rng = random.Random(99)
+        kinds_seen = set()
+        for _ in range(8):
+            edited, description = mutate(program, rng, arrays=12)
+            kinds_seen.add(description.split()[0])
+            report = session.update(edited)
+            assert report.requery_fraction < 0.10, (
+                f"{description}: re-queried {report.requeried_pairs} of "
+                f"{report.total_pairs} pairs"
+            )
+            _assert_identical(session, edited)
+            # each trial edits the same base program, so re-seed it
+            session.update(program)
+        assert kinds_seen == {"insert", "delete", "mutate"}
+
+    def test_kept_pairs_cost_no_engine_queries(self):
+        program = storm_program(seed=2026, statements=100, arrays=12)
+        session = IncrementalSession()
+        session.update(program)
+        rng = random.Random(3)
+        edited, _ = mutate(program, rng, arrays=12)
+        report = session.update(edited)
+        assert report.reused_pairs + report.requeried_pairs == (
+            report.total_pairs
+        )
+        assert report.reused_pairs > report.requeried_pairs * 9
+
+
+class TestDegradation:
+    """Degraded verdicts: conservative in the graph, never retained."""
+
+    def test_degraded_pairs_are_conservative_and_not_cached(self):
+        program = storm_program(seed=5, statements=6, arrays=3)
+        blown = ResourceBudget(deadline_s=0.0)
+        session = IncrementalSession(budget=blown)
+        report = session.update(program)
+        assert report.degraded_pairs > 0
+        # degraded answers reach the graph as the lattice top ...
+        degraded_edges = [
+            e
+            for e in session.graph.edges
+            if any(c == Direction.ANY for c in e.vector)
+        ]
+        assert degraded_edges
+        # ... but are excluded from the retained pair cache
+        assert len(session._pair_results) == (
+            report.total_pairs - report.degraded_pairs
+        )
+
+    def test_degraded_pairs_are_requeried_next_update(self):
+        program = storm_program(seed=5, statements=6, arrays=3)
+        blown = ResourceBudget(deadline_s=0.0)
+        session = IncrementalSession(budget=blown)
+        first = session.update(program)
+        assert first.degraded_pairs > 0
+        # lift the pressure: the same session, no budget, same program
+        session.budget = None
+        second = session.update(program)
+        assert second.requeried_pairs == first.degraded_pairs
+        # with the hedge lifted the graph now matches ungoverned full
+        _assert_identical(session, program)
+        third = session.update(program)
+        assert third.requeried_pairs == 0
+
+    def test_verify_raises_on_divergence(self):
+        program = storm_program(seed=5, statements=6, arrays=3)
+        session = IncrementalSession(budget=ResourceBudget(deadline_s=0.0))
+        session.update(program)
+        with pytest.raises(IncrementalMismatchError):
+            # the degraded graph is conservative, not exact: verify
+            # against the ungoverned full analysis must fail loudly
+            session.verify()
+
+
+class TestApiSurface:
+    def test_analysis_session_update_delegates(self):
+        program = storm_program(seed=11, statements=6, arrays=3)
+        session = AnalysisSession(AnalysisConfig())
+        assert session.graph is None
+        report = session.update(program, verify=True)
+        assert report.verified
+        assert session.graph is not None
+        assert len(session.graph.edges) == report.edges
+        rng = random.Random(11)
+        edited, _ = mutate(program, rng, arrays=3)
+        second = session.update(edited, verify=True)
+        assert second.reused_pairs > 0
+
+    def test_incremental_shares_the_session_memoizer(self):
+        program = storm_program(seed=11, statements=6, arrays=3)
+        session = AnalysisSession(AnalysisConfig())
+        session.update(program)
+        assert session._incremental.memoizer is session.memoizer
+
+    def test_edit_kinds_constant_is_exhaustive(self):
+        assert set(EDIT_KINDS) == {"bound", "subscript", "insert", "delete"}
+
+    def test_reference_pair_order_is_the_graph_order(self):
+        # splice correctness rests on rebuilding edges in
+        # reference_pairs order; pin that the order is deterministic
+        program = storm_program(seed=11, statements=6, arrays=3)
+        first = [
+            (a.site_index, b.site_index)
+            for a, b in reference_pairs(program)
+        ]
+        second = [
+            (a.site_index, b.site_index)
+            for a, b in reference_pairs(program)
+        ]
+        assert first == second

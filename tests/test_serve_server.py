@@ -84,9 +84,13 @@ class _SlowServer(DependenceServer):
 
     DELAY = 0.3
 
-    async def _run_analysis_op(self, request, session, explain_lock):
+    async def _run_analysis_op(
+        self, request, session, explain_lock, inc_sessions
+    ):
         await asyncio.sleep(self.DELAY)
-        return await super()._run_analysis_op(request, session, explain_lock)
+        return await super()._run_analysis_op(
+            request, session, explain_lock, inc_sessions
+        )
 
 
 class TestBasicOps:
@@ -531,3 +535,137 @@ class TestCachePersistenceAcrossRestarts:
             tables["with_bounds"]["hits"] + tables["no_bounds"]["hits"]
         )
         assert hits > 0
+
+
+class TestIncrementalSessions:
+    """Protocol-v3 session ops: open, update by delta, dump the graph."""
+
+    def _sources(self, seed=21, statements=8, arrays=4, edits=3):
+        import random
+
+        from repro.fuzz.edits import mutate, storm_program
+        from repro.lang.unparse import program_to_source
+
+        rng = random.Random(seed)
+        program = storm_program(seed, statements=statements, arrays=arrays)
+        versions = [program]
+        for _ in range(edits):
+            program, _ = mutate(program, rng, arrays=arrays)
+            versions.append(program)
+        return versions, [program_to_source(p) for p in versions]
+
+    def test_health_advertises_sessions(self, running):
+        with running.client() as client:
+            assert client.health()["sessions"] is True
+
+    def test_open_update_graph_roundtrip(self, running):
+        versions, sources = self._sources()
+        with running.client() as client:
+            opened = client.open_session(source=sources[0])
+            sid = opened["session"]
+            assert opened["degraded"] is False
+            assert opened["update"]["requery_fraction"] == 1.0
+            for source in sources[1:]:
+                summary = client.update_source(sid, source, verify=True)
+                assert summary["degraded"] is False
+                assert summary["reused"] > 0
+            result = client.graph(sid)
+        from repro.core.incremental import full_graph
+
+        reference = full_graph(versions[-1])
+        assert result["dot"] == reference.to_dot()
+        assert result["edges"] == reference.edge_dicts()
+        assert result["statements"] == len(versions[-1].statements)
+        assert result["update"]["session"] == sid
+
+    def test_sessions_warm_the_shared_cache(self, running):
+        _, sources = self._sources()
+        with running.client() as client:
+            before = client.health()["cache_entries"]
+            sid = client.open_session(source=sources[0])["session"]
+            client.update_source(sid, sources[1])
+            after = client.health()["cache_entries"]
+        assert after > before
+
+    def test_two_sessions_are_independent(self, running):
+        _, sources = self._sources()
+        with running.client() as client:
+            first = client.open_session(source=sources[0])["session"]
+            second = client.open_session(source=sources[1])["session"]
+            assert first != second
+            g1 = client.graph(first)
+            g2 = client.graph(second)
+        assert g1["session"] == first and g2["session"] == second
+
+    def test_unknown_session_is_bad_request(self, running):
+        with running.client() as client:
+            for op, params in (
+                ("update_source", {"session": "nope", "source": SOURCE}),
+                ("graph", {"session": "nope"}),
+            ):
+                with pytest.raises(ServeError) as err:
+                    client.call(op, params)
+                assert err.value.code == protocol.ErrorCode.BAD_REQUEST
+
+    def test_graph_before_any_update_is_bad_request(self, running):
+        with running.client() as client:
+            sid = client.open_session()["session"]
+            with pytest.raises(ServeError) as err:
+                client.graph(sid)
+            assert err.value.code == protocol.ErrorCode.BAD_REQUEST
+
+    def test_bad_source_is_source_error_and_keeps_the_session(self, running):
+        _, sources = self._sources()
+        with running.client() as client:
+            sid = client.open_session(source=sources[0])["session"]
+            with pytest.raises(ServeError) as err:
+                client.update_source(sid, "for broken ( syntax")
+            assert err.value.code == protocol.ErrorCode.SOURCE
+            # the failed update did not clobber the retained graph
+            result = client.graph(sid)
+        assert result["session"] == sid
+
+    def test_pipelined_open_then_update_applies_in_order(self, running):
+        """An update racing its own open_session must wait for it, not
+        fail on a missing session id — the connection lock orders
+        stateful ops even though each runs on its own worker thread."""
+        _, sources = self._sources()
+        with running.client() as client:
+            opened = client.open_session(source=sources[0])
+            sid = opened["session"]
+            results = client.call_many(
+                [
+                    ("update_source", {"session": sid, "source": sources[1]}),
+                    ("update_source", {"session": sid, "source": sources[2]}),
+                    ("graph", {"session": sid}),
+                ]
+            )
+        assert not any(isinstance(r, ServeError) for r in results)
+        assert results[2]["update"] == results[1]
+
+    def test_session_ops_share_the_admission_limit(self):
+        handle = _RunningServer(
+            ServeConfig(announce=False, max_inflight=1, queue_limit=0)
+        )
+        _SlowServer.DELAY = 0.3
+        try:
+            slow = _RunningServer(
+                ServeConfig(announce=False, max_inflight=1, queue_limit=0),
+                cls=_SlowServer,
+            )
+            try:
+                with slow.client() as client:
+                    results = client.call_many(
+                        [("open_session", {}) for _ in range(6)]
+                    )
+                overloaded = [
+                    r
+                    for r in results
+                    if isinstance(r, ServeError)
+                    and r.code == protocol.ErrorCode.OVERLOADED
+                ]
+                assert overloaded  # backpressure applies to session ops
+            finally:
+                slow.stop()
+        finally:
+            handle.stop()

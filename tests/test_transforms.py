@@ -148,3 +148,73 @@ class TestParallelism:
         ).program
         reports = analyze_parallelism(program)
         assert all(r.parallel for r in reports)
+
+
+class TestPermutationBruteForce:
+    """permutation_legal's *-expansion vs exhaustive enumeration.
+
+    The implementation expands each ``*`` via ``Direction.ALL`` and
+    skips non-realizable elementary vectors; the oracle below spells
+    the same semantics as a brute-force loop over *every* sign
+    assignment of the whole vector.  They must agree on every vector in
+    {<, =, >, *}^depth under every permutation.
+    """
+
+    class _Edge:
+        def __init__(self, vector):
+            self.vector = tuple(vector)
+
+    @staticmethod
+    def _oracle(vector, perm):
+        import itertools
+
+        from repro.core.transforms import lexicographic_sign
+
+        depth = len(perm)
+        padded = tuple(vector) + ("=",) * (depth - len(vector))
+        domains = [
+            ("<", "=", ">") if c == "*" else (c,) for c in padded[:depth]
+        ]
+        for elementary in itertools.product(*domains):
+            if lexicographic_sign(elementary) < 0:
+                continue  # not realizable source -> sink
+            permuted = tuple(elementary[perm[new]] for new in range(depth))
+            if lexicographic_sign(permuted) < 0:
+                return False
+        return True
+
+    def _check_all(self, depth):
+        import itertools
+
+        components = ("<", "=", ">", "*")
+        for vector in itertools.product(components, repeat=depth):
+            edge = self._Edge(vector)
+            for perm in itertools.permutations(range(depth)):
+                assert permutation_legal([edge], perm) == self._oracle(
+                    vector, perm
+                ), f"vector={vector} perm={perm}"
+
+    def test_depth_2_exhaustive(self):
+        self._check_all(2)
+
+    def test_depth_3_exhaustive(self):
+        self._check_all(3)
+
+    def test_short_vectors_pad_with_equals(self):
+        # a depth-1 vector under a depth-3 permutation constrains only
+        # its own level; deeper levels behave as '='
+        edge = self._Edge(("<",))
+        for perm in ((0, 1, 2), (0, 2, 1)):
+            assert permutation_legal([edge], perm)
+        # moving the carried level inward is still legal (< then =s)
+        assert permutation_legal([edge], (1, 2, 0)) == self._oracle(
+            ("<",), (1, 2, 0)
+        )
+
+    def test_multiple_edges_conjoin(self):
+        # each edge alone permits some permutation the pair forbids
+        first = self._Edge(("<", ">"))
+        second = self._Edge((">",))  # never realizable: constrains nothing
+        assert permutation_legal([second], (1, 0))
+        assert not permutation_legal([first], (1, 0))
+        assert not permutation_legal([first, second], (1, 0))
