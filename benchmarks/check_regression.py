@@ -1,14 +1,18 @@
 """Compare fresh benchmark results against committed baselines.
 
-CI regenerates ``BENCH_batch.json`` / ``BENCH_obs.json`` /
-``BENCH_serve.json`` / ``BENCH_hotpath.json`` and this
-script diffs them against ``benchmarks/baselines/``.  Only *ratio*
-metrics are gated (speedups, memo hit rates, tracing overhead): raw
-wall-clock seconds vary wildly across shared runners, but the ratios
-are computed within one run and stay stable.  A metric regresses when
-it moves more than ``TOLERANCE`` in its bad direction — higher-better
-metrics may drop at most 25%, lower-better metrics may rise at most
-25%.  Improvements never fail the gate.
+CI regenerates the ``BENCH_*.json`` artifacts (batch, obs, serve,
+hotpath, cluster, incremental, frontend) and this script diffs them
+against ``benchmarks/baselines/``.  Only *ratio* metrics are gated
+(speedups, memo hit rates, tracing overhead): raw wall-clock seconds
+vary wildly across shared runners, but the ratios are computed within
+one run and stay stable.  Exact workload invariants (query counts,
+frontend corpus extraction counts) must match bit-for-bit.  A ratio
+metric regresses when it moves more than ``TOLERANCE`` in its bad
+direction — higher-better metrics may drop at most 25%, lower-better
+metrics may rise at most 25%.  Improvements never fail the gate.
+Every artifact carries the recording host (``cpus`` + ``host`` from
+:mod:`repro.obs.hostmeta`); a baseline/fresh host mismatch is noted in
+the log so cross-machine ratio drift can be read in context.
 
 Usage::
 
@@ -71,6 +75,14 @@ EXACT_METRICS: tuple[tuple[str, str], ...] = (
     ("BENCH_incremental.json", "statements"),
     ("BENCH_incremental.json", "pairs"),
     ("BENCH_incremental.json", "edits"),
+    # The frontend corpus is pure determinism: extraction counts that
+    # drift mean a frontend silently lost or invented loop nests.
+    ("BENCH_frontend.json", "corpus_files"),
+    ("BENCH_frontend.json", "nests"),
+    ("BENCH_frontend.json", "statements"),
+    ("BENCH_frontend.json", "skipped"),
+    ("BENCH_frontend.json", "pairs"),
+    ("BENCH_frontend.json", "edges"),
 )
 
 
@@ -81,7 +93,12 @@ def _load(directory: Path, name: str) -> dict | None:
     return json.loads(path.read_text())
 
 
-def check(fresh_dir: Path, baseline_dir: Path, tolerance: float) -> list[str]:
+def check(
+    fresh_dir: Path,
+    baseline_dir: Path,
+    tolerance: float,
+    only: frozenset[str] | None = None,
+) -> list[str]:
     """All regression messages (empty when the gate passes).
 
     Every failing metric is reported — a missing benchmark file is
@@ -92,6 +109,7 @@ def check(fresh_dir: Path, baseline_dir: Path, tolerance: float) -> list[str]:
     failures: list[str] = []
     cache: dict[tuple[str, str], dict | None] = {}
     reported_missing: set[tuple[str, str]] = set()
+    host_checked: set[str] = set()
 
     def load(kind: str, directory: Path, name: str) -> dict | None:
         key = (kind, name)
@@ -104,11 +122,30 @@ def check(fresh_dir: Path, baseline_dir: Path, tolerance: float) -> list[str]:
                 )
         return cache[key]
 
+    def note_host(name: str, fresh_doc: dict, base_doc: dict) -> None:
+        """Surface cross-host comparisons — ratios still gate, but a
+        reader of the log should know the machines differ."""
+        if name in host_checked:
+            return
+        host_checked.add(name)
+        fresh_host = (fresh_doc.get("cpus"), fresh_doc.get("host"))
+        base_host = (base_doc.get("cpus"), base_doc.get("host"))
+        if base_host == (None, None):
+            return  # pre-hostmeta baseline: nothing to compare
+        if fresh_host != base_host:
+            print(
+                f"  {'note':>10}  {name}: baseline host "
+                f"{base_host} != fresh host {fresh_host}"
+            )
+
     for name, metric in EXACT_METRICS:
+        if only is not None and name not in only:
+            continue
         fresh_doc = load("fresh", fresh_dir, name)
         base_doc = load("base", baseline_dir, name)
         if fresh_doc is None or base_doc is None:
             continue  # the missing file is already one failure
+        note_host(name, fresh_doc, base_doc)
         fresh = fresh_doc.get(metric)
         base = base_doc.get(metric)
         if fresh != base:
@@ -117,10 +154,13 @@ def check(fresh_dir: Path, baseline_dir: Path, tolerance: float) -> list[str]:
             )
 
     for name, metric, direction in GATED_METRICS:
+        if only is not None and name not in only:
+            continue
         fresh_doc = load("fresh", fresh_dir, name)
         base_doc = load("base", baseline_dir, name)
         if fresh_doc is None or base_doc is None:
             continue  # the missing file is already one failure
+        note_host(name, fresh_doc, base_doc)
         fresh = fresh_doc.get(metric)
         base = base_doc.get(metric)
         if fresh is None or base is None:
@@ -164,13 +204,26 @@ def main(argv: list[str] | None = None) -> int:
         "--baseline-dir", type=Path, default=Path("benchmarks/baselines")
     )
     parser.add_argument("--tolerance", type=float, default=TOLERANCE)
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="BENCH_FILE",
+        help="gate only these artifact file names (repeatable); "
+        "jobs that regenerate a single benchmark use this to skip "
+        "the artifacts they did not produce",
+    )
     args = parser.parse_args(argv)
 
     print(
         f"bench-regression gate (tolerance {args.tolerance:.0%}, "
         f"baselines from {args.baseline_dir})"
     )
-    failures = check(args.fresh_dir, args.baseline_dir, args.tolerance)
+    failures = check(
+        args.fresh_dir,
+        args.baseline_dir,
+        args.tolerance,
+        only=frozenset(args.only) if args.only else None,
+    )
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for failure in failures:

@@ -34,6 +34,7 @@ from repro.core.analyzer import DependenceAnalyzer
 from repro.core.engine import analyze_batch, queries_from_suite
 from repro.core.memo import Memoizer
 from repro.core.persist import dumps, loads
+from repro.obs.hostmeta import host_metadata
 from repro.perfect import load_suite
 
 BENCH_PATH = (
@@ -95,6 +96,7 @@ def test_bench_batch_engine_vs_serial(benchmark, capsys):
     assert [o.result.dependent for o in warm.outcomes] == serial_verdicts
 
     payload = {
+        **host_metadata(),
         "queries": cold.n_queries,
         "unique_pairs": cold.n_unique_pairs,
         "unique_problems": cold.n_unique_problems,

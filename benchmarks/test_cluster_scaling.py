@@ -32,6 +32,7 @@ import time
 
 from repro.core.engine import queries_from_suite
 from repro.ir.serde import query_to_dict
+from repro.obs.hostmeta import host_metadata
 from repro.perfect import load_suite
 from repro.serve.client import Client
 
@@ -148,6 +149,7 @@ def test_bench_cluster_scaling(benchmark, capsys):
     gated = cpus >= MIN_CPUS_FOR_GATE
     scaling = round(fleet["warm_qps"] / single["warm_qps"], 3)
     payload = {
+        **host_metadata(),
         "queries": len(calls),
         "clients": N_CLIENTS,
         "cpus": cpus,

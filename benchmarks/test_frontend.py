@@ -1,0 +1,105 @@
+"""Benchmark: frontend extraction over the vendored real-code corpus.
+
+Extracts every Python/C file under ``tests/corpus/frontends/`` through
+:mod:`repro.frontends`, builds each file's dependence graph, and times
+repeated extraction sweeps.
+
+Emits ``BENCH_frontend.json`` at the repository root.  Raw throughput
+numbers vary across runners and are recorded for the perf trajectory
+only; the regression gate consumes the exact workload shape — corpus
+files, nests extracted, statements lowered, pairs analyzed — which
+must match the committed baseline bit-for-bit (a drifting nest count
+means a frontend silently lost or invented loops).
+"""
+
+import json
+import pathlib
+import time
+
+from repro.core.analyzer import DependenceAnalyzer
+from repro.core.graph import build_graph
+from repro.frontends import extract_source
+from repro.ir.program import reference_pairs
+from repro.obs.hostmeta import host_metadata
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+CORPUS = REPO / "tests" / "corpus" / "frontends"
+BENCH_PATH = REPO / "BENCH_frontend.json"
+SWEEPS = 20
+
+
+def _corpus() -> list[tuple[str, str, str]]:
+    out = []
+    for path in sorted(CORPUS.iterdir()):
+        if path.suffix == ".py":
+            out.append((path.name, "python", path.read_text()))
+        elif path.suffix == ".c":
+            out.append((path.name, "c", path.read_text()))
+    return out
+
+
+def test_bench_frontend(benchmark, capsys):
+    """Corpus shape is pinned exactly; sweep timings recorded to trend."""
+    corpus = _corpus()
+    assert corpus, f"empty corpus at {CORPUS}"
+
+    def measure():
+        start = time.perf_counter()
+        for _ in range(SWEEPS):
+            extractions = [
+                extract_source(text, lang=lang, name=name)
+                for name, lang, text in corpus
+            ]
+        t_extract = time.perf_counter() - start
+
+        start = time.perf_counter()
+        graphs = [
+            build_graph(ext.program, DependenceAnalyzer())
+            for ext in extractions
+        ]
+        t_analyze = time.perf_counter() - start
+        return extractions, graphs, t_extract, t_analyze
+
+    extractions, graphs, t_extract, t_analyze = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    nests = sum(len(ext.nests) for ext in extractions)
+    statements = sum(len(ext.program.statements) for ext in extractions)
+    skipped = sum(len(ext.skipped) for ext in extractions)
+    pairs = sum(
+        len(reference_pairs(ext.program)) for ext in extractions
+    )
+    edges = sum(len(graph.edge_dicts()) for graph in graphs)
+    sweep_files = len(corpus) * SWEEPS
+    payload = {
+        **host_metadata(),
+        "corpus_files": len(corpus),
+        "nests": nests,
+        "statements": statements,
+        "skipped": skipped,
+        "pairs": pairs,
+        "edges": edges,
+        "extract_sweeps": SWEEPS,
+        "extract_s": round(t_extract, 4),
+        "extract_files_per_s": round(sweep_files / t_extract, 1),
+        "analyze_s": round(t_analyze, 4),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    with capsys.disabled():
+        print()
+        print(
+            f"  {len(corpus)} corpus files -> {nests} nests, "
+            f"{statements} statements, {skipped} skipped, {pairs} pairs, "
+            f"{edges} edges"
+        )
+        print(
+            f"  extraction {payload['extract_files_per_s']} files/s "
+            f"({SWEEPS} sweeps), analysis {1e3 * t_analyze:.1f} ms"
+        )
+        print(f"  wrote {BENCH_PATH.name}")
+
+    # A frontend that silently drops statements shows up here before
+    # the exact gate even runs.
+    assert statements > 0 and pairs > 0 and edges > 0

@@ -26,6 +26,7 @@ import time
 from repro.core.analyzer import DependenceAnalyzer
 from repro.core.engine import queries_from_suite
 from repro.core.memo import Memoizer, encode_key, intern_key
+from repro.obs.hostmeta import host_metadata
 from repro.perfect import load_suite
 from repro.system.depsystem import build_problem
 
@@ -88,6 +89,7 @@ def test_bench_hotpath(benchmark, capsys):
     )
     n = len(queries)
     payload = {
+        **host_metadata(),
         "queries": n,
         "cold_s": round(t_cold, 4),
         "warm_s": round(t_warm, 4),

@@ -22,6 +22,7 @@ import time
 
 from repro.core.incremental import IncrementalSession, full_graph
 from repro.fuzz.edits import mutate, storm_program
+from repro.obs.hostmeta import host_metadata
 
 BENCH_PATH = (
     pathlib.Path(__file__).resolve().parent.parent
@@ -72,6 +73,7 @@ def test_bench_incremental(benchmark, capsys):
     warm_delta_s = min(delta_times)
     speedup = cold_s / warm_delta_s
     payload = {
+        **host_metadata(),
         "statements": STATEMENTS,
         "pairs": first.total_pairs,
         "edits": N_EDITS,

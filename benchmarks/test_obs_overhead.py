@@ -18,6 +18,7 @@ import time
 
 from repro.core.analyzer import DependenceAnalyzer
 from repro.core.memo import Memoizer
+from repro.obs.hostmeta import host_metadata
 from repro.obs.sinks import CollectingSink
 from repro.perfect import load_suite
 
@@ -73,6 +74,7 @@ def test_bench_null_sink_overhead(benchmark, capsys):
             f"({collect_ratio:.2f}x)"
         )
     payload = {
+        **host_metadata(),
         "queries": len(queries),
         "untraced_seconds": baseline,
         "run_to_run_jitter": jitter,

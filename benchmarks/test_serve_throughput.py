@@ -25,6 +25,7 @@ import time
 
 from repro.core.engine import queries_from_suite
 from repro.ir.serde import query_to_dict
+from repro.obs.hostmeta import host_metadata
 from repro.perfect import load_suite
 from repro.serve.client import ServeClient
 from repro.serve.server import DependenceServer, ServeConfig
@@ -136,6 +137,7 @@ def test_bench_serve_throughput(benchmark, capsys):
 
     n = len(params_list)
     payload = {
+        **host_metadata(),
         "queries": n,
         "clients": N_CLIENTS,
         "cold_s": round(t_cold, 4),

@@ -1,0 +1,15 @@
+"""A real-Python Jacobi stencil the frontend lowers to repro IR.
+
+Twin of ``stencil.loop``: ``python -m repro deps examples/stencil.py``
+and ``python -m repro deps examples/stencil.loop`` print the identical
+dependence graph — the frontend contract, pinned by the corpus tests.
+"""
+
+
+def jacobi(A, B, n):
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            B[i][j] = A[i - 1][j] + A[i + 1][j] + A[i][j - 1] + A[i][j + 1]
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            A[i][j] = B[i][j]

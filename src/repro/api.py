@@ -48,6 +48,8 @@ __all__ = [
     "DependenceReport",
     "ProgramReport",
     "ExplainResult",
+    "SourceReport",
+    "analyze_source",
     "run_fuzz",
     "connect",
     "Client",
@@ -264,6 +266,49 @@ class ProgramReport:
     @property
     def dependent_pairs(self) -> list[DependenceReport]:
         return [pair for pair in self.pairs if pair.dependent]
+
+
+@dataclass
+class SourceReport:
+    """Extraction plus whole-program analysis of one real-source file.
+
+    ``extraction`` carries the nests, skip diagnostics and symbols the
+    frontend produced (see :mod:`repro.frontends`); ``report`` is the
+    ordinary :class:`ProgramReport` over the extracted program.
+    """
+
+    extraction: Any  # repro.frontends.ExtractResult
+    report: ProgramReport
+
+    def summary(self) -> dict:
+        out = dict(self.extraction.summary())
+        out.update(self.report.summary)
+        return out
+
+
+def analyze_source(
+    text: str,
+    lang: str | None = None,
+    name: str = "<source>",
+    config: AnalysisConfig | None = None,
+    want_directions: bool = True,
+) -> SourceReport:
+    """Extract loop nests from real source text and analyze them.
+
+    ``lang`` is ``"python"``, ``"c"`` or ``"loop"`` (None: mini-Fortran
+    ``.loop``, the historical default).  Sugar over
+    :func:`repro.frontends.extract_source` plus
+    :meth:`AnalysisSession.analyze_program` on a fresh session; open a
+    session yourself to share memo tables across files.
+    """
+    from repro.frontends import extract_source
+
+    extraction = extract_source(text, lang=lang or "loop", name=name)
+    session = AnalysisSession(config)
+    report = session.analyze_program(
+        extraction.program, want_directions=want_directions
+    )
+    return SourceReport(extraction=extraction, report=report)
 
 
 @dataclass

@@ -8,6 +8,9 @@ Subcommands:
 * ``parallelize FILE`` — the same pipeline, summarized as a per-loop
   PARALLEL / serial report with the carrying dependences.
 * ``deps FILE`` — classified dependence edges (flow / anti / output).
+* ``extract FILE`` — show the loop nests a language frontend
+  (:mod:`repro.frontends`) pulls out of real Python or C source,
+  plus every skipped construct with its stable reason code.
 * ``batch [FILE ...]`` — run the sharded batch engine over whole
   programs (or the synthetic PERFECT corpus when no files are given),
   with ``--jobs`` worker processes, an optional persistent
@@ -39,6 +42,10 @@ Subcommands:
 
 Reads from stdin when ``FILE`` is ``-``.
 
+``FILE`` may be native mini-Fortran (``.loop``), Python (``.py``) or a
+C subset (``.c``/``.h``); the language is picked by extension and can
+be forced with ``--lang``.
+
 Exit codes
 ==========
 
@@ -54,6 +61,9 @@ Every subcommand follows one convention:
 * **130** — interrupted (Ctrl-C / SIGINT): the tool stops cleanly with
   no traceback; a ``batch --checkpoint`` run keeps every shard already
   flushed, so ``--resume`` picks up where the interrupt landed.
+
+A downstream reader closing the pipe (``repro extract big.c | head``)
+stops the tool quietly with exit 0 — never a traceback.
 """
 
 from __future__ import annotations
@@ -89,17 +99,66 @@ EXIT_INTERNAL = 3  # unexpected internal failure
 EXIT_INTERRUPTED = 130  # Ctrl-C / SIGINT (128 + SIGINT, shell convention)
 
 
-def _load_program(path: str) -> Program:
+def _resolve_lang(path: str, lang: str | None) -> str:
+    """The frontend language for a file: --lang wins, else extension."""
+    from repro.frontends import detect_language
+
+    if lang:
+        return lang
     if path == "-":
-        text = sys.stdin.read()
-        name = "<stdin>"
-    else:
-        text = Path(path).read_text()
-        name = path
-    result = compile_source(text, name=name, strict=False)
-    for message in result.skipped:
-        print(f"warning: skipped {message}", file=sys.stderr)
-    return result.program
+        return "loop"
+    return detect_language(path)
+
+
+def _read_source(path: str) -> tuple[str, str]:
+    if path == "-":
+        return sys.stdin.read(), "<stdin>"
+    return Path(path).read_text(), path
+
+
+def _extract(path: str, lang: str | None):
+    """Extract a real-source (or .loop) file, warnings to stderr.
+
+    A file-level parse failure is a usage error for the one-file
+    commands, so it is re-raised as :class:`ParseError` here (batch
+    callers that prefer to keep going use repro.frontends directly).
+    """
+    from repro.frontends import SkipReason, extract_source
+    from repro.lang.errors import ParseError
+
+    text, name = _read_source(path)
+    language = _resolve_lang(path, lang)
+    extraction = extract_source(text, lang=language, name=name)
+    if not extraction.program.statements and any(
+        record.reason == SkipReason.PARSE_ERROR
+        for record in extraction.skipped
+    ):
+        record = extraction.skipped[0]
+        raise ParseError(record.detail, record.line)
+    for record in extraction.skipped:
+        print(f"warning: skipped {record}", file=sys.stderr)
+    return extraction
+
+
+def _load_program(path: str, lang: str | None = None) -> Program:
+    language = _resolve_lang(path, lang)
+    if language == "loop":
+        text, name = _read_source(path)
+        result = compile_source(text, name=name, strict=False)
+        for message in result.skipped:
+            print(f"warning: skipped {message}", file=sys.stderr)
+        return result.program
+    return _extract(path, language).program
+
+
+def _add_lang_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lang",
+        choices=("loop", "python", "c"),
+        default=None,
+        help="source language (default: by extension — .py python, "
+        ".c/.h C, else mini-Fortran .loop)",
+    )
 
 
 def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
@@ -163,7 +222,7 @@ def _budget_from_args(args: argparse.Namespace):
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.api import AnalysisConfig
 
-    program = _load_program(args.file)
+    program = _load_program(args.file, getattr(args, "lang", None))
     session = AnalysisSession(AnalysisConfig(budget=_budget_from_args(args)))
     pairs = reference_pairs(program)
     if not pairs:
@@ -191,7 +250,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.obs.events import write_jsonl
 
-    program = _load_program(args.file)
+    program = _load_program(args.file, getattr(args, "lang", None))
     pairs = reference_pairs(program)
     if not pairs:
         print("no testable reference pairs")
@@ -229,7 +288,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     queries = []
     for path in args.files:
-        program = _load_program(path)
+        program = _load_program(path, getattr(args, "lang", None))
         queries.extend(queries_from_program(program))
     if args.suite or not args.files:
         from repro.perfect import load_suite
@@ -261,7 +320,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     queries = []
     for path in args.files:
-        program = _load_program(path)
+        program = _load_program(path, getattr(args, "lang", None))
         queries.extend(queries_from_program(program))
     if not queries:
         from repro.perfect import load_suite
@@ -348,7 +407,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_parallelize(args: argparse.Namespace) -> int:
-    program = _load_program(args.file)
+    program = _load_program(args.file, getattr(args, "lang", None))
     for report in analyze_parallelism(program, jobs=args.jobs):
         status = "PARALLEL" if report.parallel else "serial  "
         print(f"[{status}] {report.loop}")
@@ -361,7 +420,7 @@ def _cmd_parallelize(args: argparse.Namespace) -> int:
 def _cmd_vectorize(args: argparse.Namespace) -> int:
     from repro.core.vectorize import vectorize
 
-    program = _load_program(args.file)
+    program = _load_program(args.file, getattr(args, "lang", None))
     if not program.statements:
         print("nothing to vectorize")
         return 0
@@ -379,7 +438,7 @@ def _cmd_vectorize(args: argparse.Namespace) -> int:
 def _cmd_dot(args: argparse.Namespace) -> int:
     from repro.core.graph import build_graph
 
-    program = _load_program(args.file)
+    program = _load_program(args.file, getattr(args, "lang", None))
     graph = build_graph(program, DependenceAnalyzer(memoizer=Memoizer()))
     print(graph.to_dot())
     return 0
@@ -395,7 +454,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     queries = []
     for path in args.files:
-        program = _load_program(path)
+        program = _load_program(path, getattr(args, "lang", None))
         queries.extend(queries_from_program(program))
     if args.suite or not args.files:
         from repro.perfect import load_suite
@@ -508,8 +567,41 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_extract(args: argparse.Namespace) -> int:
+    """Show what the frontends extracted (and refused) from a file."""
+    from repro.frontends import extract_source
+
+    text, name = _read_source(args.file)
+    language = _resolve_lang(args.file, args.lang)
+    extraction = extract_source(text, lang=language, name=name)
+    if args.json:
+        print(json.dumps(extraction.to_dict(), indent=2, sort_keys=True))
+        return EXIT_OK
+    summary = extraction.summary()
+    print(
+        f"{name}: language {language}, {summary['nests']} nest(s), "
+        f"{summary['statements']} statement(s), "
+        f"{summary['skipped']} skipped"
+    )
+    for nest in extraction.nests:
+        loop_vars = ", ".join(nest.loop_variables()) or "-"
+        print(
+            f"  nest {nest.index} [{nest.context}] {nest.span}: "
+            f"depth {nest.depth}, {len(nest.statements)} statement(s), "
+            f"loops ({loop_vars})"
+        )
+        for stmt in nest.statements:
+            reads = " + ".join(str(ref) for ref in stmt.reads) or "0"
+            print(f"    {stmt.label}: {stmt.write} = {reads}")
+    if extraction.symbols:
+        print("  symbolic: " + ", ".join(sorted(extraction.symbols)))
+    for record in extraction.skipped:
+        print(f"  skip {record}")
+    return EXIT_OK
+
+
 def _cmd_deps(args: argparse.Namespace) -> int:
-    program = _load_program(args.file)
+    program = _load_program(args.file, getattr(args, "lang", None))
     analyzer = DependenceAnalyzer(memoizer=Memoizer())
     count = 0
     for site1, site2 in reference_pairs(program):
@@ -655,13 +747,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 text = sys.stdin.read()
             else:
                 text = Path(args.file).read_text()
+            language = _resolve_lang(args.file, getattr(args, "lang", None))
             if args.op == "analyze_program":
-                result = client.analyze_program(text)
+                result = client.analyze_program(text, lang=language)
                 print(json.dumps(result, indent=2, sort_keys=True))
                 dependent = any(p["dependent"] for p in result["pairs"])
                 return EXIT_DEPENDENCE if dependent else EXIT_OK
             result = client.call(
-                args.op, {"source": text, "pair": args.pair}
+                args.op, {"source": text, "pair": args.pair, "lang": language}
             )
             print(json.dumps(result, indent=2, sort_keys=True))
             report = result["report"] if args.op == "explain" else result
@@ -703,6 +796,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         print(f"error: no such file: {path}", file=sys.stderr)
         return EXIT_USAGE
 
+    language = _resolve_lang(args.file, getattr(args, "lang", None))
+
     client = None
     session_id = None
     local_session = None
@@ -739,7 +834,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
             try:
                 summary = client.update_source(
-                    session_id, text, verify=args.verify
+                    session_id, text, verify=args.verify, lang=language
                 )
             except ServeError as err:
                 print(
@@ -754,17 +849,36 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 return True
             print(_watch_summary(index, summary, args.verify))
             return True
-        try:
-            result = compile_source(text, name=str(path), strict=False)
-        except LangError as err:
-            print(
-                f"warning: parse error: {err} (keeping last graph)",
-                file=sys.stderr,
-            )
-            return False
-        for message in result.skipped:
-            print(f"warning: skipped {message}", file=sys.stderr)
-        report = local_session.update(result.program, verify=args.verify)
+        if language == "loop":
+            try:
+                result = compile_source(text, name=str(path), strict=False)
+            except LangError as err:
+                print(
+                    f"warning: parse error: {err} (keeping last graph)",
+                    file=sys.stderr,
+                )
+                return False
+            for message in result.skipped:
+                print(f"warning: skipped {message}", file=sys.stderr)
+            program = result.program
+        else:
+            from repro.frontends import SkipReason, extract_source
+
+            extraction = extract_source(text, lang=language, name=str(path))
+            if not extraction.program.statements and any(
+                record.reason == SkipReason.PARSE_ERROR
+                for record in extraction.skipped
+            ):
+                print(
+                    f"warning: parse error: {extraction.skipped[0].detail} "
+                    "(keeping last graph)",
+                    file=sys.stderr,
+                )
+                return False
+            for record in extraction.skipped:
+                print(f"warning: skipped {record}", file=sys.stderr)
+            program = extraction.program
+        report = local_session.update(program, verify=args.verify)
         print(_watch_summary(index, report.summary(), report.verified))
         return True
 
@@ -811,12 +925,14 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_analyze = sub.add_parser("analyze", help="per-pair dependence report")
-    p_analyze.add_argument("file", help="mini-Fortran source file, or -")
+    p_analyze.add_argument("file", help="source file (.loop/.py/.c), or -")
+    _add_lang_flag(p_analyze)
     _add_budget_flags(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_par = sub.add_parser("parallelize", help="per-loop parallelism report")
-    p_par.add_argument("file", help="mini-Fortran source file, or -")
+    p_par.add_argument("file", help="source file (.loop/.py/.c), or -")
+    _add_lang_flag(p_par)
     p_par.add_argument(
         "-j",
         "--jobs",
@@ -828,8 +944,20 @@ def main(argv: list[str] | None = None) -> int:
     p_par.set_defaults(func=_cmd_parallelize)
 
     p_deps = sub.add_parser("deps", help="classified dependence edges")
-    p_deps.add_argument("file", help="mini-Fortran source file, or -")
+    p_deps.add_argument("file", help="source file (.loop/.py/.c), or -")
+    _add_lang_flag(p_deps)
     p_deps.set_defaults(func=_cmd_deps)
+
+    p_extract = sub.add_parser(
+        "extract",
+        help="show loop nests a frontend extracts from real source",
+    )
+    p_extract.add_argument("file", help="source file (.loop/.py/.c), or -")
+    _add_lang_flag(p_extract)
+    p_extract.add_argument(
+        "--json", action="store_true", help="dump the extraction as JSON"
+    )
+    p_extract.set_defaults(func=_cmd_extract)
 
     p_batch = sub.add_parser(
         "batch",
@@ -838,8 +966,9 @@ def main(argv: list[str] | None = None) -> int:
     p_batch.add_argument(
         "files",
         nargs="*",
-        help="mini-Fortran source files (none: the PERFECT corpus)",
+        help="source files, .loop/.py/.c (none: the PERFECT corpus)",
     )
+    _add_lang_flag(p_batch)
     p_batch.add_argument(
         "--suite",
         action="store_true",
@@ -918,7 +1047,8 @@ def main(argv: list[str] | None = None) -> int:
     p_explain = sub.add_parser(
         "explain", help="pretty-print one pair's full decision trace"
     )
-    p_explain.add_argument("file", help="mini-Fortran source file, or -")
+    p_explain.add_argument("file", help="source file (.loop/.py/.c), or -")
+    _add_lang_flag(p_explain)
     p_explain.add_argument(
         "--pair",
         type=int,
@@ -946,8 +1076,9 @@ def main(argv: list[str] | None = None) -> int:
     p_stats.add_argument(
         "files",
         nargs="*",
-        help="mini-Fortran source files (none: the PERFECT corpus)",
+        help="source files, .loop/.py/.c (none: the PERFECT corpus)",
     )
+    _add_lang_flag(p_stats)
     p_stats.add_argument(
         "--suite",
         action="store_true",
@@ -978,8 +1109,9 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument(
         "files",
         nargs="*",
-        help="mini-Fortran source files (none: the PERFECT corpus)",
+        help="source files, .loop/.py/.c (none: the PERFECT corpus)",
     )
+    _add_lang_flag(p_bench)
     p_bench.add_argument(
         "--scale",
         type=float,
@@ -1018,13 +1150,15 @@ def main(argv: list[str] | None = None) -> int:
     p_vec = sub.add_parser(
         "vectorize", help="distribute + vectorize loops (Allen-Kennedy)"
     )
-    p_vec.add_argument("file", help="mini-Fortran source file, or -")
+    p_vec.add_argument("file", help="source file (.loop/.py/.c), or -")
+    _add_lang_flag(p_vec)
     p_vec.set_defaults(func=_cmd_vectorize)
 
     p_dot = sub.add_parser(
         "dot", help="dependence graph as Graphviz DOT"
     )
-    p_dot.add_argument("file", help="mini-Fortran source file, or -")
+    p_dot.add_argument("file", help="source file (.loop/.py/.c), or -")
+    _add_lang_flag(p_dot)
     p_dot.set_defaults(func=_cmd_dot)
 
     p_serve = sub.add_parser(
@@ -1123,8 +1257,9 @@ def main(argv: list[str] | None = None) -> int:
         "file",
         nargs="?",
         default=None,
-        help="mini-Fortran source file, or - (not needed for control ops)",
+        help="source file (.loop/.py/.c), or - (not needed for control ops)",
     )
+    _add_lang_flag(p_query)
     p_query.add_argument(
         "--endpoint",
         default=None,
@@ -1164,7 +1299,8 @@ def main(argv: list[str] | None = None) -> int:
         "watch",
         help="incremental re-analysis of a file as it is edited",
     )
-    p_watch.add_argument("file", help="mini-Fortran source file to watch")
+    p_watch.add_argument("file", help="source file (.loop/.py/.c) to watch")
+    _add_lang_flag(p_watch)
     p_watch.add_argument(
         "--interval",
         type=float,
@@ -1225,6 +1361,15 @@ def main(argv: list[str] | None = None) -> int:
         # batch checkpoint's completed shards) stays on disk.
         print("interrupted", file=sys.stderr)
         return EXIT_INTERRUPTED
+    except BrokenPipeError:
+        # Downstream closed stdout (``repro extract ... | head``): the
+        # Unix convention is a quiet stop, not a traceback.  Point
+        # stdout at /dev/null so the interpreter's exit-time flush
+        # cannot raise a second BrokenPipeError.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return EXIT_OK
     except Exception as err:  # noqa: BLE001 — map anything else to 3
         import traceback
 

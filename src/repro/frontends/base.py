@@ -1,0 +1,233 @@
+"""Shared types of the real-source frontend layer.
+
+A frontend turns source text written in a *real* language (Python, a C
+subset — see :mod:`repro.frontends.pyfront` / :mod:`repro.frontends.cfront`)
+into the same :class:`~repro.lang.ast_nodes.SourceProgram` the
+mini-Fortran parser produces, so the whole existing pipeline —
+prepass optimizer, affine lowering, batch engine, serve daemon,
+incremental sessions — applies unchanged.  The contract every
+frontend honors:
+
+* **affine** index expressions and loop bounds (linear in loop
+  variables with integer literal coefficients) lower exactly;
+* **free loop-invariant names** become symbolic terms, exactly like a
+  mini-Fortran ``read(n)`` declaration;
+* **everything else is skipped, never silently dropped**: each skipped
+  construct produces a :class:`SkipRecord` with a *stable reason code*
+  from :class:`SkipReason` plus the source line, so callers (and CI
+  goldens) can pin what the frontend refused and why.
+
+Extraction results are deterministic: nests, statements and skip
+records appear in source order, and re-extracting identical text
+yields identical records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.program import Program, Statement
+
+__all__ = [
+    "SkipReason",
+    "SkipRecord",
+    "SourceSpan",
+    "ExtractedNest",
+    "ExtractResult",
+    "Untranslatable",
+    "OPAQUE_ARRAY",
+]
+
+# Marker array used to poison scalars whose defining expression a
+# frontend cannot translate: ``k = <opaque>`` becomes a read of this
+# pseudo-array, which the optimizer can never fold into a closed form,
+# so the lowering stage rejects any subscript using ``k`` (the scalar
+# is not provably loop-invariant).  The name contains characters no
+# surface language accepts in an identifier, so it can never collide
+# with (or leak into) real program text.
+OPAQUE_ARRAY = "__opaque?"
+
+
+class SkipReason:
+    """Stable machine-readable codes for skipped constructs.
+
+    These strings are part of the frontend contract — CI goldens and
+    downstream tools match on them — so existing codes must never be
+    renamed, only new ones added.
+    """
+
+    NON_RANGE_LOOP = "non-range-loop"  # Python for not over range(...)
+    NON_NAME_TARGET = "non-name-target"  # loop variable isn't a plain name
+    NON_LITERAL_STEP = "non-literal-step"  # range/for step isn't a literal int
+    ZERO_STEP = "zero-step"
+    MALFORMED_LOOP = "malformed-loop"  # C for(...) outside the subset
+    NONAFFINE_SUBSCRIPT = "nonaffine-subscript"
+    NONAFFINE_BOUND = "nonaffine-bound"
+    SLICE_SUBSCRIPT = "slice-subscript"  # A[i:j] / A[::2]
+    CALL_EXPRESSION = "call-expression"  # call in a lowered position
+    POINTER = "pointer"  # *p, &x, p->f, s.f (C)
+    FLOAT_INDEX = "float-index"  # non-integer literal in a lowered position
+    UNSUPPORTED_STATEMENT = "unsupported-statement"  # while/try/with/...
+    UNSUPPORTED_EXPRESSION = "unsupported-expression"
+    CONTROL_FLOW = "control-flow"  # break/continue/goto inside a nest
+    ALIAS = "alias"  # store through a name bound from another value
+    RANK_MISMATCH = "rank-mismatch"  # one array, two subscript ranks
+    SCALAR_NOT_INVARIANT = "scalar-not-invariant"  # from the lowering stage
+    NONNORMALIZABLE_STEP = "nonnormalizable-step"  # from the lowering stage
+    LOWERING = "lowering"  # any other lowering-stage refusal
+    PARSE_ERROR = "parse-error"
+
+    ALL = (
+        NON_RANGE_LOOP,
+        NON_NAME_TARGET,
+        NON_LITERAL_STEP,
+        ZERO_STEP,
+        MALFORMED_LOOP,
+        NONAFFINE_SUBSCRIPT,
+        NONAFFINE_BOUND,
+        SLICE_SUBSCRIPT,
+        CALL_EXPRESSION,
+        POINTER,
+        FLOAT_INDEX,
+        UNSUPPORTED_STATEMENT,
+        UNSUPPORTED_EXPRESSION,
+        CONTROL_FLOW,
+        ALIAS,
+        RANK_MISMATCH,
+        SCALAR_NOT_INVARIANT,
+        NONNORMALIZABLE_STEP,
+        LOWERING,
+        PARSE_ERROR,
+    )
+
+
+class Untranslatable(Exception):
+    """Raised inside a frontend when a construct leaves the subset.
+
+    Carries the stable reason code; the frontend catches it at
+    statement granularity and converts it to a :class:`SkipRecord`.
+    """
+
+    def __init__(self, reason: str, detail: str, line: int = 0):
+        super().__init__(detail)
+        self.reason = reason
+        self.detail = detail
+        self.line = line
+
+
+@dataclass(frozen=True)
+class SkipRecord:
+    """One construct the frontend declined, with a stable reason code."""
+
+    reason: str
+    line: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"line {self.line}: [{self.reason}] {self.detail}"
+
+    def to_dict(self) -> dict:
+        return {"reason": self.reason, "line": self.line, "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """An inclusive line range in the original source file."""
+
+    line: int
+    end_line: int
+
+    def contains(self, line: int) -> bool:
+        return self.line <= line <= self.end_line
+
+    def __str__(self) -> str:
+        if self.end_line == self.line:
+            return f"line {self.line}"
+        return f"lines {self.line}-{self.end_line}"
+
+
+@dataclass
+class ExtractedNest:
+    """One outermost loop nest extracted from real source.
+
+    ``statements`` are the lowered IR statements whose enclosing loops
+    all live inside this nest's source span; ``context`` names the
+    surrounding function (``<module>`` / ``<file>`` at top level).
+    """
+
+    index: int
+    language: str
+    context: str
+    span: SourceSpan
+    statements: list[Statement] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        """Deepest loop nesting among the nest's statements."""
+        return max((s.nest.depth for s in self.statements), default=0)
+
+    def loop_variables(self) -> tuple[str, ...]:
+        """All loop variables, outermost-first, first occurrence wins."""
+        seen: list[str] = []
+        for stmt in self.statements:
+            for var in stmt.nest.variables:
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    def program(self) -> Program:
+        """This nest's statements alone, as an analyzable program."""
+        return Program(
+            f"{self.context}:{self.span.line}", list(self.statements)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "language": self.language,
+            "context": self.context,
+            "line": self.span.line,
+            "end_line": self.span.end_line,
+            "depth": self.depth,
+            "loop_variables": list(self.loop_variables()),
+            "statements": len(self.statements),
+        }
+
+
+@dataclass
+class ExtractResult:
+    """Everything one extraction produced, in deterministic order.
+
+    ``program`` holds *all* lowered statements (inside nests or not) in
+    source order — the thing ``analyze``/``deps``/``batch`` consume;
+    ``nests`` groups the subset that lives inside loop nests for
+    per-nest reporting; ``skipped`` carries every refusal.
+    """
+
+    language: str
+    name: str
+    program: Program
+    nests: list[ExtractedNest] = field(default_factory=list)
+    skipped: list[SkipRecord] = field(default_factory=list)
+    symbols: frozenset[str] = frozenset()
+
+    def skip_reasons(self) -> list[str]:
+        """Sorted unique reason codes over all skip records."""
+        return sorted({record.reason for record in self.skipped})
+
+    def summary(self) -> dict:
+        return {
+            "language": self.language,
+            "name": self.name,
+            "nests": len(self.nests),
+            "statements": len(self.program.statements),
+            "skipped": len(self.skipped),
+            "skip_reasons": self.skip_reasons(),
+        }
+
+    def to_dict(self) -> dict:
+        out = self.summary()
+        out["nest_records"] = [nest.to_dict() for nest in self.nests]
+        out["skip_records"] = [record.to_dict() for record in self.skipped]
+        out["symbols"] = sorted(self.symbols)
+        return out

@@ -420,7 +420,14 @@ def check_case(
 
     # 7. the full source path: unparse -> parse -> optimize -> analyze.
     if e2e and make_analyzer is None:
-        _check_source_roundtrip(case, result.dependent, vectors, dirs_exact, fail)
+        compiled = _check_source_roundtrip(
+            case, result.dependent, vectors, dirs_exact, fail
+        )
+        # 8. the Python frontend path: emit the compiled program as real
+        # Python, re-extract it through repro.frontends, and demand the
+        # bit-identical dependence graph.
+        if compiled is not None:
+            _check_python_roundtrip(compiled, fail)
 
     return outcome
 
@@ -431,7 +438,8 @@ def _check_source_roundtrip(
     vectors: frozenset[tuple[str, ...]],
     dirs_exact: bool,
     fail: Callable[[str, str], None],
-) -> None:
+):
+    """Check the unparse->parse path; returns the compiled Program."""
     from repro.api import AnalysisSession
     from repro.ir.program import reference_pairs
     from repro.lang.errors import LangError
@@ -442,7 +450,7 @@ def _check_source_roundtrip(
         compiled = compile_source(source, name="<fuzz>", strict=False)
     except LangError as err:
         fail("e2e-source", f"unparsed case does not re-parse: {err}")
-        return
+        return None
     wanted = {
         (case.ref1.array, case.ref1.subscripts),
         (case.ref2.array, case.ref2.subscripts),
@@ -480,12 +488,44 @@ def _check_source_roundtrip(
                     f"source-path vectors {sorted(through)} != in-memory "
                     f"{sorted(vectors)}",
                 )
-        return
+        return compiled.program
     fail(
         "e2e-source",
         "compiled program lost the fuzzed reference pair "
         f"(source:\n{source})",
     )
+    return None
+
+
+def _check_python_roundtrip(program, fail: Callable[[str, str], None]) -> None:
+    """The emitted-Python path must reproduce the native graph exactly.
+
+    ``program_to_python`` renders the compiled fuzz program as an
+    ordinary Python function; re-extracting it through the Python
+    frontend and rebuilding the dependence graph must give edge dicts
+    bit-identical to the native program's — the frontend contract.
+    """
+    from repro.core.analyzer import DependenceAnalyzer
+    from repro.core.graph import build_graph
+    from repro.frontends import extract_source, program_to_python
+
+    text = program_to_python(program)
+    extraction = extract_source(text, lang="python", name="<fuzz>")
+    if extraction.skipped:
+        fail(
+            "e2e-python",
+            f"emitted Python lost statements: {extraction.skipped[0]} "
+            f"(source:\n{text})",
+        )
+        return
+    native = build_graph(program, DependenceAnalyzer()).edge_dicts()
+    mirrored = build_graph(extraction.program, DependenceAnalyzer()).edge_dicts()
+    if mirrored != native:
+        fail(
+            "e2e-python",
+            f"Python round-trip graph differs: {len(mirrored)} vs "
+            f"{len(native)} edges (source:\n{text})",
+        )
 
 
 def _expand(vector: tuple[str, ...]) -> Iterator[tuple[str, ...]]:

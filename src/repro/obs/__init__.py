@@ -34,6 +34,7 @@ from repro.obs.events import (
     read_jsonl,
     write_jsonl,
 )
+from repro.obs.hostmeta import host_metadata
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.render import format_trace
 from repro.obs.sinks import (
@@ -68,6 +69,7 @@ __all__ = [
     "QueryScopedSink",
     "merge_event_streams",
     "MetricsRegistry",
+    "host_metadata",
     "Histogram",
     "format_trace",
 ]

@@ -1,0 +1,27 @@
+"""Host metadata stamped into every benchmark artifact.
+
+Raw wall-clock numbers are only comparable against the machine that
+recorded them; each ``BENCH_*.json`` carries this block so the perf
+trajectory across commits can separate code changes from runner
+changes.  The regression gate itself consumes only within-run ratios
+and exact workload counts, never these fields.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+__all__ = ["host_metadata"]
+
+
+def host_metadata() -> dict:
+    return {
+        "cpus": os.cpu_count() or 1,
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+    }

@@ -21,7 +21,7 @@ op                   params → result
 ``analyze``          ``query`` (IR serde) *or* ``source`` + ``pair``;
                      optional ``directions`` (default true) →
                      one canonical dependence report
-``analyze_program``  ``source`` (mini-Fortran text); optional
+``analyze_program``  ``source`` (source text); optional
                      ``directions`` → per-pair reports + batch summary
 ``explain``          same params as ``analyze`` → report + rendered
                      decision trace
@@ -38,6 +38,13 @@ op                   params → result
 ``graph``            ``session`` → retained dependence graph as canonical
                      ``edges`` serde + ``dot`` text + last-update summary
 ===================  =======================================================
+
+Every op that takes ``source`` also accepts an optional ``lang``
+(``"loop"`` / ``"python"`` / ``"c"``, default ``"loop"``): non-loop
+text goes through the matching :mod:`repro.frontends` extractor before
+analysis.  Workers advertise the accepted list under ``frontends`` in
+their ``health`` response; this is additive, so the protocol version
+is unchanged.
 
 The **canonical report** encoding (:func:`report_to_wire`) contains
 only the semantic answer — verdict, deciding test, exactness,
@@ -122,7 +129,7 @@ class ErrorCode:
     BAD_REQUEST = "bad_request"  # missing/invalid fields or params
     UNSUPPORTED = "unsupported_op"  # unknown operation name
     VERSION = "version_mismatch"  # client protocol version != server's
-    SOURCE = "source_error"  # mini-Fortran source failed to compile
+    SOURCE = "source_error"  # source text failed to compile/extract
     OVERLOADED = "overloaded"  # backpressure: try again later
     SHUTTING_DOWN = "shutting_down"  # server is draining
     INTERNAL = "internal_error"  # unexpected server-side failure

@@ -627,7 +627,7 @@ class DependenceServer:
                     ErrorCode.BAD_REQUEST, f"malformed query: {err!r}"
                 ) from err
         if "source" in params:
-            program = self._compile(params["source"])
+            program = self._compile(params["source"], params.get("lang"))
             pairs = reference_pairs(program)
             index = params.get("pair", 0)
             if not isinstance(index, int) or not 0 <= index < len(pairs):
@@ -642,9 +642,29 @@ class DependenceServer:
             ErrorCode.BAD_REQUEST, "params need either 'query' or 'source'"
         )
 
-    def _compile(self, source: Any) -> Program:
+    def _compile(self, source: Any, lang: Any = None) -> Program:
         if not isinstance(source, str):
             raise ProtocolError(ErrorCode.BAD_REQUEST, "'source' must be text")
+        if lang is None:
+            lang = "loop"
+        if lang != "loop":
+            from repro.frontends import LANGUAGES, SkipReason, extract_source
+
+            if lang not in LANGUAGES:
+                raise ProtocolError(
+                    ErrorCode.BAD_REQUEST,
+                    f"unknown lang {lang!r}; expected one of "
+                    f"{', '.join(LANGUAGES)}",
+                )
+            extraction = extract_source(source, lang=lang, name="<request>")
+            if not extraction.program.statements and any(
+                record.reason == SkipReason.PARSE_ERROR
+                for record in extraction.skipped
+            ):
+                raise ProtocolError(
+                    ErrorCode.SOURCE, extraction.skipped[0].detail
+                )
+            return extraction.program
         from repro.opt import compile_source
 
         try:
@@ -740,7 +760,9 @@ class DependenceServer:
             raise ProtocolError(
                 ErrorCode.BAD_REQUEST, "analyze_program needs 'source'"
             )
-        program = self._compile(request.params["source"])
+        program = self._compile(
+            request.params["source"], request.params.get("lang")
+        )
         want_directions = bool(request.params.get("directions", True))
         queries = queries_from_program(program)
         use_pool = len(queries) >= self.config.batch_threshold
@@ -835,7 +857,8 @@ class DependenceServer:
         self._session_counter += 1
         sid = f"s{self._session_counter}"
         source = request.params.get("source")
-        program = self._compile(source) if source is not None else None
+        lang = request.params.get("lang")
+        program = self._compile(source, lang) if source is not None else None
         verify = bool(request.params.get("verify", False))
 
         def work() -> dict:
@@ -863,7 +886,9 @@ class DependenceServer:
             raise ProtocolError(
                 ErrorCode.BAD_REQUEST, "update_source needs 'source'"
             )
-        program = self._compile(request.params["source"])
+        program = self._compile(
+            request.params["source"], request.params.get("lang")
+        )
         verify = bool(request.params.get("verify", False))
 
         def work() -> dict:
@@ -936,6 +961,9 @@ class DependenceServer:
             # Capability advertisement (protocol v3): incremental
             # session ops are served here.
             "sessions": True,
+            # Source languages accepted via the 'lang' param on
+            # analyze/explain/analyze_program/open_session/update_source.
+            "frontends": ["loop", "python", "c"],
             "worker_id": self.config.worker_id,
             "inflight": self._admitted,
             "connections": self._sessions_open,

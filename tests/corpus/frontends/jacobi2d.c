@@ -1,0 +1,11 @@
+/* Jacobi 2D: two sweeps, compute into B then copy back into A. */
+
+void jacobi2d(int n) {
+    int i, j;
+    for (i = 1; i < n - 1; i++)
+        for (j = 1; j < n - 1; j++)
+            B[i][j] = A[i - 1][j] + A[i + 1][j] + A[i][j - 1] + A[i][j + 1];
+    for (i = 1; i < n - 1; i++)
+        for (j = 1; j < n - 1; j++)
+            A[i][j] = B[i][j];
+}

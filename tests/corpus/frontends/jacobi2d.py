@@ -1,0 +1,10 @@
+"""Jacobi 2D: two sweeps, compute into B then copy back into A."""
+
+
+def jacobi2d(A, B, n):
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            B[i][j] = A[i - 1][j] + A[i + 1][j] + A[i][j - 1] + A[i][j + 1]
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            A[i][j] = B[i][j]

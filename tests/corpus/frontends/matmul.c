@@ -1,0 +1,12 @@
+/* Square matrix multiply, ijk order, with a zeroing sweep. */
+
+void matmul(int n) {
+    int i, j, k;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+            C[i][j] = 0;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+            for (k = 0; k < n; k++)
+                C[i][j] += A[i][k] * B[k][j];
+}

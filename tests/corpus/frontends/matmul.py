@@ -1,0 +1,11 @@
+"""Square matrix multiply, ijk order, with a zeroing sweep."""
+
+
+def matmul(A, B, C, n):
+    for i in range(0, n):
+        for j in range(0, n):
+            C[i][j] = 0
+    for i in range(0, n):
+        for j in range(0, n):
+            for k in range(0, n):
+                C[i][j] += A[i][k] * B[k][j]

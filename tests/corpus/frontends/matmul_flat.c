@@ -1,0 +1,12 @@
+/* Matrix multiply over flat row-major buffers with a literal stride. */
+
+void matmul_flat(void) {
+    int i, j, k;
+    for (i = 0; i < 64; i++)
+        for (j = 0; j < 64; j++)
+            C[i * 64 + j] = 0;
+    for (i = 0; i < 64; i++)
+        for (j = 0; j < 64; j++)
+            for (k = 0; k < 64; k++)
+                C[i * 64 + j] += A[i * 64 + k] * B[k * 64 + j];
+}

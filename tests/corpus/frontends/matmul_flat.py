@@ -1,0 +1,16 @@
+"""Matrix multiply over flat row-major buffers with a literal stride.
+
+The linearized subscript ``i * 64 + j`` stays affine because the
+stride is an integer literal; a symbolic stride would be skipped as
+``nonaffine-subscript``.
+"""
+
+
+def matmul_flat(A, B, C):
+    for i in range(0, 64):
+        for j in range(0, 64):
+            C[i * 64 + j] = 0
+    for i in range(0, 64):
+        for j in range(0, 64):
+            for k in range(0, 64):
+                C[i * 64 + j] += A[i * 64 + k] * B[k * 64 + j]

@@ -1,0 +1,12 @@
+/* Row-sum reduction into a vector, then a running prefix pass. */
+
+void rowsum(int n, int m) {
+    int i, j;
+    for (i = 0; i < n; i++)
+        s[i] = 0;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < m; j++)
+            s[i] += A[i][j];
+    for (i = 1; i < n; i++)
+        s[i] += s[i - 1];
+}

@@ -1,0 +1,11 @@
+"""Row-sum reduction into a vector, then a running prefix pass."""
+
+
+def rowsum(A, s, n, m):
+    for i in range(0, n):
+        s[i] = 0
+    for i in range(0, n):
+        for j in range(0, m):
+            s[i] += A[i][j]
+    for i in range(1, n):
+        s[i] += s[i - 1]

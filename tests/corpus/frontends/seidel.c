@@ -1,0 +1,8 @@
+/* Gauss-Seidel 2D sweep: an in-place stencil, every edge carried. */
+
+void seidel(int n) {
+    int i, j;
+    for (i = 1; i < n - 1; i++)
+        for (j = 1; j < n - 1; j++)
+            A[i][j] = A[i - 1][j] + A[i + 1][j] + A[i][j - 1] + A[i][j + 1] + A[i][j];
+}

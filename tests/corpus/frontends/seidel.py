@@ -1,0 +1,7 @@
+"""Gauss-Seidel 2D sweep: an in-place stencil, every edge carried."""
+
+
+def seidel(A, n):
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            A[i][j] = A[i - 1][j] + A[i + 1][j] + A[i][j - 1] + A[i][j + 1] + A[i][j]

@@ -1,0 +1,33 @@
+/* Deliberately mixed file: one clean nest plus one of each refusal.
+ *
+ * Every construct the C frontend cannot translate must surface as a
+ * skip record with its stable reason code — never be silently
+ * dropped.  The golden file pins the exact code list.
+ */
+
+void clean(int n) {
+    int i;
+    for (i = 1; i < n; i++)
+        A[i] = A[i - 1] + B[i];
+}
+
+void refusals(int n, int m) {
+    int i;
+    int *p;                    /* pointer declarator */
+    while (n > 0)              /* unsupported-statement */
+        n = n - 1;
+    for (i = 0; i < n; i += m) /* non-literal-step */
+        A[i] = 0;
+    for (i = 0; i < n; i++)
+        A[i * m] = 0;          /* nonaffine-subscript (symbolic stride) */
+    for (i = 0; i < n; i++)
+        p[i] = 0;              /* pointer */
+    for (i = 0; i < n; i++)
+        A[i % 4] = 0;          /* unsupported-expression */
+    for (i = n; i > 0; i++)    /* malformed-loop (runs away from bound) */
+        A[i] = 0;
+    for (i = 0; i < n; i++) {
+        A[i] = B[i];
+        continue;              /* control-flow */
+    }
+}

@@ -1,0 +1,32 @@
+"""Deliberately mixed file: one clean nest plus one of each refusal.
+
+Every construct below that the Python frontend cannot translate must
+surface as a skip record with its stable reason code — never be
+silently dropped.  The golden file pins the exact code list.
+"""
+
+
+def clean(A, B, n):
+    for i in range(1, n):
+        A[i] = A[i - 1] + B[i]
+
+
+def refusals(A, B, items, f, n, m):
+    for x in items:  # non-range-loop
+        A[x] = 0
+    while n > 0:  # unsupported-statement
+        n -= 1
+    for i in range(0, n, m):  # non-literal-step
+        A[i] = 0
+    for i in range(0, n):
+        A[i * m] = 0  # nonaffine-subscript (symbolic stride)
+    for i in range(0, n):
+        A[i:n] = 0  # slice-subscript
+    for i in range(0, n):
+        A[f(i)] = 0  # call-expression
+    for i in range(0, n):
+        A[i] = B[i]
+        break  # control-flow
+    row = A
+    for i in range(0, n):
+        row[i] = 0  # alias (row is scalar-assigned)

@@ -1,0 +1,10 @@
+/* Forward substitution against a unit lower-triangular matrix. */
+
+void trisolve(int n) {
+    int i, j;
+    for (i = 0; i < n; i++)
+        x[i] = b[i];
+    for (i = 0; i < n; i++)
+        for (j = 0; j < i; j++)
+            x[i] -= L[i][j] * x[j];
+}

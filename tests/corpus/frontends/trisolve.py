@@ -1,0 +1,14 @@
+"""Forward substitution against a unit lower-triangular matrix.
+
+The inner loop's triangular bound ``range(0, i)`` is affine in the
+outer induction variable — the shape the paper's single-variable and
+Fourier-Motzkin machinery is built for.
+"""
+
+
+def trisolve(L, x, b, n):
+    for i in range(0, n):
+        x[i] = b[i]
+    for i in range(0, n):
+        for j in range(0, i):
+            x[i] -= L[i][j] * x[j]
