@@ -57,6 +57,11 @@ GATED_METRICS: tuple[tuple[str, str, str], ...] = (
     # the pairs.  Both are within-run ratios, noise-stable.
     ("BENCH_incremental.json", "warm_delta_speedup", "higher"),
     ("BENCH_incremental.json", "requery_fraction_max", "lower"),
+    # Clean-path cost of the resilient client (retry loop + breaker
+    # admission per call) as a within-run ratio vs a plain client on
+    # the same warm stream.  The benchmark hard-fails above 1.05;
+    # this gate catches slower drift against the baseline.
+    ("BENCH_resilience.json", "resilient_overhead", "lower"),
 )
 
 # Exact workload invariants: the benchmark must still measure the same
@@ -83,6 +88,7 @@ EXACT_METRICS: tuple[tuple[str, str], ...] = (
     ("BENCH_frontend.json", "skipped"),
     ("BENCH_frontend.json", "pairs"),
     ("BENCH_frontend.json", "edges"),
+    ("BENCH_resilience.json", "queries"),
 )
 
 

@@ -1,0 +1,124 @@
+"""Benchmark: what client resilience costs when nothing goes wrong.
+
+The retry/breaker machinery must be free on the clean path — every
+``call`` now passes through a circuit-breaker admission check and a
+retry loop, and this benchmark prices that plumbing.  One server is
+warmed with the full query stream, then the same warm stream is timed
+through two clients:
+
+* **plain** — no RetryPolicy, no shared registry: the PR-7 shape;
+* **resilient** — RetryPolicy + CircuitBreaker + counter registry,
+  exactly what ``repro query --retries`` constructs.
+
+Both passes are min-of-``ROUNDS`` and interleaved (plain, resilient,
+plain, ...) so drift on a shared runner hits both sides equally.
+Emits ``BENCH_resilience.json`` with the within-run overhead ratio
+(resilient / plain, lower is better); the run itself hard-fails when
+the clean-path overhead exceeds 5%.
+"""
+
+import json
+import pathlib
+import threading
+import time
+
+from repro.core.engine import queries_from_suite
+from repro.ir.serde import query_to_dict
+from repro.obs.hostmeta import host_metadata
+from repro.obs.metrics import MetricsRegistry
+from repro.perfect import load_suite
+from repro.serve.client import CircuitBreaker, Client, RetryPolicy
+from repro.serve.server import DependenceServer, ServeConfig
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+)
+SCALE = 0.02
+ROUNDS = 3
+MAX_OVERHEAD = 1.05
+
+
+def _wire_queries():
+    queries = queries_from_suite(
+        load_suite(include_symbolic=True, scale=SCALE)
+    )
+    return [
+        {
+            "query": query_to_dict(q.ref1, q.nest1, q.ref2, q.nest2),
+            "directions": True,
+        }
+        for q in queries
+    ]
+
+
+def _timed_pass(client, params_list) -> float:
+    start = time.perf_counter()
+    for params in params_list:
+        result = client.analyze(**params)
+        assert "dependent" in result
+    return time.perf_counter() - start
+
+
+def test_bench_resilience_overhead(benchmark, capsys):
+    """RetryPolicy + breaker cost <=5% on a warm clean-path stream."""
+    params_list = _wire_queries()
+    server = DependenceServer(
+        ServeConfig(announce=False, queue_limit=50_000)
+    )
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert server.started.wait(10)
+    endpoint = f"tcp://{server.bound_host}:{server.bound_port}"
+
+    def measure():
+        plain = Client(endpoint, timeout=120.0, retry_for=5.0)
+        resilient = Client(
+            endpoint,
+            timeout=120.0,
+            retry_for=5.0,
+            retry=RetryPolicy(),
+            breaker=CircuitBreaker(),
+            registry=MetricsRegistry(),
+        )
+        with plain, resilient:
+            _timed_pass(plain, params_list)  # warm the server once
+            plain_times, resilient_times = [], []
+            for _ in range(ROUNDS):
+                plain_times.append(_timed_pass(plain, params_list))
+                resilient_times.append(_timed_pass(resilient, params_list))
+            # The clean path must never have needed the machinery.
+            assert resilient.registry.get("client.retries") == 0
+            assert resilient.registry.get("client.reconnects") == 0
+        return min(plain_times), min(resilient_times)
+
+    plain_s, resilient_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    server.request_shutdown()
+    thread.join(15)
+
+    n = len(params_list)
+    overhead = resilient_s / plain_s
+    payload = {
+        **host_metadata(),
+        "queries": n,
+        "rounds": ROUNDS,
+        "plain_warm_s": round(plain_s, 4),
+        "resilient_warm_s": round(resilient_s, 4),
+        "plain_warm_qps": round(n / plain_s, 1),
+        "resilient_warm_qps": round(n / resilient_s, 1),
+        "resilient_overhead": round(overhead, 4),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    with capsys.disabled():
+        print()
+        print(
+            f"  plain {payload['plain_warm_qps']} qps, resilient "
+            f"{payload['resilient_warm_qps']} qps "
+            f"(overhead x{overhead:.3f})"
+        )
+        print(f"  wrote {BENCH_PATH.name}")
+
+    # Acceptance: resilience is free when nothing fails.
+    assert overhead <= MAX_OVERHEAD, (
+        f"clean-path overhead x{overhead:.3f} exceeds x{MAX_OVERHEAD}"
+    )

@@ -17,11 +17,27 @@ End-to-end, at the process level:
 5. dump the router's merged metrics to ``cluster_stats.json`` as the
    CI artifact.
 
+With ``--netchaos`` the script runs the *resilience* acceptance storm
+instead: a seeded :class:`~repro.robust.netchaos.ChaosProxy` sits
+between the client and the router, injecting delays, drops, resets and
+torn frames while
+
+1. a resilient client pushes 500 fuzz queries through the proxy in
+   pipelined chunks, with one worker ``kill -9``'d mid-storm — zero
+   lost queries, every answer bit-identical to serial
+   ``analyze_batch``;
+2. a durable incremental session applies 50 edits through the same
+   proxy (another worker dies mid-session) and its final graph is
+   bit-identical to an uninterrupted ``full_graph`` run;
+3. the ``client.*`` and ``netchaos.*`` counters land in
+   ``netchaos_stats.json`` as the CI artifact.
+
 Exits 0 when all checks pass, 1 otherwise.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import pathlib
@@ -45,6 +61,11 @@ N_QUERIES = 200
 N_CLIENTS = 8
 N_WORKERS = 4
 STATS_OUT = "cluster_stats.json"
+
+NETCHAOS_QUERIES = 500
+NETCHAOS_EDITS = 50
+NETCHAOS_CHUNK = 25
+NETCHAOS_STATS_OUT = "netchaos_stats.json"
 
 
 def build_workload():
@@ -161,6 +182,231 @@ def dump_stats(endpoint: str) -> None:
     print(f"wrote {STATS_OUT}")
 
 
+def build_fuzz_workload(n: int):
+    """n fuzz queries plus the serial batch engine's wire answers."""
+    from repro.core.engine import PairQuery
+    from repro.fuzz.generator import generate_cases
+
+    cases = generate_cases(seed=7, iterations=n)
+    queries = [
+        PairQuery(case.ref1, case.nest1, case.ref2, case.nest2)
+        for case in cases
+    ]
+    serial = analyze_batch(queries, jobs=1, want_directions=True)
+    expected = [
+        protocol.report_to_wire(
+            DependenceReport.from_results(
+                str(outcome.query.ref1),
+                str(outcome.query.ref2),
+                outcome.result,
+                outcome.directions,
+            )
+        )
+        for outcome in serial.outcomes
+    ]
+    calls = [
+        (
+            "analyze",
+            {
+                "query": query_to_dict(q.ref1, q.nest1, q.ref2, q.nest2),
+                "directions": True,
+            },
+        )
+        for q in queries
+    ]
+    return calls, expected
+
+
+def build_session_workload(edits: int):
+    """An edit storm plus the clean final graph it must converge to."""
+    import random
+
+    from repro.core.incremental import full_graph
+    from repro.fuzz.edits import mutate, storm_program
+    from repro.lang.unparse import program_to_source
+
+    rng = random.Random(41)
+    program = storm_program(41, statements=8, arrays=4)
+    sources = [program_to_source(program)]
+    for _ in range(edits):
+        program, _ = mutate(program, rng, arrays=4)
+        sources.append(program_to_source(program))
+    reference = full_graph(program)
+    return sources, reference.edge_dicts(), reference.to_dot()
+
+
+def run_netchaos(seed: int) -> int:
+    from repro.robust.netchaos import ChaosProxy, NetFaultPlan
+    from repro.serve.client import CircuitBreaker, RetryPolicy
+
+    print(
+        f"building workloads: {NETCHAOS_QUERIES} fuzz queries + "
+        f"{NETCHAOS_EDITS}-edit session, serial references ..."
+    )
+    calls, expected = build_fuzz_workload(NETCHAOS_QUERIES)
+    sources, ref_edges, ref_dot = build_session_workload(NETCHAOS_EDITS)
+
+    print(f"starting --cluster {N_WORKERS} ...")
+    proc, announce = start_cluster()
+    pids = {w["id"]: w["pid"] for w in announce["workers"]}
+
+    # Rates are calibrated to the retry budget (see the in-process twin
+    # in tests/test_cluster.py): each fatal fault costs a retry round,
+    # and drops additionally cost a socket timeout.
+    plan = NetFaultPlan(
+        seed=seed,
+        delay_rate=0.02,
+        drop_rate=0.001,
+        reset_rate=0.006,
+        torn_rate=0.006,
+        delay_s=0.005,
+    )
+    proxy = ChaosProxy(plan, announce["host"], announce["port"])
+    proxy_thread = threading.Thread(target=proxy.run, daemon=True)
+    proxy_thread.start()
+    assert proxy.started.wait(10), "proxy did not start"
+    endpoint = f"tcp://{proxy.bound_host}:{proxy.bound_port}"
+
+    def resilient_client() -> Client:
+        return Client(
+            endpoint,
+            timeout=5.0,
+            retry_for=10.0,
+            retry=RetryPolicy(attempts=12, base_delay_s=0.01, deadline_s=300.0),
+            breaker=CircuitBreaker(failure_threshold=100_000),
+        )
+
+    try:
+        print(
+            f"chaos storm on {endpoint} (seed {seed}): "
+            f"{NETCHAOS_QUERIES} queries in chunks of {NETCHAOS_CHUNK}, "
+            f"kill -9 of w1 (pid {pids['w1']}) mid-storm ..."
+        )
+        client = resilient_client()
+        results = []
+        with client:
+            for start in range(0, len(calls), NETCHAOS_CHUNK):
+                if start == len(calls) // 2:
+                    os.kill(pids["w1"], signal.SIGKILL)
+                results.extend(
+                    client.call_many(calls[start : start + NETCHAOS_CHUNK])
+                )
+            query_counters = client.registry.counter_snapshot()["scalars"]
+        if len(results) != len(expected):
+            print(
+                f"FAIL: {len(results)}/{len(expected)} answers",
+                file=sys.stderr,
+            )
+            return 1
+        mismatches = [
+            i for i, (g, w) in enumerate(zip(results, expected)) if g != w
+        ]
+        if mismatches:
+            i = mismatches[0]
+            print(
+                f"FAIL: {len(mismatches)} answers diverged; first at "
+                f"{i}: {results[i]!r} != {expected[i]!r}",
+                file=sys.stderr,
+            )
+            return 1
+        if not proxy.injection_log():
+            print("FAIL: chaos proxy injected nothing", file=sys.stderr)
+            return 1
+        print(
+            f"ok: zero lost queries, {len(results)} answers bit-identical "
+            f"through {len(proxy.injection_log())} injected faults "
+            f"({dict(proxy.injected_counts())})"
+        )
+
+        # Mint a session id whose ring home is provably w2: placement
+        # is a pure SHA-256 function of the worker ids, so the script
+        # can replicate the router's decision and then kill exactly the
+        # worker holding the session — a guaranteed failover, not a
+        # 1-in-4 lottery.
+        from repro.serve.router import HashRing
+
+        ring = HashRing(tuple(sorted(pids)))
+        sid = next(
+            f"smoke-{i}"
+            for i in range(10_000)
+            if ring.node_for(
+                protocol.canonical_json({"session": f"smoke-{i}"}).encode()
+            )
+            == "w2"
+        )
+        print(
+            f"durable session {sid!r} (ring home w2): {NETCHAOS_EDITS} "
+            f"edits through the proxy, kill -9 of w2 (pid {pids['w2']}) "
+            "mid-session ..."
+        )
+        client = resilient_client()
+        with client:
+            opened_sid = client.open_session(
+                source=sources[0], session_id=sid
+            )["session"]
+            assert opened_sid == sid, opened_sid
+            for index, source in enumerate(sources[1:]):
+                if index == NETCHAOS_EDITS // 2:
+                    os.kill(pids["w2"], signal.SIGKILL)
+                client.update_source(sid, source)
+            graph = client.graph(sid)
+            session_counters = client.registry.counter_snapshot()["scalars"]
+        if not session_counters.get("client.session_replays"):
+            print(
+                "FAIL: the session's home worker died yet the journal "
+                "was never replayed",
+                file=sys.stderr,
+            )
+            return 1
+        if graph["edges"] != ref_edges or graph["dot"] != ref_dot:
+            print(
+                "FAIL: session graph diverged from the clean full_graph run",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "ok: final session graph bit-identical to an uninterrupted "
+            f"run (replays: {session_counters.get('client.session_replays', 0)})"
+        )
+
+        artifact = {
+            "seed": seed,
+            "workers": N_WORKERS,
+            "queries": NETCHAOS_QUERIES,
+            "edits": NETCHAOS_EDITS,
+            "plan": json.loads(plan.to_json()),
+            "injected": dict(proxy.injected_counts()),
+            "proxy_counters": proxy.registry.counter_snapshot()["scalars"],
+            "query_client_counters": query_counters,
+            "session_client_counters": session_counters,
+        }
+        pathlib.Path(NETCHAOS_STATS_OUT).write_text(
+            json.dumps(artifact, indent=2, sort_keys=True)
+        )
+        print(f"wrote {NETCHAOS_STATS_OUT}")
+
+        print("SIGTERM the supervisor ...")
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=120)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            print("FAIL: supervisor did not exit", file=sys.stderr)
+            return 1
+        if code != 0:
+            print(f"FAIL: supervisor exited {code}", file=sys.stderr)
+            print(proc.stderr.read()[-4000:], file=sys.stderr)
+            return 1
+        print("ok: clean drain, exit code 0")
+        return 0
+    finally:
+        proxy.request_shutdown()
+        proxy_thread.join(10)
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
 def main() -> int:
     print(f"building workload: {N_QUERIES} queries, serial reference ...")
     calls, expected = build_workload()
@@ -217,7 +463,17 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    cli = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    cli.add_argument(
+        "--netchaos",
+        action="store_true",
+        help="run the seeded chaos-proxy resilience storm instead",
+    )
+    cli.add_argument(
+        "--seed", type=int, default=13, help="netchaos fault-plan seed"
+    )
+    options = cli.parse_args()
     start = time.perf_counter()
-    status = main()
+    status = run_netchaos(options.seed) if options.netchaos else main()
     print(f"cluster smoke finished in {time.perf_counter() - start:.1f}s")
     sys.exit(status)

@@ -53,6 +53,10 @@ __all__ = [
     "run_fuzz",
     "connect",
     "Client",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "TransportError",
+    "CircuitOpenError",
 ]
 
 
@@ -105,14 +109,20 @@ def connect(
     )
 
 
-def __getattr__(name: str):
-    # Lazy re-export: ``from repro.api import Client`` reaches the
-    # unified serve client without importing socket/subprocess
-    # machinery for the facade's (much more common) pure-analysis uses.
-    if name == "Client":
-        from repro.serve.client import Client
+#: Serve-client symbols re-exported lazily: the resilience surface
+#: (retry policy, breaker, typed transport errors) belongs to the
+#: facade, but importing ``repro.api`` must not drag in the
+#: socket/subprocess machinery for pure-analysis uses.
+_CLIENT_EXPORTS = frozenset(
+    {"Client", "RetryPolicy", "CircuitBreaker", "TransportError", "CircuitOpenError"}
+)
 
-        return Client
+
+def __getattr__(name: str):
+    if name in _CLIENT_EXPORTS:
+        from repro.serve import client as _client
+
+        return getattr(_client, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

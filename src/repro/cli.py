@@ -38,7 +38,13 @@ Subcommands:
 * ``watch FILE`` — incremental re-analysis as the file is edited:
   poll its mtime and re-analyze only the pairs each edit dirtied
   (:mod:`repro.core.incremental`), locally or against a daemon's
-  protocol-v3 session ops via ``--endpoint``.
+  protocol-v3 session ops via ``--endpoint`` (durable sessions: the
+  client journals frames and replays them across failovers).
+* ``ping --endpoint URL`` — one health round-trip with its latency;
+  exit 0 when the endpoint answers, 3 when it does not.
+* ``chaosproxy LISTEN UPSTREAM`` — the seeded network-fault proxy
+  (:mod:`repro.robust.netchaos`): deterministic delay/drop/reset/
+  torn-frame/partition injection between a client and an endpoint.
 
 Reads from stdin when ``FILE`` is ``-``.
 
@@ -701,6 +707,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return DependenceServer(config).run()
 
 
+def _retry_from_args(args: argparse.Namespace):
+    """The RetryPolicy ``--retries``/``--retry-backoff`` ask for (or None)."""
+    retries = getattr(args, "retries", 0)
+    if not retries:
+        return None
+    from repro.serve.client import RetryPolicy
+
+    return RetryPolicy(
+        attempts=retries + 1,
+        base_delay_s=getattr(args, "retry_backoff", 0.05),
+    )
+
+
+def _add_retry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry pure ops up to N times across reconnects after a "
+        "transport failure (default 0: fail on the first)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base exponential-backoff delay between retries (default 0.05)",
+    )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.serve.client import Client, ServeError
     from repro.serve.protocol import ErrorCode
@@ -722,7 +759,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         return EXIT_USAGE
     try:
-        client = Client(endpoint, retry_for=args.retry_for)
+        client = Client(
+            endpoint, retry_for=args.retry_for, retry=_retry_from_args(args)
+        )
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return EXIT_USAGE
@@ -805,7 +844,11 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         from repro.serve.client import Client
 
         try:
-            client = Client(args.endpoint, retry_for=args.retry_for)
+            client = Client(
+                args.endpoint,
+                retry_for=args.retry_for,
+                retry=_retry_from_args(args),
+            )
         except (ValueError, OSError) as err:
             print(f"error: cannot reach {args.endpoint}: {err}", file=sys.stderr)
             return EXIT_INTERNAL
@@ -813,8 +856,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         if not health.get("sessions"):
             print(
                 f"error: {args.endpoint} does not serve incremental "
-                "sessions (protocol v3 workers only; cluster routers "
-                "decline them)",
+                "sessions (needs a protocol v3 worker or cluster router)",
                 file=sys.stderr,
             )
             client.close()
@@ -908,6 +950,92 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     finally:
         if client is not None:
             client.close()
+
+
+def _cmd_ping(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.serve.client import Client, ServeError
+
+    try:
+        client = Client(args.endpoint, timeout=args.timeout)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return EXIT_USAGE
+    except OSError as err:
+        print(f"error: cannot reach {args.endpoint}: {err}", file=sys.stderr)
+        return EXIT_INTERNAL
+    try:
+        start = _time.perf_counter()
+        health = client.health()
+        elapsed_ms = (_time.perf_counter() - start) * 1000.0
+    except (ServeError, ConnectionError, OSError) as err:
+        print(f"error: {args.endpoint}: {err}", file=sys.stderr)
+        return EXIT_INTERNAL
+    finally:
+        client.close()
+    print(
+        f"{args.endpoint}: {health.get('status', '?')} "
+        f"protocol={health.get('protocol', '?')} "
+        f"sessions={'yes' if health.get('sessions') else 'no'} "
+        f"({elapsed_ms:.1f} ms)"
+    )
+    return EXIT_OK
+
+
+def _parse_hostport(text: str, *, what: str) -> tuple[str, int]:
+    """``HOST:PORT`` or bare ``PORT`` -> (host, port); raises ValueError."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "127.0.0.1", text
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"{what} must be HOST:PORT or PORT, got {text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"{what} port out of range: {port}")
+    return host or "127.0.0.1", port
+
+
+def _cmd_chaosproxy(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.robust.netchaos import ChaosProxy, NetFaultPlan
+
+    try:
+        listen_host, listen_port = _parse_hostport(args.listen, what="LISTEN")
+        upstream_host, upstream_port = _parse_hostport(args.upstream, what="UPSTREAM")
+        plan = NetFaultPlan(
+            seed=args.seed,
+            delay_rate=args.delay_rate,
+            drop_rate=args.drop_rate,
+            reset_rate=args.reset_rate,
+            torn_rate=args.torn_rate,
+            partition_rate=args.partition_rate,
+            delay_s=args.delay_s,
+            partition_conns=args.partition_conns,
+        )
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return EXIT_USAGE
+
+    proxy = ChaosProxy(
+        plan,
+        upstream_host,
+        upstream_port,
+        host=listen_host,
+        port=listen_port,
+        announce=True,
+    )
+    signal.signal(signal.SIGTERM, lambda *_: proxy.request_shutdown())
+    try:
+        proxy.run()
+    except KeyboardInterrupt:
+        return EXIT_INTERRUPTED
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return EXIT_INTERNAL
+    return EXIT_OK
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -1293,6 +1421,7 @@ def main(argv: list[str] | None = None) -> int:
         default=0.0,
         help="seconds to retry connecting while the server comes up",
     )
+    _add_retry_flags(p_query)
     p_query.set_defaults(func=_cmd_query)
 
     p_watch = sub.add_parser(
@@ -1334,8 +1463,71 @@ def main(argv: list[str] | None = None) -> int:
         help="after every update, run a cold full analysis and assert "
         "the delta graph is identical (slow; for debugging)",
     )
+    _add_retry_flags(p_watch)
     _add_budget_flags(p_watch)
     p_watch.set_defaults(func=_cmd_watch)
+
+    p_ping = sub.add_parser(
+        "ping",
+        help="one health round-trip against a server or router, with latency",
+    )
+    p_ping.add_argument(
+        "--endpoint",
+        required=True,
+        metavar="URL",
+        help="tcp://HOST:PORT, cluster://HOST:PORT, or stdio:",
+    )
+    p_ping.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="socket timeout for the round-trip (default 5)",
+    )
+    p_ping.set_defaults(func=_cmd_ping)
+
+    p_chaos = sub.add_parser(
+        "chaosproxy",
+        help="seeded fault-injecting TCP proxy for resilience testing",
+    )
+    p_chaos.add_argument(
+        "listen", metavar="LISTEN", help="HOST:PORT (or bare PORT) to listen on"
+    )
+    p_chaos.add_argument(
+        "upstream",
+        metavar="UPSTREAM",
+        help="HOST:PORT (or bare PORT) of the real server behind the proxy",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--delay-rate", type=float, default=0.0, metavar="P",
+        help="probability of delaying a connection or frame",
+    )
+    p_chaos.add_argument(
+        "--drop-rate", type=float, default=0.0, metavar="P",
+        help="probability of swallowing a frame (or refusing a connect)",
+    )
+    p_chaos.add_argument(
+        "--reset-rate", type=float, default=0.0, metavar="P",
+        help="probability of a hard connection reset",
+    )
+    p_chaos.add_argument(
+        "--torn-rate", type=float, default=0.0, metavar="P",
+        help="probability of forwarding half a frame then resetting",
+    )
+    p_chaos.add_argument(
+        "--partition-rate", type=float, default=0.0, metavar="P",
+        help="probability a connect opens a partition window",
+    )
+    p_chaos.add_argument(
+        "--delay-s", type=float, default=0.05, metavar="SECONDS",
+        help="length of an injected delay (default 0.05)",
+    )
+    p_chaos.add_argument(
+        "--partition-conns", type=int, default=3, metavar="N",
+        help="connections refused per partition window (default 3)",
+    )
+    p_chaos.set_defaults(func=_cmd_chaosproxy)
 
     p_tables = sub.add_parser(
         "tables", help="regenerate the paper's tables (see repro.harness)"

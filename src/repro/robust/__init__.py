@@ -7,7 +7,9 @@ pathological queries to flagged conservative verdicts
 quarantine (:mod:`~repro.robust.watchdog`), crash-safe batch
 checkpoint/resume (:mod:`~repro.robust.checkpoint`) and a
 deterministic chaos-injection harness that proves all of the above
-under fire (:mod:`~repro.robust.chaos`).
+under fire (:mod:`~repro.robust.chaos`), and its network twin — a
+seeded fault-injecting TCP proxy for the serving stack
+(:mod:`~repro.robust.netchaos`).
 
 Only the budget and chaos surfaces are re-exported here: the deptests
 cascade imports budgets, so this ``__init__`` must stay free of any
@@ -31,12 +33,15 @@ from repro.robust.budget import (
     ResourceBudget,
 )
 from repro.robust.chaos import FaultPlan
+from repro.robust.netchaos import ChaosProxy, NetFaultPlan
 
 __all__ = [
     "BudgetExceeded",
     "BudgetScope",
     "ResourceBudget",
     "FaultPlan",
+    "NetFaultPlan",
+    "ChaosProxy",
     "NULL_SCOPE",
     "ALL_REASONS",
     "DEGRADED_BUDGET",

@@ -31,10 +31,19 @@ op                   params → result
                      in-flight work and exits 0
 ``open_session``     optional ``source`` → ``{"session": id, ...}``; opens
                      an incremental re-analysis session on this connection
-                     (analyzing ``source`` when given)
+                     (analyzing ``source`` when given).  Optional
+                     ``session_id`` (client-minted durable id, also the
+                     router's ring-pinning key) + ``epoch`` (monotonic
+                     incarnation counter: re-opening with a lower epoch
+                     than the live session is rejected, equal-or-higher
+                     replaces it — journal-replay recovery).  Both are
+                     additive, so the protocol version is unchanged
 ``update_source``    ``session`` + ``source`` → delta statistics
                      (kept/dirty/requeried pairs, edge count); re-analyzes
-                     only what the edit dirtied
+                     only what the edit dirtied.  An id the server does
+                     not hold answers ``unknown_session`` — the typed
+                     signal for a client to replay its session journal
+                     (e.g. after worker failover behind a router)
 ``graph``            ``session`` → retained dependence graph as canonical
                      ``edges`` serde + ``dot`` text + last-update summary
 ===================  =======================================================
@@ -132,6 +141,7 @@ class ErrorCode:
     SOURCE = "source_error"  # source text failed to compile/extract
     OVERLOADED = "overloaded"  # backpressure: try again later
     SHUTTING_DOWN = "shutting_down"  # server is draining
+    UNKNOWN_SESSION = "unknown_session"  # session id absent: replay your journal
     INTERNAL = "internal_error"  # unexpected server-side failure
 
     ALL = frozenset(
@@ -143,6 +153,7 @@ class ErrorCode:
             SOURCE,
             OVERLOADED,
             SHUTTING_DOWN,
+            UNKNOWN_SESSION,
             INTERNAL,
         }
     )

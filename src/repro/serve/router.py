@@ -32,6 +32,15 @@ Control ops terminate at the router: ``health`` advertises
 capability frame old clients simply ignore), ``stats`` merges the
 router's own counters with every worker's registry, and ``shutdown``
 drains the whole cluster.
+
+Incremental session ops (protocol v3) are served too — ``sessions:
+true`` — by **pinning**: a durable session's client-minted id is the
+shard key for every frame it ever sends, so ``open_session`` and all
+later ``update_source``/``graph`` frames land on one home worker.
+When that worker dies the id re-homes deterministically and the
+client's journal replay (see :mod:`repro.serve.client`) rebuilds the
+session there, bit-identical by the incremental engine's delta ≡ full
+invariant.
 """
 
 from __future__ import annotations
@@ -53,9 +62,13 @@ from repro.serve.protocol import ErrorCode
 
 __all__ = ["HashRing", "RouterConfig", "ClusterRouter", "shard_key"]
 
-# Analysis ops are forwarded to a worker; everything else terminates
-# at the router.
-_FORWARDED_OPS = frozenset({"analyze", "analyze_program", "explain"})
+# Analysis ops are forwarded to a worker; control ops terminate at the
+# router.  Session ops forward too, but shard on the *session id* (see
+# ``_key_for``) so every frame of one durable session pins to one home.
+_SESSION_OPS = frozenset({"open_session", "update_source", "graph"})
+_FORWARDED_OPS = (
+    frozenset({"analyze", "analyze_program", "explain"}) | _SESSION_OPS
+)
 
 
 def shard_key(params: dict) -> bytes:
@@ -68,6 +81,25 @@ def shard_key(params: dict) -> bytes:
     which is what gives each memo entry exactly one home on the ring.
     """
     return protocol.canonical_json(params).encode("utf-8")
+
+
+def _session_id_of(op: str, params: dict) -> Any:
+    """The durable session id a session op carries (None when absent)."""
+    return params.get("session_id") if op == "open_session" else params.get("session")
+
+
+def _key_for(op: str, params: dict) -> bytes:
+    """The ring key one request homes on.
+
+    Analysis ops shard on their canonical params (cache affinity);
+    session ops shard on the session id alone, so ``open_session`` and
+    every later ``update_source``/``graph`` for that id — including
+    journal replays after a failover — land on the same worker.
+    """
+    if op in _SESSION_OPS:
+        sid = _session_id_of(op, params)
+        return protocol.canonical_json({"session": sid}).encode("utf-8")
+    return shard_key(params)
 
 
 class HashRing:
@@ -397,9 +429,11 @@ class ClusterRouter:
             "protocol": protocol.PROTOCOL_VERSION,
             "server": repro.__version__,
             "cluster": True,
-            # Incremental session ops are per-connection state a hash
-            # router cannot pin to one worker; not served here.
-            "sessions": False,
+            # Durable incremental sessions: the router pins each
+            # client-minted session id to one ring home and forwards
+            # its frames there; after a worker failover the client's
+            # journal replay rebuilds the session at the new home.
+            "sessions": True,
             "workers": len(self.ring),
             "ring": self.ring.nodes,
             "inflight": self._pending_total,
@@ -582,21 +616,23 @@ class _ClientSession:
             )
             return
 
-        if op not in _FORWARDED_OPS:
-            # Protocol-v3 incremental session ops are stateful and
-            # per-connection; a consistent-hash router has no worker
-            # affinity to pin them to, so it declines them outright —
-            # clients probe ``health`` for the ``sessions`` capability
-            # and connect to a worker directly for watch mode.
-            await self._respond(
-                protocol.error_response(
-                    request_id,
-                    ErrorCode.UNSUPPORTED,
-                    f"op {op!r} is not served by a cluster router; "
-                    "open incremental sessions against a worker directly",
+        if op in _SESSION_OPS:
+            # Durable sessions pin to the ring by their client-minted
+            # id; without one there is no stable home to pin to (the
+            # old per-connection server-allocated ids cannot survive a
+            # failover), so the router requires it.
+            sid = _session_id_of(op, params)
+            if not isinstance(sid, str) or not sid:
+                await self._respond(
+                    protocol.error_response(
+                        request_id,
+                        ErrorCode.BAD_REQUEST,
+                        f"{op!r} through a cluster router needs a "
+                        "client-minted session id (durable-session "
+                        "clients send one automatically)",
+                    )
                 )
-            )
-            return
+                return
         if router.draining or router._shutdown_requested.is_set():
             router.registry.inc_family(
                 "serve.errors", ErrorCode.SHUTTING_DOWN
@@ -607,7 +643,7 @@ class _ClientSession:
                 )
             )
             return
-        await self._forward(request_id, shard_key(params), line)
+        await self._forward(request_id, _key_for(op, params), line)
 
     async def _forward(
         self, request_id: Any, key: bytes, line: bytes
@@ -759,8 +795,9 @@ class _ClientSession:
         try:
             blob = json.loads(line)
             request_id = blob.get("id")
+            op = blob.get("op")
             params = blob.get("params", {})
         except ValueError:  # pragma: no cover - we forwarded valid JSON
             return
         router.registry.inc("cluster.replayed")
-        await self._forward(request_id, shard_key(params), line)
+        await self._forward(request_id, _key_for(op, params), line)

@@ -118,12 +118,17 @@ class _IncrementalSessions:
     though each runs on its own worker thread.
     """
 
-    __slots__ = ("lock", "sessions", "last")
+    __slots__ = ("lock", "sessions", "last", "epochs")
 
     def __init__(self) -> None:
         self.lock = threading.Lock()
         self.sessions: dict[str, IncrementalSession] = {}
         self.last: dict[str, dict] = {}  # session id → last update summary
+        # Session id → incarnation epoch (durable-session recovery): a
+        # re-open with a *lower* epoch than the live session is a stale
+        # replay from before a failover and is rejected; equal or
+        # higher replaces the session wholesale.
+        self.epochs: dict[str, int] = {}
 
 
 def _ok_frame(request_id: Any, result_bytes: bytes) -> bytes:
@@ -851,11 +856,29 @@ class DependenceServer:
     async def _op_open_session(
         self, request: Request, inc_sessions: _IncrementalSessions
     ):
+        # Durable-session fields (additive, v3): a client may mint its
+        # own id — the key its journal replays under and the router
+        # pins to the hash ring — plus a monotonic incarnation epoch.
+        sid_param = request.params.get("session_id")
+        epoch = request.params.get("epoch", 0)
+        if sid_param is not None and (
+            not isinstance(sid_param, str) or not sid_param
+        ):
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST, "'session_id' must be a non-empty string"
+            )
+        if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 0:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST, "'epoch' must be a non-negative integer"
+            )
         # The id is allocated before the work runs, so a deadline can
         # degrade the *response* while the shielded computation still
         # completes and the session remains usable under this id.
-        self._session_counter += 1
-        sid = f"s{self._session_counter}"
+        if sid_param is None:
+            self._session_counter += 1
+            sid = f"s{self._session_counter}"
+        else:
+            sid = sid_param
         source = request.params.get("source")
         lang = request.params.get("lang")
         program = self._compile(source, lang) if source is not None else None
@@ -863,10 +886,21 @@ class DependenceServer:
 
         def work() -> dict:
             with inc_sessions.lock:
+                live = inc_sessions.epochs.get(sid)
+                if live is not None and epoch < live:
+                    # A frame from a pre-failover incarnation arriving
+                    # late must never clobber the rebuilt session.
+                    raise ProtocolError(
+                        ErrorCode.BAD_REQUEST,
+                        f"stale epoch {epoch} for session {sid!r} "
+                        f"(live epoch {live})",
+                    )
                 session = self._open_incremental()
                 inc_sessions.sessions[sid] = session
+                inc_sessions.epochs[sid] = epoch
+                inc_sessions.last.pop(sid, None)
                 self.registry.inc("serve.sessions.opened")
-                result = {"session": sid, "degraded": False}
+                result = {"session": sid, "epoch": epoch, "degraded": False}
                 if program is not None:
                     result["update"] = self._apply_update(
                         inc_sessions, sid, session, program, verify
@@ -898,8 +932,11 @@ class DependenceServer:
             with inc_sessions.lock:
                 session = inc_sessions.sessions.get(sid)
                 if session is None:
+                    # Typed so a durable client knows to replay its
+                    # journal (the session died with a worker) rather
+                    # than treat this as a caller bug.
                     raise ProtocolError(
-                        ErrorCode.BAD_REQUEST, f"unknown session {sid!r}"
+                        ErrorCode.UNKNOWN_SESSION, f"unknown session {sid!r}"
                     )
                 return self._apply_update(
                     inc_sessions, sid, session, program, verify
@@ -924,7 +961,7 @@ class DependenceServer:
                 session = inc_sessions.sessions.get(sid)
                 if session is None:
                     raise ProtocolError(
-                        ErrorCode.BAD_REQUEST, f"unknown session {sid!r}"
+                        ErrorCode.UNKNOWN_SESSION, f"unknown session {sid!r}"
                     )
                 graph = session.graph
                 if graph is None or session.program is None:

@@ -31,7 +31,7 @@ from repro.core.engine import PairQuery, analyze_batch
 from repro.fuzz.generator import generate_cases
 from repro.ir.serde import query_to_dict
 from repro.serve import protocol
-from repro.serve.client import Client, ServeError
+from repro.serve.client import CircuitBreaker, Client, RetryPolicy, ServeError
 from repro.serve.router import ClusterRouter, RouterConfig
 from repro.serve.server import DependenceServer, ServeConfig
 
@@ -417,34 +417,211 @@ class TestWarmthGossip:
             assert second.stop() == 0
 
 
-class TestSessionOpsStayOnWorkers:
-    """Incremental sessions are per-connection state; the router's
-    consistent-hash forwarding cannot pin a connection to one worker,
-    so it refuses session ops with a typed ``unsupported`` error and
-    advertises ``sessions: false`` in its health frame."""
+class TestDurableSessionsThroughRouter:
+    """Incremental sessions ride the router by **pinning**: the
+    client-minted session id is the shard key for every frame of the
+    session, so one worker owns it; when that worker dies the id
+    re-homes and the client's journal replay rebuilds the session —
+    bit-identical, because the incremental engine guarantees delta ≡
+    full re-analysis of the final source."""
 
-    def test_router_declines_session_ops(self):
-        cluster = _RunningCluster(1)
-        try:
-            with cluster.client() as client:
-                for op, params in (
-                    ("open_session", {}),
-                    ("update_source", {"session": "s1", "source": SOURCE}),
-                    ("graph", {"session": "s1"}),
-                ):
-                    with pytest.raises(ServeError) as err:
-                        client.call(op, params)
-                    assert err.value.code == protocol.ErrorCode.UNSUPPORTED
-                    assert "worker" in str(err.value)
-        finally:
-            cluster.stop()
+    def _sources(self, seed=21, statements=8, arrays=4, edits=3):
+        import random
+
+        from repro.fuzz.edits import mutate, storm_program
+        from repro.lang.unparse import program_to_source
+
+        rng = random.Random(seed)
+        program = storm_program(seed, statements=statements, arrays=arrays)
+        versions = [program]
+        for _ in range(edits):
+            program, _ = mutate(program, rng, arrays=arrays)
+            versions.append(program)
+        return versions, [program_to_source(p) for p in versions]
 
     def test_health_capability_flags(self):
         cluster = _RunningCluster(1)
         try:
             with cluster.client() as client:
-                assert client.health()["sessions"] is False
+                assert client.health()["sessions"] is True
             with cluster.workers[0].client() as client:
                 assert client.health()["sessions"] is True
         finally:
+            cluster.stop()
+
+    def test_session_ops_without_an_id_are_refused(self):
+        """Server-allocated per-connection ids cannot survive a
+        failover, so the router requires the durable client-minted
+        spelling (the Client sends one automatically)."""
+        cluster = _RunningCluster(1)
+        try:
+            with cluster.client() as client:
+                for op, params in (
+                    ("open_session", {}),
+                    ("update_source", {"session": "", "source": SOURCE}),
+                    ("graph", {}),
+                ):
+                    with pytest.raises(ServeError) as err:
+                        client.call(op, params)
+                    assert err.value.code == protocol.ErrorCode.BAD_REQUEST
+                    assert "session id" in str(err.value)
+        finally:
+            cluster.stop()
+
+    def test_session_roundtrip_through_router(self):
+        from repro.core.incremental import full_graph
+
+        versions, sources = self._sources()
+        cluster = _RunningCluster(2)
+        try:
+            with cluster.client() as client:
+                opened = client.open_session(source=sources[0])
+                sid = opened["session"]
+                assert sid.startswith("c")  # client-minted, not s1/s2
+                for source in sources[1:]:
+                    summary = client.update_source(sid, source)
+                    assert summary["degraded"] is False
+                result = client.graph(sid)
+        finally:
+            cluster.stop()
+        reference = full_graph(versions[-1])
+        assert result["edges"] == reference.edge_dicts()
+        assert result["dot"] == reference.to_dot()
+
+    def test_worker_failover_replays_the_journal(self):
+        """Drain the worker that owns the session mid-stream: the next
+        update gets ``unknown_session`` from the re-homed ring, the
+        client replays its journal, and the final graph is
+        bit-identical to an uninterrupted session's."""
+        from repro.core.incremental import full_graph
+
+        versions, sources = self._sources(edits=5)
+        cluster = _RunningCluster(2)
+        try:
+            with cluster.client(retry=RetryPolicy(seed=3)) as client:
+                sid = client.open_session(source=sources[0])["session"]
+                client.update_source(sid, sources[1])
+                # The pin means exactly one worker ever opened it.
+                owners = [
+                    index
+                    for index, handle in enumerate(cluster.workers)
+                    if handle.server.registry.get("serve.sessions.opened")
+                ]
+                assert len(owners) == 1, owners
+                cluster.workers[owners[0]].server.request_shutdown()
+                for source in sources[2:]:
+                    summary = client.update_source(sid, source)
+                    assert summary["degraded"] is False
+                result = client.graph(sid)
+                assert client.registry.get("client.session_replays") >= 1
+            survivor = cluster.workers[1 - owners[0]]
+            assert survivor.server.registry.get("serve.sessions.opened") >= 1
+        finally:
+            for handle in cluster.workers:
+                handle.server.request_shutdown()
+            cluster.router.stop()
+            for handle in cluster.workers:
+                handle.stop()
+        reference = full_graph(versions[-1])
+        assert result["edges"] == reference.edge_dicts()
+        assert result["dot"] == reference.to_dot()
+
+    def test_stale_epoch_never_clobbers_the_rebuilt_session(self):
+        """A pre-failover ``open_session`` frame arriving late (epoch
+        0) must not replace the replayed incarnation (epoch 1)."""
+        cluster = _RunningCluster(1)
+        try:
+            with cluster.client() as client:
+                sources = self._sources()[1]
+                sid = client.open_session(
+                    source=sources[0], session_id="pin-1"
+                )["session"]
+                assert sid == "pin-1"
+                # The replayed incarnation lands with a higher epoch...
+                fresh = client.call(
+                    "open_session",
+                    {"session_id": "pin-1", "epoch": 1, "source": sources[1]},
+                )
+                assert fresh["epoch"] == 1
+                # ...so the zombie's frame is rejected as stale.
+                with pytest.raises(ServeError) as err:
+                    client.call(
+                        "open_session",
+                        {"session_id": "pin-1", "epoch": 0, "source": sources[0]},
+                    )
+                assert err.value.code == protocol.ErrorCode.BAD_REQUEST
+                assert "stale epoch" in str(err.value)
+        finally:
+            cluster.stop()
+
+
+class TestNetchaosStorm:
+    """The acceptance storm, in-process: the 500-query fuzz workload
+    through a seeded chaos proxy in front of a 4-worker router, with
+    one worker lost mid-storm.  Zero lost queries, bit-identical
+    answers — the resilient client absorbs every injected fault."""
+
+    CHUNK = 25
+
+    def test_storm_with_worker_loss_is_bit_identical(self, fuzz_workload):
+        from repro.robust.netchaos import ChaosProxy, NetFaultPlan
+
+        calls, expected = fuzz_workload
+        cluster = _RunningCluster(4)
+        # Rates are calibrated to the retry budget: a chunk of 25 calls
+        # is ~50 frames per round, so the per-round survival probability
+        # at ~1.3% fatal faults per frame stays above one half and every
+        # failed round still banks the answers that arrived before the
+        # cut.  drop_rate stays tiny because every dropped frame costs
+        # the client a full socket timeout before it can retry.
+        plan = NetFaultPlan(
+            seed=13,
+            delay_rate=0.02,
+            drop_rate=0.001,
+            reset_rate=0.006,
+            torn_rate=0.006,
+            delay_s=0.005,
+        )
+        proxy = ChaosProxy(
+            plan,
+            cluster.router.router.bound_host,
+            cluster.router.router.bound_port,
+        )
+        proxy_thread = threading.Thread(target=proxy.run, daemon=True)
+        proxy_thread.start()
+        assert proxy.started.wait(10), "proxy did not start"
+        try:
+            client = Client(
+                f"tcp://{proxy.bound_host}:{proxy.bound_port}",
+                timeout=2.0,
+                retry=RetryPolicy(
+                    attempts=12, base_delay_s=0.01, deadline_s=120.0
+                ),
+                breaker=CircuitBreaker(failure_threshold=10_000),
+            )
+            results = []
+            with client:
+                for start in range(0, len(calls), self.CHUNK):
+                    if start == len(calls) // 2:
+                        # Mid-storm: one worker drains away.  The router
+                        # must eject it and re-home its shard while the
+                        # chaos proxy keeps mangling the client link.
+                        cluster.workers[0].server.request_shutdown()
+                    results.extend(
+                        client.call_many(calls[start : start + self.CHUNK])
+                    )
+                reconnects = client.registry.get("client.reconnects")
+            assert len(results) == len(expected)
+            mismatches = [
+                index
+                for index, (got, want) in enumerate(zip(results, expected))
+                if got != want
+            ]
+            assert mismatches == [], f"{len(mismatches)} answers diverged"
+            # The run must actually have been stormy, or it proves nothing.
+            assert proxy.injection_log(), "no faults injected"
+            assert reconnects > 0, "chaos never forced a reconnect"
+        finally:
+            proxy.request_shutdown()
+            proxy_thread.join(10)
             cluster.stop()

@@ -597,7 +597,9 @@ class TestIncrementalSessions:
             g2 = client.graph(second)
         assert g1["session"] == first and g2["session"] == second
 
-    def test_unknown_session_is_bad_request(self, running):
+    def test_unknown_session_is_typed(self, running):
+        # The dedicated code is what tells a durable client "replay
+        # your journal" apart from "your request is malformed".
         with running.client() as client:
             for op, params in (
                 ("update_source", {"session": "nope", "source": SOURCE}),
@@ -605,7 +607,7 @@ class TestIncrementalSessions:
             ):
                 with pytest.raises(ServeError) as err:
                     client.call(op, params)
-                assert err.value.code == protocol.ErrorCode.BAD_REQUEST
+                assert err.value.code == protocol.ErrorCode.UNKNOWN_SESSION
 
     def test_graph_before_any_update_is_bad_request(self, running):
         with running.client() as client:
